@@ -1,0 +1,47 @@
+"""Benchmarks: extension ablations for DESIGN.md §4 design choices."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    run_fusion_ablation,
+    run_genweight_ablation,
+    run_pull_mode_ablation,
+)
+
+
+def test_fusion_ablation(benchmark):
+    result = run_once(benchmark, run_fusion_ablation, profile="ci")
+    benchmark.extra_info["result"] = str(result)
+
+    assert set(result.rmse) == {"resplus", "conv", "none"}
+    for out_rmse, in_rmse in result.rmse.values():
+        assert np.isfinite(out_rmse)
+        assert np.isfinite(in_rmse)
+    # Shape claim: some spatial mixing beats none (within a small
+    # tolerance at CI scale, where the tiny grid limits the effect).
+    spatial_best = min(result.rmse["resplus"][0], result.rmse["conv"][0])
+    assert spatial_best <= result.rmse["none"][0] * 1.2
+
+
+def test_genweight_ablation(benchmark):
+    result = run_once(benchmark, run_genweight_ablation, profile="ci")
+    benchmark.extra_info["result"] = str(result)
+
+    assert set(result.rmse) == {0.0, 0.05, 1.0}
+    for out_rmse, _in_rmse in result.rmse.values():
+        assert np.isfinite(out_rmse)
+    # Reproduction finding (see DESIGN.md §4): at reduced scale the
+    # rebalanced objective is not worse than the paper-weighted one.
+    assert result.rmse[0.05][0] <= result.rmse[1.0][0] * 1.25
+
+
+def test_pull_mode_ablation(benchmark):
+    result = run_once(benchmark, run_pull_mode_ablation, profile="ci", steps=25)
+    benchmark.extra_info["result"] = str(result)
+
+    # The literal Eq. (29) objective runs away (strongly negative),
+    # while the alternating stop-gradient treatment stays bounded —
+    # the motivation for the implementation choice.
+    assert result.diverged("joint")
+    assert not result.diverged("alternating")

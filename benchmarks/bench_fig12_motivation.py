@@ -1,0 +1,30 @@
+"""Benchmarks: regenerate Figs. 1-2 (the paper's motivation phenomena)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig1, run_fig2
+
+
+def test_fig1_distribution_shift(benchmark):
+    result = run_once(benchmark, run_fig1, seed=0)
+    benchmark.extra_info["result"] = str(result)
+
+    # Level shift: the pre/post regime distributions are statistically
+    # distinguishable.
+    assert result.level_shift_ks > 0.1
+    assert result.level_shift_pvalue < 0.01
+    # Point shift: the event is a many-sigma outlier in its region.
+    assert result.point_shift_zscore > 5.0
+
+
+def test_fig2_interaction_shift(benchmark):
+    result = run_once(benchmark, run_fig2, seed=0)
+    benchmark.extra_info["result"] = str(result)
+
+    for trace in result.correlations.values():
+        assert np.all(np.isfinite(trace))
+        assert np.all(np.abs(trace) <= 1.0 + 1e-9)
+    # The interaction shifts: which sub-series best tracks the future
+    # changes over timeslots (the figure's whole point).
+    assert result.dominant_switches() >= 1

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 4 (predicted vs ground-truth curves)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig4
+
+
+def test_fig4_curves(benchmark):
+    result = run_once(benchmark, run_fig4, profile="ci")
+    benchmark.extra_info["result"] = str(result)
+
+    for dataset, curves in result.curves.items():
+        assert "ground-truth" in curves
+        assert "MUSE-Net" in curves
+        for series in curves.values():
+            assert np.all(np.isfinite(series))
+        # Shape claim: MUSE-Net tracks the ground-truth curve (clearly
+        # positive correlation).
+        assert result.correlation(dataset, "MUSE-Net") > 0.3

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 5 (t-SNE of representations)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig5
+
+
+def test_fig5_tsne(benchmark):
+    result = run_once(benchmark, run_fig5, profile="ci")
+    benchmark.extra_info["result"] = str(result)
+
+    # Shape claim: disentangled representations separate into clusters
+    # while the raw sub-series mix (the figure's whole point).
+    assert result.separation_improved
+    assert result.disentangled_silhouette > 0.3
+    assert result.original_silhouette < 0.5

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 6 (interactive rep vs sub-series similarity)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig6
+
+
+def test_fig6_similarity(benchmark):
+    result = run_once(benchmark, run_fig6, profile="ci")
+    benchmark.extra_info["result"] = str(result)
+
+    # Shape claim: the interactive representation carries information
+    # from every sub-series — most heatmap entries above zero (the
+    # paper's Fig. 6 observation).
+    for key in ("c", "p", "t"):
+        assert result.positive_fraction(key) > 0.8, key
+        assert result.mean_similarity(key) > 0.0, key

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 7 (representations vs future flow)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig7
+
+
+def test_fig7_similarity(benchmark):
+    result = run_once(benchmark, run_fig7, profile="ci")
+    benchmark.extra_info["result"] = str(result)
+
+    for key in ("c", "p", "t", "s"):
+        assert np.all(np.isfinite(result.matrices[key]))
+    # Shape claim: the interactive representation is complementary to
+    # the exclusive ones (negative correlation of similarity profiles).
+    assert result.complementarity() < 0.2

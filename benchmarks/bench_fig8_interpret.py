@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 8 (peak/non-peak interpretation)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig8
+
+
+def test_fig8_interpret(benchmark):
+    result = run_once(benchmark, run_fig8, profile="ci")
+    benchmark.extra_info["result"] = str(result)
+
+    for key in ("c", "p", "t", "s"):
+        trace = result.traces[key]
+        assert np.all(np.isfinite(trace))
+        assert np.all(np.abs(trace) <= 1.0 + 1e-9)
+    assert result.peak.any()
+    assert (~result.peak).any()

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 9 (hyper-parameter sensitivity sweeps)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig9
+
+
+def test_fig9_sensitivity(benchmark):
+    result = run_once(benchmark, run_fig9, profile="ci")
+    benchmark.extra_info["result"] = str(result)
+
+    assert set(result.curves) == {"lambda", "k", "d"}
+    for param, entries in result.curves.items():
+        assert len(entries) >= 3
+        for _value, mean, std in entries:
+            assert np.isfinite(mean)
+            assert std >= 0
+    # Shape claim: the moderate lambda (the paper picks 1) is not worse
+    # than the extreme settings by a large factor.
+    lam_curve = {value: mean for value, mean, _std in result.curves["lambda"]}
+    moderate = lam_curve[1.0]
+    assert moderate <= 1.5 * min(lam_curve.values())

@@ -1,0 +1,87 @@
+"""Performance benchmarks for the substrate itself.
+
+Unlike the table/figure benches (single-shot experiment regenerators),
+these are conventional multi-round micro-benchmarks of the pieces the
+whole reproduction rests on: autodiff conv, the recurrent cell, the
+trajectory simulator, windowing, and t-SNE.
+"""
+
+import numpy as np
+
+from repro.analysis import tsne
+from repro.data import (
+    CityConfig,
+    GridSpec,
+    MultiPeriodicity,
+    TrajectorySimulator,
+    build_samples,
+)
+from repro.nn import GRUCell, Conv2d
+from repro.optim import Adam
+from repro.tensor import Tensor
+
+
+def test_conv2d_forward_backward(benchmark):
+    rng = np.random.default_rng(0)
+    layer = Conv2d(16, 16, 3, padding="same", rng=rng)
+    x = Tensor(rng.standard_normal((8, 16, 10, 20)))
+
+    def step():
+        layer.zero_grad()
+        out = layer(x)
+        out.sum().backward()
+        return out
+
+    result = benchmark(step)
+    assert result.shape == (8, 16, 10, 20)
+
+
+def test_gru_sequence_step(benchmark):
+    rng = np.random.default_rng(0)
+    cell = GRUCell(64, 64, rng=rng)
+    x = Tensor(rng.standard_normal((8, 64)))
+    h = cell.initial_state(8)
+
+    result = benchmark(lambda: cell(x, h))
+    assert result.shape == (8, 64)
+
+
+def test_adam_step_on_large_parameter(benchmark):
+    from repro.nn import Parameter
+
+    w = Parameter(np.zeros(200_000))
+    optimizer = Adam([w], lr=1e-3)
+    w.grad = np.random.default_rng(0).standard_normal(200_000)
+
+    benchmark(optimizer.step)
+    assert np.any(w.data != 0)
+
+
+def test_trajectory_simulation_day(benchmark):
+    grid = GridSpec(6, 10, interval_minutes=60)
+
+    def simulate():
+        sim = TrajectorySimulator(grid, CityConfig(num_agents=1000), seed=0)
+        return sim.simulate(grid.intervals_for_days(1))
+
+    flows = benchmark(simulate)
+    assert flows.shape[0] == 24
+
+
+def test_sample_windowing(benchmark):
+    grid = GridSpec(6, 10, interval_minutes=60)
+    mp = MultiPeriodicity(3, 2, 2, samples_per_day=grid.samples_per_day)
+    rng = np.random.default_rng(0)
+    flows = rng.uniform(0, 5, size=(mp.min_index + 200, 2, 6, 10))
+    indices = np.arange(mp.min_index, mp.min_index + 128)
+
+    batch = benchmark(build_samples, flows, mp, indices)
+    assert len(batch) == 128
+
+
+def test_tsne_small(benchmark):
+    rng = np.random.default_rng(0)
+    points = rng.standard_normal((60, 16))
+
+    embedding = benchmark(tsne, points, iterations=100, seed=0)
+    assert embedding.shape == (60, 2)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table I (complexity comparison)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_table1
+
+
+def test_table1_complexity(benchmark):
+    result = run_once(benchmark, run_table1, profile="ci")
+    benchmark.extra_info["result"] = str(result)
+
+    entries = {e.method: e for e in result.analytic}
+    # Shape claims from the paper's Table I discussion.
+    assert entries["MUSE-Net"].time_value == entries["DeepSTN+"].time_value
+    assert entries["MUSE-Net"].time_value < entries["GMAN"].time_value
+    assert set(result.measured) == {"DeepSTN+", "DMSTGCN", "GMAN", "MUSE-Net"}
+    for params, seconds in result.measured.values():
+        assert params > 0
+        assert np.isfinite(seconds)

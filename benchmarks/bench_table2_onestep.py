@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table II (one-step forecasting, 12 methods x 3 datasets)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_table2
+
+
+def test_table2_onestep(benchmark):
+    result = run_once(benchmark, run_table2, profile="ci")
+    benchmark.extra_info["result"] = str(result)
+
+    ranks = {}
+    for dataset, table in result.reports.items():
+        assert len(table) == 12
+        rmse = {name: report.outflow_rmse for name, report in table.items()}
+        assert all(np.isfinite(v) for v in rmse.values())
+        # Shape claim: spatial-aware methods beat the purely temporal
+        # RNN-family baselines (the paper's clearest ordering).
+        temporal_only = min(rmse["RNN"], rmse["Seq2Seq"])
+        assert rmse["MUSE-Net"] < temporal_only
+        order = sorted(rmse, key=rmse.get)
+        ranks[dataset] = order.index("MUSE-Net")
+    # Shape claim: MUSE-Net leads the table outright on at least one
+    # dataset and sits in the top tier on the majority.  (At CI budgets
+    # the densest tiny grid favours the attention baselines within
+    # noise; the paper-profile runs recorded in EXPERIMENTS.md show the
+    # full ordering.)
+    assert min(ranks.values()) == 0, ranks
+    assert sorted(ranks.values())[1] <= 3, ranks

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table III (multi-step forecasting, 3 horizons)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_table3
+
+
+def test_table3_multistep(benchmark):
+    result = run_once(benchmark, run_table3, profile="ci")
+    benchmark.extra_info["result"] = str(result)
+
+    for dataset, horizons in result.reports.items():
+        assert set(horizons) == {1, 2, 3}
+        for horizon, table in horizons.items():
+            assert set(table) == {"STGSP", "DeepSTN+", "ST-SSL", "MUSE-Net"}
+            for report in table.values():
+                assert np.isfinite(report.outflow_rmse)
+        # Shape claim: the far horizon is not easier than the aggregate
+        # of near horizons for MUSE-Net (errors grow with horizon).
+        h1 = horizons[1]["MUSE-Net"].outflow_rmse
+        h3 = horizons[3]["MUSE-Net"].outflow_rmse
+        assert h3 > 0.5 * h1

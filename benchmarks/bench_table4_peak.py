@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table IV (peak vs non-peak)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_table4
+
+
+def test_table4_peak(benchmark):
+    result = run_once(benchmark, run_table4, profile="ci")
+    benchmark.extra_info["result"] = str(result)
+
+    for dataset, table in result.reports.items():
+        assert "MUSE-Net" in table
+        for method, halves in table.items():
+            assert np.isfinite(halves["peak"].outflow_rmse)
+            assert np.isfinite(halves["non_peak"].outflow_rmse)
+        # Shape claim: peak traffic is harder (higher RMSE) than
+        # non-peak for the methods, reflecting the paper's motivation.
+        muse = table["MUSE-Net"]
+        assert muse["peak"].outflow_rmse > muse["non_peak"].outflow_rmse * 0.5

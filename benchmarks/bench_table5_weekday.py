@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table V (weekday vs weekend)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_table5
+
+
+def test_table5_weekday(benchmark):
+    result = run_once(benchmark, run_table5, profile="ci")
+    benchmark.extra_info["result"] = str(result)
+
+    for dataset, table in result.reports.items():
+        assert "MUSE-Net" in table
+        for halves in table.values():
+            assert np.isfinite(halves["weekday"].outflow_rmse)
+            assert np.isfinite(halves["weekend"].outflow_rmse)

@@ -1,0 +1,73 @@
+"""Bike-share rebalancing from MUSE-Net forecasts.
+
+The paper's Definition 1 motivates grid forecasting with exactly this
+use case: "bike-sharing companies can use regions' traffic volumes to
+decide how many bikes should be placed in these regions."  This example
+trains MUSE-Net on the synthetic NYC-Bike analogue, forecasts the next
+interval, and turns the inflow/outflow forecast into a per-region
+rebalancing plan (positive = trucks should drop bikes, negative = pick
+bikes up).
+
+    python examples/bike_rebalancing.py
+"""
+
+import numpy as np
+
+from repro.core import MuseConfig, MUSENet
+from repro.data import load_dataset, prepare_forecast_data
+from repro.training import TrainConfig, Trainer
+
+
+def rebalancing_plan(predicted_flows, top_k=5):
+    """Net bike deficit per region from one forecast grid.
+
+    ``predicted_flows`` is ``(2, H, W)`` (outflow, inflow).  A region
+    about to lose more bikes than it gains needs a drop-off.
+    """
+    outflow, inflow = predicted_flows
+    deficit = outflow - inflow  # bikes leaving minus bikes arriving
+    order = np.argsort(deficit.ravel())[::-1]
+    height, width = deficit.shape
+    plan = []
+    for flat in order[:top_k]:
+        row, col = divmod(int(flat), width)
+        plan.append((row, col, float(deficit[row, col])))
+    return plan
+
+
+def main():
+    dataset = load_dataset("nyc-bike", scale="tiny")
+    data = prepare_forecast_data(dataset)
+
+    config = MuseConfig.for_data(data, rep_channels=8, latent_interactive=16,
+                                 res_blocks=1, plus_channels=2,
+                                 decoder_hidden=32, gen_weight=0.05)
+    trainer = Trainer(MUSENet(config), TrainConfig(epochs=20, lr=2e-3, patience=6))
+    trainer.fit(data)
+
+    # Forecast a morning-peak test interval — when rebalancing matters.
+    hours = dataset.grid.hour_of_day(data.test.indices)
+    peak_positions = np.flatnonzero((hours >= 7) & (hours < 10))
+    position = int(peak_positions[0]) if len(peak_positions) else 0
+    forecast = trainer.predict_flows(data, data.test)[position]
+    truth = data.inverse(data.test.target)[position]
+
+    interval = int(data.test.indices[position])
+    hour = float(dataset.grid.hour_of_day(interval))
+    print(f"forecast for interval {interval} ({hour:04.1f}h)")
+    print(f"{'region':>8}  {'pred deficit':>12}  {'true deficit':>12}")
+    true_deficit = truth[0] - truth[1]
+    for row, col, deficit in rebalancing_plan(forecast):
+        print(f"  ({row},{col})  {deficit:12.1f}  {true_deficit[row, col]:12.1f}")
+
+    # How good is the plan? Rank correlation between predicted and true
+    # deficits across all regions.
+    predicted = (forecast[0] - forecast[1]).ravel()
+    actual = true_deficit.ravel()
+    rank_corr = np.corrcoef(np.argsort(np.argsort(predicted)),
+                            np.argsort(np.argsort(actual)))[0, 1]
+    print(f"deficit rank correlation across regions: {rank_corr:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Build a custom simulated city and study distribution shifts.
+
+Shows the data substrate directly: configure a grid city with your own
+population, schedule a stadium event (point shift) and a seasonal
+demand drop (level shift), simulate agent trajectories, and verify that
+the aggregated inflow/outflow exhibits the shifts the paper motivates
+MUSE-Net with.
+
+    python examples/custom_city_simulation.py
+"""
+
+import numpy as np
+
+from repro.data import (
+    CityConfig,
+    GridSpec,
+    LevelShift,
+    TrafficEvent,
+    TrajectorySimulator,
+    MultiPeriodicity,
+    prepare_forecast_data,
+)
+from repro.data.datasets import TrafficDataset
+
+
+def main():
+    # A 6x6 city sampled hourly, starting on a Monday.
+    grid = GridSpec(height=6, width=6, interval_minutes=60, start_weekday=0)
+    days = 28
+    num_intervals = grid.intervals_for_days(days)
+
+    stadium = grid.region_index(2, 4)
+    config = CityConfig(
+        num_agents=1500,
+        events=[
+            # A match on the second Friday evening: a crowd of 400
+            # converges on the stadium cell for 3 hours (point shift).
+            TrafficEvent(region=stadium,
+                         start_interval=grid.intervals_for_days(11) + 19,
+                         duration=3, attendance=400),
+        ],
+        # Demand drops 40% after day 21 — think school holidays
+        # (level shift).
+        level_shift=LevelShift(start_interval=grid.intervals_for_days(21),
+                               factor=0.6),
+    )
+
+    simulator = TrajectorySimulator(grid, config, seed=7)
+    flows = simulator.simulate(num_intervals)
+    print(f"simulated {num_intervals} intervals on a {grid.height}x{grid.width} grid")
+    print(f"mean flow {flows.mean():.2f}, max {flows.max():.0f}")
+
+    # Point shift: the stadium cell's inflow spikes during the event.
+    row, col = grid.region_coords(stadium)
+    event_start = config.events[0].start_interval
+    window = flows[event_start:event_start + 3, 1, row, col]
+    typical = flows[:, 1, row, col].mean()
+    print(f"stadium inflow during event: {window.max():.0f} "
+          f"(typical {typical:.1f}) -> point shift x{window.max() / max(typical, 1e-9):.0f}")
+
+    # Level shift: citywide volume drops after day 21.
+    before = flows[:config.level_shift.start_interval].mean()
+    after = flows[config.level_shift.start_interval:].mean()
+    print(f"citywide mean flow before/after day 21: {before:.2f} / {after:.2f}")
+
+    # The simulation plugs straight into the forecasting pipeline.
+    dataset = TrafficDataset(
+        name="custom-city", scale="custom", grid=grid, flows=flows,
+        periodicity=MultiPeriodicity(3, 2, 2, samples_per_day=grid.samples_per_day),
+    )
+    data = prepare_forecast_data(dataset, test_intervals=5 * grid.samples_per_day)
+    print(f"pipeline: train={len(data.train)} val={len(data.val)} test={len(data.test)} samples")
+
+
+if __name__ == "__main__":
+    main()

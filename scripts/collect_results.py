@@ -1,0 +1,66 @@
+"""Regenerate every table/figure at the CI profile into results/.
+
+    python scripts/collect_results.py
+
+Writes ``results/ci_profile.txt`` with the rendered output of all 12
+paper experiments plus the three extension ablations — the snapshot
+EXPERIMENTS.md quotes.
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.experiments import (
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fusion_ablation,
+    run_genweight_ablation,
+    run_pull_mode_ablation,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+RUNNERS = (
+    ("Table I", run_table1),
+    ("Table II", run_table2),
+    ("Table III", run_table3),
+    ("Table IV", run_table4),
+    ("Table V", run_table5),
+    ("Table VI", run_table6),
+    ("Fig. 4", run_fig4),
+    ("Fig. 5", run_fig5),
+    ("Fig. 6", run_fig6),
+    ("Fig. 7", run_fig7),
+    ("Fig. 8", run_fig8),
+    ("Fig. 9", run_fig9),
+    ("Extension: fusion head", run_fusion_ablation),
+    ("Extension: generative weight", run_genweight_ablation),
+    ("Extension: pull optimization", run_pull_mode_ablation),
+)
+
+
+def main():
+    out_path = pathlib.Path("results/ci_profile.txt")
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    sections = []
+    for name, runner in RUNNERS:
+        start = time.time()
+        result = runner(profile="ci")
+        elapsed = time.time() - start
+        print(f"{name} done in {elapsed:.0f}s", file=sys.stderr)
+        sections.append(f"### {name} ({elapsed:.0f}s)\n\n{result}")
+    out_path.write_text("\n\n".join(sections) + "\n")
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Collect paper-profile results for EXPERIMENTS.md.
+
+Runs the key experiments at the "paper" profile (reduced-but-realistic
+small-scale datasets, longer training) and writes the rendered tables
+to ``results/paper_profile.txt``.  Expect tens of minutes on one CPU.
+
+    python scripts/run_paper_profile.py [--quick]
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments import run_fig5, run_table2, run_table6
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="restrict Table II to the multi-periodic methods")
+    parser.add_argument("--out", default="results/paper_profile.txt")
+    args = parser.parse_args()
+
+    out_path = pathlib.Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    sections = []
+
+    t0 = time.time()
+    methods = ("STGSP", "DeepSTN+", "ST-SSL", "GMAN", "MUSE-Net") if args.quick else None
+    table2 = run_table2(profile="paper", datasets=("nyc-bike",), methods=methods)
+    sections.append(str(table2))
+    print(f"table2 done in {time.time() - t0:.0f}s", file=sys.stderr)
+
+    t0 = time.time()
+    table6 = run_table6(profile="paper", datasets=("nyc-bike",))
+    sections.append(str(table6))
+    print(f"table6 done in {time.time() - t0:.0f}s", file=sys.stderr)
+
+    t0 = time.time()
+    fig5 = run_fig5(profile="paper")
+    sections.append(str(fig5))
+    print(f"fig5 done in {time.time() - t0:.0f}s", file=sys.stderr)
+
+    out_path.write_text("\n\n".join(sections) + "\n")
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim so ``pip install -e .`` works offline.
+
+The environment's setuptools predates full PEP 660 editable-install
+support and the ``wheel`` package is unavailable, so the project keeps a
+minimal ``setup.py`` alongside ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,28 @@
+"""Interpretability and complexity analyses (Figs. 5-8, Table I)."""
+
+from repro.analysis.tsne import silhouette_score, tsne
+from repro.analysis.similarity import (
+    cosine_similarity_matrix,
+    diagonal_similarity,
+    flatten_per_sample,
+    spatial_signature,
+    windowed_correlation,
+)
+from repro.analysis.complexity import (
+    ComplexityEntry,
+    complexity_table,
+    count_parameters,
+)
+from repro.analysis.decomposition import (
+    SeasonalDecomposition,
+    periodicity_strength,
+    seasonal_decompose,
+)
+
+__all__ = [
+    "tsne", "silhouette_score",
+    "cosine_similarity_matrix", "diagonal_similarity", "flatten_per_sample",
+    "spatial_signature", "windowed_correlation",
+    "ComplexityEntry", "complexity_table", "count_parameters",
+    "SeasonalDecomposition", "seasonal_decompose", "periodicity_strength",
+]

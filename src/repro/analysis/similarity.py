@@ -1,0 +1,99 @@
+"""Cosine-similarity analyses (paper Figs. 6-8).
+
+The paper probes the learned representations with cosine similarity:
+
+- Fig. 6: interactive representation vs. the original closeness /
+  period / trend sub-series (mostly positive => pulling worked).
+- Fig. 7: exclusive and interactive representations vs. future flow
+  (complementary sign structure).
+- Fig. 8: the diagonal of the similarity matrix traced over time,
+  split by peak / non-peak periods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cosine_similarity_matrix",
+    "diagonal_similarity",
+    "flatten_per_sample",
+    "spatial_signature",
+    "windowed_correlation",
+]
+
+
+def flatten_per_sample(array):
+    """Collapse everything but the first axis: ``(N, ...) -> (N, D)``."""
+    array = np.asarray(array, dtype=float)
+    return array.reshape(len(array), -1)
+
+
+def _normalize_rows(matrix, eps=1e-12):
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.maximum(norms, eps)
+
+
+def cosine_similarity_matrix(a, b):
+    """Pairwise cosine similarity: rows of ``a`` vs rows of ``b``.
+
+    Inputs of any shape are flattened per sample; the result is
+    ``(len(a), len(b))`` in ``[-1, 1]``.
+    """
+    a = _normalize_rows(flatten_per_sample(a))
+    b = _normalize_rows(flatten_per_sample(b))
+    return a @ b.T
+
+
+def spatial_signature(array):
+    """Reduce grid-shaped tensors to per-cell vectors ``(N, H*W)``.
+
+    Representations ``(N, d, H, W)`` and flow series ``(N, L, 2, H, W)``
+    live in different feature spaces; cosine similarity between them is
+    only meaningful over a shared axis.  The grid is that axis: average
+    every non-spatial feature dimension, keep the spatial profile.
+    """
+    array = np.asarray(array, dtype=float)
+    if array.ndim < 3:
+        raise ValueError(f"need (N, ..., H, W); got shape {array.shape}")
+    n, h, w = array.shape[0], array.shape[-2], array.shape[-1]
+    middle = array.reshape(n, -1, h * w)
+    return middle.mean(axis=1)
+
+
+def windowed_correlation(a, b, window=3):
+    """Sliding Pearson correlation between two aligned 1-D series.
+
+    ``window`` is the half-width; position ``t`` correlates
+    ``a[t-window : t+window+1]`` with the same slice of ``b``.  Values
+    lie in ``[-1, 1]`` — the per-timeslot similarity trace the paper's
+    Fig. 8 draws.  Degenerate (constant) windows score 0.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("windowed_correlation needs equal-length 1-D series")
+    n = len(a)
+    out = np.zeros(n)
+    for t in range(n):
+        lo = max(0, t - window)
+        hi = min(n, t + window + 1)
+        xa = a[lo:hi] - a[lo:hi].mean()
+        xb = b[lo:hi] - b[lo:hi].mean()
+        denom = np.sqrt((xa * xa).sum() * (xb * xb).sum())
+        out[t] = 0.0 if denom == 0 else float((xa * xb).sum() / denom)
+    return out
+
+
+def diagonal_similarity(a, b):
+    """Per-sample cosine similarity between aligned rows of ``a``/``b``.
+
+    This is the diagonal of :func:`cosine_similarity_matrix` without
+    materializing the full matrix — the quantity Fig. 8 traces over
+    time for one region.
+    """
+    a = _normalize_rows(flatten_per_sample(a))
+    b = _normalize_rows(flatten_per_sample(b))
+    if len(a) != len(b):
+        raise ValueError(f"aligned similarity needs equal lengths; got {len(a)} vs {len(b)}")
+    return np.sum(a * b, axis=1)

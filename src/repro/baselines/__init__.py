@@ -1,0 +1,53 @@
+"""The 11 comparison methods of the paper's Table II.
+
+All baselines are re-implemented (simplified but mechanism-faithful) on
+the library's own substrate and follow the Trainer protocol, so any of
+them can be swapped into an experiment via :func:`make_baseline`.
+"""
+
+from repro.baselines.base import BaselineConfig, BaselineForecaster
+from repro.baselines.rnn import RNNBaseline
+from repro.baselines.seq2seq import Seq2SeqBaseline
+from repro.baselines.astgcn import ASTGCNBaseline
+from repro.baselines.convgcn import ConvGCNBaseline
+from repro.baselines.gman import GMANBaseline
+from repro.baselines.stgnn import STGNNBaseline
+from repro.baselines.dmstgcn import DMSTGCNBaseline
+from repro.baselines.stnorm import STNormBaseline
+from repro.baselines.stgsp import STGSPBaseline
+from repro.baselines.deepstn import DeepSTNBaseline
+from repro.baselines.stssl import STSSLBaseline
+from repro.baselines.naive import HistoricalAverageForecaster, PersistenceForecaster
+
+_REGISTRY = {
+    "RNN": RNNBaseline,
+    "Seq2Seq": Seq2SeqBaseline,
+    "ASTGCN": ASTGCNBaseline,
+    "CONVGCN": ConvGCNBaseline,
+    "GMAN": GMANBaseline,
+    "STGNN": STGNNBaseline,
+    "DMSTGCN": DMSTGCNBaseline,
+    "ST-Norm": STNormBaseline,
+    "STGSP": STGSPBaseline,
+    "DeepSTN+": DeepSTNBaseline,
+    "ST-SSL": STSSLBaseline,
+}
+
+BASELINE_NAMES = tuple(_REGISTRY)
+
+
+def make_baseline(name, config: BaselineConfig):
+    """Instantiate a baseline by its paper name."""
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(f"unknown baseline {name!r}; choose from {BASELINE_NAMES}")
+    return cls(config)
+
+
+__all__ = [
+    "BaselineConfig", "BaselineForecaster", "BASELINE_NAMES", "make_baseline",
+    "RNNBaseline", "Seq2SeqBaseline", "ASTGCNBaseline", "ConvGCNBaseline",
+    "GMANBaseline", "STGNNBaseline", "DMSTGCNBaseline", "STNormBaseline",
+    "STGSPBaseline", "DeepSTNBaseline", "STSSLBaseline",
+    "PersistenceForecaster", "HistoricalAverageForecaster",
+]

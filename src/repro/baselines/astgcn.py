@@ -1,0 +1,73 @@
+"""ASTGCN baseline (Guo et al., AAAI 2019), simplified.
+
+Keeps the method's defining mechanisms: per-sub-series branches, each
+combining a temporal attention over frames with a Chebyshev graph
+convolution over regions; the branch outputs are summed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineConfig, BaselineForecaster
+from repro.nn import ChebConv, Linear, grid_adjacency, softmax
+from repro.tensor import matmul, relu, swapaxes, tanh
+
+__all__ = ["ASTGCNBaseline"]
+
+
+class _Branch:
+    """One sub-series branch: temporal attention + ChebConv + head."""
+
+    def __init__(self, owner, name, length, config, rng):
+        hidden = config.hidden
+        adjacency = grid_adjacency(config.height, config.width)
+        self.attn_query = Linear(config.flow_channels, hidden, rng=rng)
+        self.attn_key = Linear(config.flow_channels, hidden, rng=rng)
+        self.cheb = ChebConv(length * config.flow_channels, hidden, adjacency,
+                             order=2, rng=rng)
+        self.head = Linear(hidden, config.flow_channels, rng=rng)
+        # Register submodules on the owning Module for parameter traversal.
+        for suffix, module in (("attn_q", self.attn_query), ("attn_k", self.attn_key),
+                               ("cheb", self.cheb), ("head", self.head)):
+            setattr(owner, f"{name}_{suffix}", module)
+
+    def __call__(self, series):
+        # series: (N, L, M, 2) node features per frame.
+        n, length, m, _c = series.shape
+        # Temporal attention: weight frames by mean-node similarity.
+        pooled = series.mean(axis=2)  # (N, L, 2)
+        query = self.attn_query(pooled)
+        key = self.attn_key(pooled)
+        scores = matmul(query, swapaxes(key, -1, -2)) * (1.0 / np.sqrt(query.shape[-1]))
+        weights = softmax(scores.mean(axis=1), axis=-1)  # (N, L)
+        weighted = series * weights.reshape((n, length, 1, 1))
+        stacked = swapaxes(weighted, 1, 2).reshape((n, m, -1))  # (N, M, L*2)
+        spatial = relu(self.cheb(stacked))
+        return self.head(spatial)  # (N, M, 2)
+
+
+class ASTGCNBaseline(BaselineForecaster):
+    """Attention-based spatial-temporal GCN (simplified)."""
+
+    def __init__(self, config: BaselineConfig):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        self.branch_c = _Branch(self, "c", config.len_closeness, config, rng)
+        self.branch_p = _Branch(self, "p", config.len_period, config, rng)
+        self.branch_t = _Branch(self, "t", config.len_trend, config, rng)
+
+    def forward(self, closeness, period, trend):
+        cfg = self.config
+
+        def as_nodes(series):
+            series = self._as_tensor(series)  # (N, L, 2, H, W)
+            n, length = series.shape[0], series.shape[1]
+            return series.reshape((n, length, cfg.flow_channels, -1)).swapaxes(2, 3)
+
+        total = (
+            self.branch_c(as_nodes(closeness))
+            + self.branch_p(as_nodes(period))
+            + self.branch_t(as_nodes(trend))
+        )
+        return tanh(self._to_grid(total))

@@ -1,0 +1,150 @@
+"""Shared infrastructure for the 11 comparison methods (Table II).
+
+Every baseline follows the same protocol as MUSE-Net so the
+:class:`~repro.training.Trainer` can drive any of them:
+
+- ``forward(closeness, period, trend) -> prediction`` in scaled space,
+- ``training_loss(batch, rng) -> (LossBreakdown, outputs)``,
+- ``predict(batch) -> ndarray``.
+
+For the baselines the loss is plain regression (their auxiliary losses,
+where a method has one, are added in the subclass).  As in the paper's
+protocol, every method predicts both inflow and outflow jointly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.core.losses import LossBreakdown
+from repro.nn import Module, mse_loss
+from repro.tensor import Tensor, concat, no_grad
+
+__all__ = ["BaselineConfig", "BaselineForecaster"]
+
+
+@dataclass
+class BaselineConfig:
+    """Geometry + capacity shared by all baselines."""
+
+    len_closeness: int = 3
+    len_period: int = 4
+    len_trend: int = 4
+    height: int = 10
+    width: int = 20
+    flow_channels: int = 2
+    hidden: int = 32
+    seed: int = 0
+
+    @property
+    def total_length(self):
+        """L = L_c + L_p + L_t (frames seen per sample)."""
+        return self.len_closeness + self.len_period + self.len_trend
+
+    @property
+    def num_regions(self):
+        """Grid cells M = H * W."""
+        return self.height * self.width
+
+    @property
+    def frame_features(self):
+        """Features of one flattened frame, ``2 * H * W``."""
+        return self.flow_channels * self.num_regions
+
+    @classmethod
+    def for_data(cls, forecast_data, **overrides):
+        """Config matching a prepared dataset's geometry."""
+        periodicity = forecast_data.periodicity
+        grid = forecast_data.grid
+        defaults = dict(
+            len_closeness=periodicity.len_closeness,
+            len_period=periodicity.len_period,
+            len_trend=periodicity.len_trend,
+            height=grid.height,
+            width=grid.width,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+class BaselineForecaster(Module):
+    """Base class implementing the Trainer protocol around ``forward``."""
+
+    def __init__(self, config: BaselineConfig):
+        super().__init__()
+        self.config = config
+
+    # -- input shaping helpers -----------------------------------------
+    @staticmethod
+    def _as_tensor(array):
+        return array if isinstance(array, Tensor) else Tensor(array)
+
+    def _frames(self, batch_or_triplet):
+        """All frames chronologically: trend, period, closeness.
+
+        Returns ``(N, L, 2, H, W)`` with the most recent frame last —
+        the natural ordering for sequence models.
+        """
+        closeness, period, trend = batch_or_triplet
+        return concat(
+            [self._as_tensor(trend), self._as_tensor(period), self._as_tensor(closeness)],
+            axis=1,
+        )
+
+    def _frames_flat(self, triplet):
+        """Frames as vectors: ``(N, L, 2 * H * W)``."""
+        frames = self._frames(triplet)
+        n, length = frames.shape[0], frames.shape[1]
+        return frames.reshape((n, length, -1))
+
+    def _frames_nodes(self, triplet):
+        """Frames as node features: ``(N, L, M, 2)``."""
+        frames = self._frames(triplet)  # (N, L, 2, H, W)
+        n, length, channels = frames.shape[0], frames.shape[1], frames.shape[2]
+        flat = frames.reshape((n, length, channels, -1))  # (N, L, 2, M)
+        return flat.swapaxes(2, 3)  # (N, L, M, 2)
+
+    def _stacked_channels(self, triplet):
+        """Frames stacked on the channel axis: ``(N, L*2, H, W)``."""
+        frames = self._frames(triplet)
+        n = frames.shape[0]
+        return frames.reshape((n, -1, self.config.height, self.config.width))
+
+    def _to_grid(self, node_values):
+        """(N, M, 2) node predictions -> (N, 2, H, W) grids."""
+        n = node_values.shape[0]
+        cfg = self.config
+        return node_values.swapaxes(1, 2).reshape(
+            (n, cfg.flow_channels, cfg.height, cfg.width)
+        )
+
+    # -- Trainer protocol -------------------------------------------------
+    def forward(self, closeness, period, trend):
+        raise NotImplementedError
+
+    def auxiliary_loss(self, batch, prediction, rng):
+        """Optional extra loss (self-supervision etc.); default zero."""
+        return None
+
+    def training_loss(self, batch, rng=None):
+        """Regression (+ optional auxiliary) loss for a SampleBatch."""
+        prediction = self(batch.closeness, batch.period, batch.trend)
+        reg = mse_loss(prediction, Tensor(batch.target))
+        aux = self.auxiliary_loss(batch, prediction, rng)
+        total = reg if aux is None else reg + aux
+        zero = Tensor(0.0)
+        breakdown = LossBreakdown(
+            total=total, dis=zero, push=aux if aux is not None else zero,
+            pull=zero, reg=reg,
+        )
+        return breakdown, SimpleNamespace(prediction=prediction)
+
+    def predict(self, batch):
+        """Deterministic scaled prediction."""
+        with no_grad():
+            self.eval()
+            prediction = self(batch.closeness, batch.period, batch.trend)
+        return prediction.data

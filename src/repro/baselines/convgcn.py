@@ -1,0 +1,44 @@
+"""CONVGCN baseline (Zhang et al., IET ITS 2020), simplified.
+
+Combines a graph-convolution branch over region features with a
+convolutional branch over stacked frames — the method's short-term +
+long-term spatial fusion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineConfig, BaselineForecaster
+from repro.nn import Conv2d, GraphConv, Linear, grid_adjacency, normalize_adjacency
+from repro.tensor import relu, tanh
+
+__all__ = ["ConvGCNBaseline"]
+
+
+class ConvGCNBaseline(BaselineForecaster):
+    """Graph conv + grid conv fusion."""
+
+    def __init__(self, config: BaselineConfig):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        hidden = config.hidden
+        adjacency = normalize_adjacency(grid_adjacency(config.height, config.width))
+        in_features = config.total_length * config.flow_channels
+        self.gcn1 = GraphConv(in_features, hidden, adjacency, rng=rng)
+        self.gcn2 = GraphConv(hidden, hidden, adjacency, rng=rng)
+        self.gcn_head = Linear(hidden, config.flow_channels, rng=rng)
+        self.conv1 = Conv2d(in_features, hidden, 3, padding="same", rng=rng)
+        self.conv2 = Conv2d(hidden, config.flow_channels, 3, padding="same", rng=rng)
+
+    def forward(self, closeness, period, trend):
+        triplet = (closeness, period, trend)
+        # Graph branch: (N, M, L*2) node features.
+        nodes = self._frames_nodes(triplet)  # (N, L, M, 2)
+        n, length, m, _c = nodes.shape
+        node_features = nodes.swapaxes(1, 2).reshape((n, m, -1))
+        graph_out = self.gcn_head(relu(self.gcn2(relu(self.gcn1(node_features)))))
+        graph_grid = self._to_grid(graph_out)
+        # Conv branch: (N, L*2, H, W).
+        conv_out = self.conv2(relu(self.conv1(self._stacked_channels(triplet))))
+        return tanh(graph_grid + conv_out)

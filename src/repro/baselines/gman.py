@@ -1,0 +1,67 @@
+"""GMAN baseline (Zheng et al., AAAI 2020), simplified.
+
+Keeps GMAN's structure: node/time embeddings, a spatial-attention +
+temporal-attention block, and a transform attention converting history
+to the forecast step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineConfig, BaselineForecaster
+from repro.nn import Linear, MultiHeadAttention, Parameter, init
+from repro.tensor import swapaxes, tanh
+
+__all__ = ["GMANBaseline"]
+
+
+class GMANBaseline(BaselineForecaster):
+    """Graph multi-attention network (simplified single ST block)."""
+
+    def __init__(self, config: BaselineConfig):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        hidden = config.hidden
+        if hidden % 4 != 0:
+            raise ValueError("GMAN hidden size must be divisible by 4 heads")
+        self.embed = Linear(config.flow_channels, hidden, rng=rng)
+        self.node_embedding = Parameter(
+            init.normal((config.num_regions, hidden), rng, std=0.1)
+        )
+        self.time_embedding = Parameter(
+            init.normal((config.total_length, hidden), rng, std=0.1)
+        )
+        self.temporal_attention = MultiHeadAttention(hidden, 4, rng=rng)
+        self.spatial_attention = MultiHeadAttention(hidden, 4, rng=rng)
+        self.transform_query = Parameter(init.normal((1, hidden), rng, std=0.1))
+        self.transform_attention = MultiHeadAttention(hidden, 4, rng=rng)
+        self.head = Linear(hidden, config.flow_channels, rng=rng)
+
+    def forward(self, closeness, period, trend):
+        nodes = self._frames_nodes((closeness, period, trend))  # (N, L, M, 2)
+        n, length, m, _c = nodes.shape
+        x = self.embed(nodes)  # (N, L, M, D)
+        x = x + self.node_embedding.reshape((1, 1, m, -1))
+        x = x + self.time_embedding[:length].reshape((1, length, 1, -1))
+
+        # Temporal attention: attend over L for every node.
+        per_node = swapaxes(x, 1, 2).reshape((n * m, length, -1))
+        per_node = per_node + self.temporal_attention(per_node)
+        x = swapaxes(per_node.reshape((n, m, length, -1)), 1, 2)
+
+        # Spatial attention: attend over M for every frame.
+        per_frame = x.reshape((n * length, m, -1))
+        per_frame = per_frame + self.spatial_attention(per_frame)
+        x = per_frame.reshape((n, length, m, -1))
+
+        # Transform attention: a learned query summarizes history into
+        # the single forecast step, per node.
+        history = swapaxes(x, 1, 2).reshape((n * m, length, -1))
+        query = self.transform_query.reshape((1, 1, -1))
+        from repro.tensor import broadcast_to
+
+        query = broadcast_to(query, (n * m, 1, query.shape[-1]))
+        summary = self.transform_attention(query, history, history)
+        out = self.head(summary.reshape((n, m, -1)))
+        return tanh(self._to_grid(out))

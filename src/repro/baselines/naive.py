@@ -1,0 +1,75 @@
+"""Naive reference forecasters.
+
+Not part of the paper's Table II, but standard sanity references for
+any forecasting claim: a trained model that cannot beat persistence or
+the historical time-of-day average has learned nothing.  Both follow a
+fit/predict protocol over :class:`~repro.data.windows.SampleBatch`es
+(they have no trainable parameters, so the gradient Trainer does not
+apply).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PersistenceForecaster", "HistoricalAverageForecaster"]
+
+
+class PersistenceForecaster:
+    """Predict that the next interval equals the most recent one.
+
+    Uses the last closeness frame of each sample — already in scaled
+    space, so its output composes with the same inverse transform as
+    the learned models.
+    """
+
+    def fit(self, _batch=None):
+        """No-op (kept for protocol symmetry)."""
+        return self
+
+    def predict(self, batch):
+        """Last observed frame per sample, ``(N, 2, H, W)``."""
+        return np.asarray(batch.closeness)[:, -1].copy()
+
+
+class HistoricalAverageForecaster:
+    """Predict the time-of-day (and weekday/weekend) average flow.
+
+    Fits a lookup table over the training samples keyed by
+    ``(time-of-day, is_weekend)``; unseen keys fall back to the global
+    mean.
+    """
+
+    def __init__(self, grid):
+        self.grid = grid
+        self._table = {}
+        self._global_mean = None
+
+    def _key(self, interval):
+        f = self.grid.samples_per_day
+        return (int(interval) % f, bool(self.grid.is_weekend(int(interval))))
+
+    def fit(self, batch):
+        """Average the training targets per (time-of-day, weekend) key."""
+        targets = np.asarray(batch.target)
+        sums, counts = {}, {}
+        for i, interval in enumerate(batch.indices):
+            key = self._key(interval)
+            if key not in sums:
+                sums[key] = np.zeros_like(targets[0])
+                counts[key] = 0
+            sums[key] += targets[i]
+            counts[key] += 1
+        self._table = {key: sums[key] / counts[key] for key in sums}
+        self._global_mean = targets.mean(axis=0)
+        return self
+
+    def predict(self, batch):
+        """Per-sample historical average, ``(N, 2, H, W)``."""
+        if self._global_mean is None:
+            raise RuntimeError("fit() must be called before predict()")
+        rows = [
+            self._table.get(self._key(interval), self._global_mean)
+            for interval in batch.indices
+        ]
+        return np.stack(rows)

@@ -1,0 +1,39 @@
+"""RNN baseline (Liu et al., AAAI 2016 style).
+
+A plain Elman recurrent network over the flattened frame sequence with
+an FC readout — temporal-only, no spatial structure, which is why the
+paper reports it as the weakest class of baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineConfig, BaselineForecaster
+from repro.nn import Linear, Parameter, init
+from repro.tensor import Tensor, tanh
+
+__all__ = ["RNNBaseline"]
+
+
+class RNNBaseline(BaselineForecaster):
+    """Elman RNN over frames, FC head to the output grid."""
+
+    def __init__(self, config: BaselineConfig):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        hidden = config.hidden
+        self.input_proj = Linear(config.frame_features, hidden, rng=rng)
+        self.recurrent = Parameter(init.orthogonal((hidden, hidden), rng))
+        self.bias = Parameter(init.zeros((hidden,)))
+        self.head = Linear(hidden, config.frame_features, rng=rng)
+
+    def forward(self, closeness, period, trend):
+        frames = self._frames_flat((closeness, period, trend))
+        batch, length = frames.shape[0], frames.shape[1]
+        h = Tensor(np.zeros((batch, self.config.hidden), dtype=frames.dtype))
+        for t in range(length):
+            h = tanh(self.input_proj(frames[:, t, :]) + h @ self.recurrent + self.bias)
+        out = tanh(self.head(h))
+        cfg = self.config
+        return out.reshape((batch, cfg.flow_channels, cfg.height, cfg.width))

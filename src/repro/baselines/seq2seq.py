@@ -1,0 +1,42 @@
+"""Seq2Seq baseline (LibCity-style GRU encoder-decoder).
+
+A GRU encodes the flattened frame sequence; a one-step GRU decoder
+(primed with the last observed frame) emits the forecast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineConfig, BaselineForecaster
+from repro.nn import GRUCell, Linear
+from repro.tensor import tanh
+
+__all__ = ["Seq2SeqBaseline"]
+
+
+class Seq2SeqBaseline(BaselineForecaster):
+    """GRU encoder-decoder over flattened frames."""
+
+    def __init__(self, config: BaselineConfig):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        hidden = config.hidden
+        self.input_proj = Linear(config.frame_features, hidden, rng=rng)
+        self.encoder = GRUCell(hidden, hidden, rng=rng)
+        self.decoder = GRUCell(hidden, hidden, rng=rng)
+        self.head = Linear(hidden, config.frame_features, rng=rng)
+
+    def forward(self, closeness, period, trend):
+        frames = self._frames_flat((closeness, period, trend))
+        batch, length = frames.shape[0], frames.shape[1]
+        h = self.encoder.initial_state(batch, dtype=frames.dtype)
+        last_embedded = None
+        for t in range(length):
+            embedded = self.input_proj(frames[:, t, :]).relu()
+            h = self.encoder(embedded, h)
+            last_embedded = embedded
+        h = self.decoder(last_embedded, h)
+        out = tanh(self.head(h))
+        cfg = self.config
+        return out.reshape((batch, cfg.flow_channels, cfg.height, cfg.width))

@@ -1,0 +1,53 @@
+"""STGNN baseline (Wang et al., WWW 2020), simplified.
+
+Position-wise graph convolution per frame, a GRU across frames, and a
+single-layer transformer on top of the recurrent outputs — the method's
+GNN + RNN + transformer sandwich.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineConfig, BaselineForecaster
+from repro.nn import (
+    GRUCell,
+    GraphConv,
+    Linear,
+    MultiHeadAttention,
+    grid_adjacency,
+    normalize_adjacency,
+)
+from repro.tensor import relu, stack, swapaxes, tanh
+
+__all__ = ["STGNNBaseline"]
+
+
+class STGNNBaseline(BaselineForecaster):
+    """Spatial GNN -> temporal GRU -> transformer layer."""
+
+    def __init__(self, config: BaselineConfig):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        hidden = config.hidden
+        if hidden % 2 != 0:
+            raise ValueError("STGNN hidden size must be even (2 heads)")
+        adjacency = normalize_adjacency(grid_adjacency(config.height, config.width))
+        self.gcn = GraphConv(config.flow_channels, hidden, adjacency, rng=rng)
+        self.gru = GRUCell(hidden, hidden, rng=rng)
+        self.attention = MultiHeadAttention(hidden, 2, rng=rng)
+        self.head = Linear(hidden, config.flow_channels, rng=rng)
+
+    def forward(self, closeness, period, trend):
+        nodes = self._frames_nodes((closeness, period, trend))  # (N, L, M, 2)
+        n, length, m, _c = nodes.shape
+        h = self.gru.initial_state(n * m, dtype=nodes.dtype)
+        hidden_states = []
+        for t in range(length):
+            spatial = relu(self.gcn(nodes[:, t]))  # (N, M, D)
+            h = self.gru(spatial.reshape((n * m, -1)), h)
+            hidden_states.append(h)
+        sequence = stack(hidden_states, axis=1)  # (N*M, L, D)
+        attended = sequence + self.attention(sequence)
+        out = self.head(attended[:, -1, :]).reshape((n, m, -1))
+        return tanh(self._to_grid(out))

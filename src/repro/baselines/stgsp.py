@@ -1,0 +1,51 @@
+"""ST-GSP baseline (Zhao et al., WSDM 2022), simplified.
+
+Transformer over the whole multi-periodic frame sequence: a shared conv
+embeds each frame, positional encodings mark resolution and order, and
+multi-head self-attention extracts the global semantic representation
+used for forecasting.  Per the paper's protocol, external factors are
+not used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineConfig, BaselineForecaster
+from repro.nn import Conv2d, Linear, MultiHeadAttention, Parameter, init
+from repro.tensor import relu, stack, tanh
+
+__all__ = ["STGSPBaseline"]
+
+
+class STGSPBaseline(BaselineForecaster):
+    """Frame-level transformer over the multi-periodic sequence."""
+
+    def __init__(self, config: BaselineConfig):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        hidden = config.hidden
+        if hidden % 4 != 0:
+            raise ValueError("ST-GSP hidden size must be divisible by 4 heads")
+        self.frame_conv = Conv2d(config.flow_channels, 4, 3, padding="same", rng=rng)
+        self.frame_proj = Linear(4 * config.num_regions, hidden, rng=rng)
+        self.positions = Parameter(
+            init.normal((config.total_length, hidden), rng, std=0.1)
+        )
+        self.attention1 = MultiHeadAttention(hidden, 4, rng=rng)
+        self.attention2 = MultiHeadAttention(hidden, 4, rng=rng)
+        self.head = Linear(hidden, config.frame_features, rng=rng)
+
+    def forward(self, closeness, period, trend):
+        frames = self._frames((closeness, period, trend))  # (N, L, 2, H, W)
+        n, length = frames.shape[0], frames.shape[1]
+        embeddings = []
+        for t in range(length):
+            feat = relu(self.frame_conv(frames[:, t]))
+            embeddings.append(self.frame_proj(feat.flatten(start_axis=1)))
+        sequence = stack(embeddings, axis=1) + self.positions[:length]
+        sequence = sequence + self.attention1(sequence)
+        sequence = sequence + self.attention2(sequence)
+        out = tanh(self.head(sequence[:, -1, :]))
+        cfg = self.config
+        return out.reshape((n, cfg.flow_channels, cfg.height, cfg.width))

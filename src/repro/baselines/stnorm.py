@@ -1,0 +1,65 @@
+"""ST-Norm baseline (Deng et al., KDD 2021), simplified.
+
+The paper's only disentangle-flavoured baseline: temporal normalization
+separates each region's high-frequency component, spatial normalization
+its local (relative-to-city) component, and the refined channels feed a
+convolutional forecaster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineConfig, BaselineForecaster
+from repro.nn import Conv2d
+from repro.tensor import concat, relu, tanh
+from repro.tensor.reductions import mean, std
+
+__all__ = ["STNormBaseline"]
+
+
+def temporal_norm(frames, eps=1e-5):
+    """Normalize each cell's series across the time axis.
+
+    ``frames``: (N, L, 2, H, W).  Removes each cell's own running level,
+    isolating the high-frequency component.
+    """
+    mu = mean(frames, axis=1, keepdims=True)
+    sigma = std(frames, axis=1, keepdims=True, eps=eps)
+    return (frames - mu) / sigma
+
+
+def spatial_norm(frames, eps=1e-5):
+    """Normalize each frame across space.
+
+    Removes the citywide level per interval, isolating each cell's
+    local deviation.
+    """
+    mu = mean(frames, axis=(3, 4), keepdims=True)
+    sigma = std(frames, axis=(3, 4), keepdims=True, eps=eps)
+    return (frames - mu) / sigma
+
+
+class STNormBaseline(BaselineForecaster):
+    """Temporal + spatial normalization feeding a conv forecaster."""
+
+    def __init__(self, config: BaselineConfig):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        hidden = config.hidden
+        in_channels = 3 * config.total_length * config.flow_channels
+        self.conv1 = Conv2d(in_channels, hidden, 3, padding="same", rng=rng)
+        self.conv2 = Conv2d(hidden, hidden, 3, padding="same", rng=rng)
+        self.head = Conv2d(hidden, config.flow_channels, 3, padding="same", rng=rng)
+
+    def forward(self, closeness, period, trend):
+        frames = self._frames((closeness, period, trend))  # (N, L, 2, H, W)
+        refined = concat(
+            [frames, temporal_norm(frames), spatial_norm(frames)], axis=1
+        )
+        n = refined.shape[0]
+        cfg = self.config
+        x = refined.reshape((n, -1, cfg.height, cfg.width))
+        x = relu(self.conv1(x))
+        x = x + relu(self.conv2(x))
+        return tanh(self.head(x))

@@ -1,0 +1,72 @@
+"""ST-SSL baseline (Ji et al., AAAI 2023), simplified.
+
+Self-supervised traffic forecasting: alongside the regression head, an
+auxiliary contrastive objective aligns the embeddings of two augmented
+views of the same input (noise / channel-dropout augmentations standing
+in for the paper's graph augmentations), modeling spatial-temporal
+heterogeneity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineConfig, BaselineForecaster
+from repro.nn import Conv2d, Linear, log_softmax
+from repro.tensor import Tensor, matmul, mean, no_grad, relu, swapaxes, tanh
+from repro.tensor.conv import global_avg_pool2d
+
+__all__ = ["STSSLBaseline"]
+
+
+class STSSLBaseline(BaselineForecaster):
+    """Conv forecaster with a contrastive self-supervised auxiliary."""
+
+    def __init__(self, config: BaselineConfig, ssl_weight=0.1, temperature=0.5):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        hidden = config.hidden
+        self.ssl_weight = ssl_weight
+        self.temperature = temperature
+        in_channels = config.total_length * config.flow_channels
+        self.encoder1 = Conv2d(in_channels, hidden, 3, padding="same", rng=rng)
+        self.encoder2 = Conv2d(hidden, hidden, 3, padding="same", rng=rng)
+        self.head = Conv2d(hidden, config.flow_channels, 3, padding="same", rng=rng)
+        self.projector = Linear(hidden, hidden, rng=rng)
+        self._aug_rng = np.random.default_rng(rng.integers(0, 2**31))
+
+    def _encode(self, stacked):
+        x = relu(self.encoder1(stacked))
+        return x + relu(self.encoder2(x))
+
+    def forward(self, closeness, period, trend):
+        features = self._encode(self._stacked_channels((closeness, period, trend)))
+        return tanh(self.head(features))
+
+    def _augment(self, stacked, rng):
+        noise = rng.normal(0.0, 0.05, size=stacked.shape)
+        drop = (rng.random((stacked.shape[0], stacked.shape[1], 1, 1)) > 0.1)
+        return stacked * Tensor(drop.astype(stacked.dtype)) + Tensor(noise)
+
+    def auxiliary_loss(self, batch, prediction, rng):
+        """InfoNCE between two augmented views of each sample."""
+        if not self.training:
+            return None
+        rng = rng if isinstance(rng, np.random.Generator) else self._aug_rng
+        stacked = self._stacked_channels((batch.closeness, batch.period, batch.trend))
+        view_a = self._augment(stacked, rng)
+        view_b = self._augment(stacked, rng)
+        za = self.projector(global_avg_pool2d(self._encode(view_a)))
+        zb = self.projector(global_avg_pool2d(self._encode(view_b)))
+
+        def normalize(z):
+            norm = (z * z).sum(axis=-1, keepdims=True) ** 0.5
+            return z / (norm + 1e-8)
+
+        za = normalize(za)
+        zb = normalize(zb)
+        logits = matmul(za, swapaxes(zb, 0, 1)) * (1.0 / self.temperature)
+        log_probs = log_softmax(logits, axis=-1)
+        n = logits.shape[0]
+        diagonal = log_probs[np.arange(n), np.arange(n)]
+        return self.ssl_weight * (-mean(diagonal))

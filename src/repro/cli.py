@@ -1,0 +1,170 @@
+"""Command-line interface.
+
+Everything the experiment runners can do, from the shell:
+
+    python -m repro info
+    python -m repro simulate nyc-bike --scale tiny --out bike.npz
+    python -m repro train MUSE-Net --dataset nyc-bike --profile ci
+    python -m repro experiment table2 --profile ci
+    python -m repro complexity
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.baselines import BASELINE_NAMES
+from repro.core import VARIANT_NAMES
+from repro.data import DATASET_NAMES, load_dataset
+from repro.data.io import save_dataset
+from repro.experiments import (
+    PROFILES,
+    prepare,
+    run_fig1,
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    train_baseline,
+    train_muse,
+)
+
+EXPERIMENTS = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+}
+
+
+def _cmd_info(_args):
+    print(f"repro {__version__} — MUSE-Net (ICDE 2024) reproduction")
+    print(f"datasets:    {', '.join(DATASET_NAMES)}  (scales: full, small, tiny)")
+    print(f"methods:     MUSE-Net, {', '.join(BASELINE_NAMES)}")
+    print(f"variants:    {', '.join(VARIANT_NAMES)}")
+    print(f"profiles:    {', '.join(PROFILES)}")
+    print(f"experiments: {', '.join(EXPERIMENTS)}")
+    return 0
+
+
+def _cmd_simulate(args):
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    print(dataset.summary())
+    if args.out:
+        save_dataset(dataset, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_train(args):
+    data = prepare(args.dataset, args.profile, horizon=args.horizon)
+    if args.method == "MUSE-Net":
+        trainer = train_muse(data, args.profile, seed=args.seed)
+    elif args.method in BASELINE_NAMES:
+        trainer = train_baseline(args.method, data, args.profile, seed=args.seed)
+    else:
+        print(f"unknown method {args.method!r}; choose MUSE-Net or one of "
+              f"{', '.join(BASELINE_NAMES)}", file=sys.stderr)
+        return 2
+    report = trainer.evaluate(data)
+    print(f"{args.method} on {args.dataset} [{args.profile}] horizon {args.horizon}")
+    print(report)
+    return 0
+
+
+def _cmd_experiment(args):
+    runner = EXPERIMENTS.get(args.name)
+    if runner is None:
+        print(f"unknown experiment {args.name!r}; choose from "
+              f"{', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    result = runner(profile=args.profile)
+    print(result)
+    return 0
+
+
+def _cmd_complexity(args):
+    print(run_table1(profile=args.profile))
+    return 0
+
+
+def _cmd_report(args):
+    from repro.experiments import build_dataset_report
+
+    print(build_dataset_report(args.dataset))
+    return 0
+
+
+def build_parser():
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MUSE-Net (ICDE 2024) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="list datasets, methods, and experiments")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("simulate", help="simulate a dataset (optionally save it)")
+    p.add_argument("dataset", choices=DATASET_NAMES)
+    p.add_argument("--scale", default="tiny", choices=("full", "small", "tiny"))
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--out", default=None, help="write the dataset to this .npz")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("train", help="train one method and print test metrics")
+    p.add_argument("method", help="MUSE-Net or a baseline name")
+    p.add_argument("--dataset", default="nyc-bike", choices=DATASET_NAMES)
+    p.add_argument("--profile", default="ci", choices=tuple(PROFILES))
+    p.add_argument("--horizon", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("experiment", help="regenerate one paper table/figure")
+    p.add_argument("name", help=f"one of: {', '.join(EXPERIMENTS)}")
+    p.add_argument("--profile", default="ci", choices=tuple(PROFILES))
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("complexity", help="print the Table I comparison")
+    p.add_argument("--profile", default="ci", choices=tuple(PROFILES))
+    p.set_defaults(func=_cmd_complexity)
+
+    p = sub.add_parser("report", help="diagnose a dataset's periodic structure")
+    p.add_argument("dataset", choices=DATASET_NAMES)
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

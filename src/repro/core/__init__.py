@@ -1,0 +1,26 @@
+"""MUSE-Net: the paper's primary contribution."""
+
+from repro.core.variational import GaussianHead, GaussianPosterior, reparameterize
+from repro.core.encoders import (
+    DuplexEncoder,
+    ExclusiveEncoder,
+    InteractiveEncoder,
+    SeriesStem,
+    SimplexEncoder,
+)
+from repro.core.decoders import ReconstructionDecoder
+from repro.core.resplus import ResPlusBlock, ResPlusNetwork
+from repro.core.losses import LossBreakdown, muse_training_loss
+from repro.core.model import MUSENet, MuseConfig, MuseOutputs
+from repro.core.variants import PairwiseMUSENet, VARIANT_NAMES, make_variant
+
+__all__ = [
+    "GaussianHead", "GaussianPosterior", "reparameterize",
+    "SeriesStem", "ExclusiveEncoder", "InteractiveEncoder",
+    "SimplexEncoder", "DuplexEncoder",
+    "ReconstructionDecoder",
+    "ResPlusBlock", "ResPlusNetwork",
+    "LossBreakdown", "muse_training_loss",
+    "MUSENet", "MuseConfig", "MuseOutputs",
+    "PairwiseMUSENet", "VARIANT_NAMES", "make_variant",
+]

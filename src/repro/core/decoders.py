@@ -1,0 +1,45 @@
+"""Reconstruction decoders ``q(i | z^i, z^s)``.
+
+Each decoder rebuilds one time sub-series from the concatenation of its
+sampled exclusive latent and the shared interactive latent, providing
+the generative term the semantic-pushing bound maximizes (Eq. 28).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, Module
+from repro.tensor import concat, relu
+
+__all__ = ["ReconstructionDecoder"]
+
+
+class ReconstructionDecoder(Module):
+    """FC decoder from ``[z^i, z^s]`` to a flattened sub-series.
+
+    Parameters
+    ----------
+    exclusive_dim, interactive_dim:
+        Latent sizes of ``z^i`` and ``z^s``.
+    output_shape:
+        The sub-series shape ``(L, 2, H, W)`` to reconstruct.
+    hidden_dim:
+        Width of the single hidden layer.
+    """
+
+    def __init__(self, exclusive_dim, interactive_dim, output_shape,
+                 hidden_dim=128, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.output_shape = tuple(output_shape)
+        out_features = int(np.prod(output_shape))
+        self.hidden = Linear(exclusive_dim + interactive_dim, hidden_dim, rng=rng)
+        self.out = Linear(hidden_dim, out_features, rng=rng)
+
+    def forward(self, z_exclusive, z_interactive):
+        latent = concat([z_exclusive, z_interactive], axis=-1)
+        hidden = relu(self.hidden(latent))
+        flat = self.out(hidden).tanh()  # sub-series live in [-1, 1]
+        batch = flat.shape[0]
+        return flat.reshape((batch,) + self.output_shape)

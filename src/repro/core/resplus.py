@@ -1,0 +1,93 @@
+"""ResPlus spatial network (adopted from DeepSTN+, paper §IV-E).
+
+A ResPlus unit augments a residual convolution block with a "plus"
+branch: a fully connected map over the *entire flattened grid* whose
+output fills a few channels.  The conv branch captures local spatial
+dependency; the plus branch captures long-range dependency that a 3x3
+kernel cannot reach (e.g. two distant business districts exchanging
+traffic), which is DeepSTN+'s core idea.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Conv2d, Linear, Module, ModuleList
+from repro.tensor import concat, relu, tanh
+
+__all__ = ["ResPlusBlock", "ResPlusNetwork"]
+
+
+class ResPlusBlock(Module):
+    """One residual unit with a long-range "plus" branch.
+
+    Input/output: ``(N, channels, H, W)``.  ``plus_channels`` of the
+    output come from the fully connected branch, the remaining
+    ``channels - plus_channels`` from the 3x3 conv branch; their
+    concatenation is added back to the input.
+    """
+
+    def __init__(self, channels, plus_channels, height, width, rng=None,
+                 plus_reduce=None):
+        super().__init__()
+        if not 0 < plus_channels < channels:
+            raise ValueError(
+                f"plus_channels must be in (0, {channels}); got {plus_channels}"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.channels = channels
+        self.plus_channels = plus_channels
+        self.height = height
+        self.width = width
+        self.conv = Conv2d(channels, channels - plus_channels, 3, padding="same", rng=rng)
+        # The plus branch sees the whole grid at once.  On large grids a
+        # flat channels*H*W -> plus*H*W map is enormous (DeepSTN+'s
+        # PlusNet compresses channels with a 1x1 conv first); pass
+        # ``plus_reduce`` to enable that compression.
+        if plus_reduce is not None:
+            if plus_reduce < 1:
+                raise ValueError(f"plus_reduce must be >= 1; got {plus_reduce}")
+            self.plus_compress = Conv2d(channels, plus_reduce, 1, rng=rng)
+            plus_in = plus_reduce * height * width
+        else:
+            self.plus_compress = None
+            plus_in = channels * height * width
+        self.plus = Linear(plus_in, plus_channels * height * width, rng=rng)
+
+    def forward(self, x):
+        batch = x.shape[0]
+        activated = relu(x)
+        local = self.conv(activated)
+        if self.plus_compress is not None:
+            flat = relu(self.plus_compress(activated)).flatten(start_axis=1)
+        else:
+            flat = activated.flatten(start_axis=1)
+        far = self.plus(flat).reshape((batch, self.plus_channels, self.height, self.width))
+        return x + concat([local, far], axis=1)
+
+
+class ResPlusNetwork(Module):
+    """Stack of ResPlus blocks with input/output projections.
+
+    Fuses the (concatenated) exclusive + interactive representations and
+    predicts the next flow grid through a final ``tanh`` (the paper's
+    output activation, matching the [-1, 1] scaling).
+    """
+
+    def __init__(self, in_channels, channels, height, width, num_blocks=2,
+                 plus_channels=4, out_channels=2, rng=None, plus_reduce=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.entry = Conv2d(in_channels, channels, 3, padding="same", rng=rng)
+        self.blocks = ModuleList([
+            ResPlusBlock(channels, plus_channels, height, width, rng=rng,
+                         plus_reduce=plus_reduce)
+            for _ in range(num_blocks)
+        ])
+        self.exit = Conv2d(channels, out_channels, 3, padding="same", rng=rng)
+
+    def forward(self, x):
+        x = self.entry(x)
+        for block in self.blocks:
+            x = block(x)
+        return tanh(self.exit(relu(x)))

@@ -1,0 +1,51 @@
+"""Traffic data substrate: grids, trajectories, datasets, windowing."""
+
+from repro.data.grid import GridSpec
+from repro.data.trajectory import (
+    CityConfig,
+    LevelShift,
+    TrafficEvent,
+    TrajectorySimulator,
+    flows_from_positions,
+)
+from repro.data.generator import PatternConfig, generate_pattern_flows
+from repro.data.scaler import MinMaxScaler
+from repro.data.periodicity import MultiPeriodicity, PeriodicSample
+from repro.data.windows import (
+    SampleBatch,
+    build_samples,
+    chronological_split,
+    iterate_batches,
+)
+from repro.data.masks import non_peak_mask, peak_mask, weekday_mask, weekend_mask
+from repro.data.datasets import (
+    DATASET_NAMES,
+    TrafficDataset,
+    load_dataset,
+    synthetic_nyc_bike,
+    synthetic_nyc_taxi,
+    synthetic_taxibj,
+)
+from repro.data.pipeline import ForecastData, prepare_forecast_data
+from repro.data.io import load_dataset_file, save_dataset
+from repro.data.applications import (
+    air_quality_dataset,
+    energy_dataset,
+    epidemic_dataset,
+)
+
+__all__ = [
+    "GridSpec",
+    "CityConfig", "LevelShift", "TrafficEvent", "TrajectorySimulator",
+    "flows_from_positions",
+    "PatternConfig", "generate_pattern_flows",
+    "MinMaxScaler",
+    "MultiPeriodicity", "PeriodicSample",
+    "SampleBatch", "build_samples", "chronological_split", "iterate_batches",
+    "peak_mask", "non_peak_mask", "weekday_mask", "weekend_mask",
+    "DATASET_NAMES", "TrafficDataset", "load_dataset",
+    "synthetic_nyc_bike", "synthetic_nyc_taxi", "synthetic_taxibj",
+    "ForecastData", "prepare_forecast_data",
+    "save_dataset", "load_dataset_file",
+    "epidemic_dataset", "air_quality_dataset", "energy_dataset",
+]

@@ -1,0 +1,108 @@
+"""Spatial grid definitions (paper Definition 1).
+
+A city is partitioned into an ``H x W`` lattice of equal-size regions.
+:class:`GridSpec` carries the lattice geometry plus the temporal
+sampling frequency, and provides the index arithmetic every other data
+module builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GridSpec", "MINUTES_PER_DAY"]
+
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Geometry and sampling of a gridded city.
+
+    Parameters
+    ----------
+    height, width:
+        Number of grid rows/columns (paper: 10x20 for NYC, 32x32 for
+        TaxiBJ).
+    interval_minutes:
+        Length of one time interval (paper: 30 minutes).
+    start_weekday:
+        Weekday of the first interval, 0 = Monday (used for the
+        weekday/weekend analyses).
+    """
+
+    height: int
+    width: int
+    interval_minutes: int = 30
+    start_weekday: int = 0
+
+    def __post_init__(self):
+        if self.height <= 0 or self.width <= 0:
+            raise ValueError(f"grid dims must be positive; got {self.height}x{self.width}")
+        if MINUTES_PER_DAY % self.interval_minutes != 0:
+            raise ValueError(
+                f"interval_minutes={self.interval_minutes} must divide a day"
+            )
+        if not 0 <= self.start_weekday < 7:
+            raise ValueError("start_weekday must be in [0, 7)")
+
+    @property
+    def num_regions(self):
+        """Total region count ``M = H * W``."""
+        return self.height * self.width
+
+    @property
+    def samples_per_day(self):
+        """Sampling frequency ``f`` (intervals per day); 48 at 30 min."""
+        return MINUTES_PER_DAY // self.interval_minutes
+
+    @property
+    def samples_per_week(self):
+        """Intervals per week, ``7 f``."""
+        return 7 * self.samples_per_day
+
+    # ------------------------------------------------------------------
+    # Region index arithmetic
+    # ------------------------------------------------------------------
+    def region_index(self, row, col):
+        """Flatten ``(row, col)`` to a region id in row-major order."""
+        row = np.asarray(row)
+        col = np.asarray(col)
+        if np.any((row < 0) | (row >= self.height) | (col < 0) | (col >= self.width)):
+            raise ValueError("region coordinates out of bounds")
+        return row * self.width + col
+
+    def region_coords(self, index):
+        """Inverse of :meth:`region_index`."""
+        index = np.asarray(index)
+        if np.any((index < 0) | (index >= self.num_regions)):
+            raise ValueError("region index out of bounds")
+        return index // self.width, index % self.width
+
+    # ------------------------------------------------------------------
+    # Time arithmetic
+    # ------------------------------------------------------------------
+    def time_of_day(self, interval):
+        """Fraction of the day in ``[0, 1)`` for interval index(es)."""
+        interval = np.asarray(interval)
+        return (interval % self.samples_per_day) / self.samples_per_day
+
+    def hour_of_day(self, interval):
+        """Hour in ``[0, 24)`` for interval index(es)."""
+        return self.time_of_day(interval) * 24.0
+
+    def day_of_week(self, interval):
+        """Weekday (0 = Monday .. 6 = Sunday) for interval index(es)."""
+        interval = np.asarray(interval)
+        day = interval // self.samples_per_day
+        return (day + self.start_weekday) % 7
+
+    def is_weekend(self, interval):
+        """True for Saturday/Sunday intervals."""
+        return self.day_of_week(interval) >= 5
+
+    def intervals_for_days(self, days):
+        """Number of intervals covering ``days`` whole days."""
+        return days * self.samples_per_day

@@ -1,0 +1,60 @@
+"""Dataset serialization.
+
+Simulating a full-scale city takes minutes; these helpers let users
+simulate once and reload instantly (``.npz`` archives carrying the flow
+tensor plus the grid/periodicity metadata needed to rebuild the
+:class:`~repro.data.datasets.TrafficDataset`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import TrafficDataset
+from repro.data.grid import GridSpec
+from repro.data.periodicity import MultiPeriodicity
+
+__all__ = ["save_dataset", "load_dataset_file"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: TrafficDataset, path):
+    """Write a dataset (flows + metadata) to an ``.npz`` archive."""
+    grid = dataset.grid
+    periodicity = dataset.periodicity
+    np.savez_compressed(
+        path,
+        format_version=_FORMAT_VERSION,
+        name=np.bytes_(dataset.name.encode()),
+        scale=np.bytes_(dataset.scale.encode()),
+        flows=dataset.flows,
+        grid=np.array([grid.height, grid.width, grid.interval_minutes,
+                       grid.start_weekday]),
+        periodicity=np.array([periodicity.len_closeness, periodicity.len_period,
+                              periodicity.len_trend, periodicity.samples_per_day]),
+    )
+
+
+def load_dataset_file(path):
+    """Load a dataset previously written by :func:`save_dataset`."""
+    with np.load(path) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset file version {version} "
+                f"(this library writes version {_FORMAT_VERSION})"
+            )
+        height, width, interval, weekday = (int(v) for v in archive["grid"])
+        lc, lp, lt, f = (int(v) for v in archive["periodicity"])
+        grid = GridSpec(height, width, interval_minutes=interval,
+                        start_weekday=weekday)
+        if f != grid.samples_per_day:
+            raise ValueError("periodicity sampling does not match the grid")
+        return TrafficDataset(
+            name=bytes(archive["name"]).decode(),
+            scale=bytes(archive["scale"]).decode(),
+            grid=grid,
+            flows=archive["flows"].copy(),
+            periodicity=MultiPeriodicity(lc, lp, lt, samples_per_day=f),
+        )

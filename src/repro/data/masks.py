@@ -1,0 +1,41 @@
+"""Temporal masks for the peak/non-peak and weekday/weekend analyses.
+
+The paper's Tables IV and V slice test-set errors by time-of-day and
+day-of-week; these helpers map target interval indices to the same
+boolean masks: peak = 7-9 am and 5-7 pm, weekday = Monday-Friday.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.grid import GridSpec
+
+__all__ = ["peak_mask", "weekday_mask", "weekend_mask", "non_peak_mask"]
+
+PEAK_WINDOWS = ((7.0, 9.0), (17.0, 19.0))
+
+
+def peak_mask(grid: GridSpec, indices):
+    """True for intervals inside the paper's peak windows."""
+    hours = grid.hour_of_day(np.asarray(indices))
+    mask = np.zeros(len(np.atleast_1d(hours)), dtype=bool)
+    hours = np.atleast_1d(hours)
+    for start, stop in PEAK_WINDOWS:
+        mask |= (hours >= start) & (hours < stop)
+    return mask
+
+
+def non_peak_mask(grid: GridSpec, indices):
+    """Complement of :func:`peak_mask`."""
+    return ~peak_mask(grid, indices)
+
+
+def weekday_mask(grid: GridSpec, indices):
+    """True for Monday-Friday intervals."""
+    return np.atleast_1d(grid.day_of_week(np.asarray(indices))) < 5
+
+
+def weekend_mask(grid: GridSpec, indices):
+    """True for Saturday/Sunday intervals."""
+    return ~weekday_mask(grid, indices)

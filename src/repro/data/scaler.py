@@ -1,0 +1,60 @@
+"""Min-max scaling to [-1, 1] (the paper's preprocessing).
+
+The paper's final activation is ``tanh``, so flows are scaled into
+``[-1, 1]`` on the *training* split and predictions are re-scaled back
+before computing metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MinMaxScaler"]
+
+
+class MinMaxScaler:
+    """Scale arrays into ``[low, high]`` from the fitted data range."""
+
+    def __init__(self, feature_range=(-1.0, 1.0)):
+        low, high = feature_range
+        if not low < high:
+            raise ValueError(f"invalid feature range {feature_range}")
+        self.low = low
+        self.high = high
+        self.data_min = None
+        self.data_max = None
+
+    @property
+    def fitted(self):
+        """Whether :meth:`fit` has been called."""
+        return self.data_min is not None
+
+    def fit(self, data):
+        """Record the global min/max of ``data`` (train split only)."""
+        data = np.asarray(data)
+        self.data_min = float(data.min())
+        self.data_max = float(data.max())
+        if self.data_max == self.data_min:
+            # Degenerate constant data: avoid dividing by zero.
+            self.data_max = self.data_min + 1.0
+        return self
+
+    def transform(self, data):
+        """Map ``data`` into the feature range."""
+        self._require_fitted()
+        unit = (np.asarray(data) - self.data_min) / (self.data_max - self.data_min)
+        return unit * (self.high - self.low) + self.low
+
+    def fit_transform(self, data):
+        """Fit then transform in one call."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data):
+        """Map scaled values back to the original units."""
+        self._require_fitted()
+        unit = (np.asarray(data) - self.low) / (self.high - self.low)
+        return unit * (self.data_max - self.data_min) + self.data_min
+
+    def _require_fitted(self):
+        if not self.fitted:
+            raise RuntimeError("scaler used before fit()")

@@ -1,0 +1,263 @@
+"""Agent-based trajectory simulator (paper Definition 2 substrate).
+
+The paper's datasets are inflow/outflow grids aggregated from real
+bike/taxi trajectories.  Offline we cannot download those dumps, so
+this module simulates a population of agents commuting on the grid and
+aggregates their region transitions into inflow/outflow exactly per the
+paper's Eqs. (1)-(2): an agent whose consecutive trajectory points move
+out of region *(h, w)* counts toward that region's outflow, and into a
+region toward its inflow.
+
+The simulator produces the phenomena MUSE-Net is designed to exploit:
+
+- **Multi-periodicity** — morning/evening commutes (daily) and distinct
+  weekday/weekend schedules (weekly).
+- **Point shift** — random events (concerts, incidents) that pull a
+  crowd to one region for a few intervals.
+- **Level shift** — a demand regime change at a configurable interval
+  that rescales trip probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.grid import GridSpec
+
+__all__ = [
+    "TrafficEvent",
+    "LevelShift",
+    "CityConfig",
+    "TrajectorySimulator",
+    "flows_from_positions",
+]
+
+_HOME, _WORK, _OUT = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """A short-lived attraction causing a point shift in traffic.
+
+    ``attendance`` agents travel to ``region`` at ``start_interval`` and
+    head home once ``duration`` intervals have passed.
+    """
+
+    region: int
+    start_interval: int
+    duration: int
+    attendance: int
+
+
+@dataclass(frozen=True)
+class LevelShift:
+    """A demand regime change: from ``start_interval`` every trip
+    probability is scaled by ``factor`` (e.g. 1.5 = busier season)."""
+
+    start_interval: int
+    factor: float
+
+
+@dataclass
+class CityConfig:
+    """Behavioural parameters of the simulated population."""
+
+    num_agents: int = 2000
+    # Anchor-density blobs: (row, col, spread) in grid units.  Defaults
+    # (None) place residential mass on one side and business mass on the
+    # other, mimicking a commuter city.
+    residential_centers: list = field(default=None)
+    business_centers: list = field(default=None)
+    leisure_centers: list = field(default=None)
+    morning_hour: float = 8.0
+    morning_std: float = 1.0
+    evening_hour: float = 18.0
+    evening_std: float = 1.25
+    weekend_leisure_rate: float = 0.04  # per-interval departure prob, midday
+    noise_trip_rate: float = 0.004  # per-interval random short trips
+    return_rate: float = 0.35  # per-interval prob that an OUT agent heads home
+    events: list = field(default_factory=list)
+    level_shift: LevelShift = None
+
+
+def _default_centers(grid):
+    """Residential west / business east / leisure center blobs."""
+    h, w = grid.height, grid.width
+    residential = [(h * 0.3, w * 0.2, max(h, w) * 0.18),
+                   (h * 0.75, w * 0.3, max(h, w) * 0.15)]
+    business = [(h * 0.5, w * 0.8, max(h, w) * 0.12),
+                (h * 0.2, w * 0.65, max(h, w) * 0.10)]
+    leisure = [(h * 0.55, w * 0.5, max(h, w) * 0.15)]
+    return residential, business, leisure
+
+
+def _sample_regions(centers, count, grid, rng):
+    """Draw ``count`` region ids from a mixture of Gaussian blobs."""
+    centers = list(centers)
+    choice = rng.integers(0, len(centers), size=count)
+    rows = np.empty(count)
+    cols = np.empty(count)
+    for i, (cr, cc, spread) in enumerate(centers):
+        mask = choice == i
+        n = int(mask.sum())
+        rows[mask] = rng.normal(cr, spread, size=n)
+        cols[mask] = rng.normal(cc, spread, size=n)
+    rows = np.clip(np.round(rows), 0, grid.height - 1).astype(int)
+    cols = np.clip(np.round(cols), 0, grid.width - 1).astype(int)
+    return grid.region_index(rows, cols)
+
+
+def flows_from_positions(positions, grid):
+    """Aggregate a position log into flows per the paper's Eqs. (1)-(2).
+
+    ``positions`` is an integer array ``(T, num_agents)`` of region ids
+    (one trajectory point per interval per agent).  Returns flows of
+    shape ``(T, 2, H, W)`` with channel 0 = outflow, channel 1 = inflow.
+    The first interval has no predecessor, so its flows are zero.
+    """
+    positions = np.asarray(positions)
+    steps, _agents = positions.shape
+    flows = np.zeros((steps, 2, grid.height, grid.width))
+    for t in range(1, steps):
+        previous = positions[t - 1]
+        current = positions[t]
+        moved = previous != current
+        if not np.any(moved):
+            continue
+        out_rows, out_cols = grid.region_coords(previous[moved])
+        in_rows, in_cols = grid.region_coords(current[moved])
+        np.add.at(flows[t, 0], (out_rows, out_cols), 1.0)
+        np.add.at(flows[t, 1], (in_rows, in_cols), 1.0)
+    return flows
+
+
+class TrajectorySimulator:
+    """Simulate agent trajectories and aggregate them into flow grids.
+
+    Parameters
+    ----------
+    grid:
+        The :class:`~repro.data.grid.GridSpec` to simulate on.
+    config:
+        Population behaviour; ``None`` uses defaults sized to the grid.
+    seed:
+        Integer seed or ``numpy.random.Generator``.
+    """
+
+    def __init__(self, grid: GridSpec, config: CityConfig = None, seed=0):
+        self.grid = grid
+        self.config = config if config is not None else CityConfig()
+        self._rng = np.random.default_rng(seed)
+        cfg = self.config
+        if cfg.residential_centers is None or cfg.business_centers is None \
+                or cfg.leisure_centers is None:
+            residential, business, leisure = _default_centers(grid)
+            cfg.residential_centers = cfg.residential_centers or residential
+            cfg.business_centers = cfg.business_centers or business
+            cfg.leisure_centers = cfg.leisure_centers or leisure
+
+        n = cfg.num_agents
+        self.home = _sample_regions(cfg.residential_centers, n, grid, self._rng)
+        self.work = _sample_regions(cfg.business_centers, n, grid, self._rng)
+        # Per-agent habitual departure times (hours); re-jittered daily.
+        self._morning_mean = self._rng.normal(cfg.morning_hour, cfg.morning_std, n)
+        self._evening_mean = self._rng.normal(cfg.evening_hour, cfg.evening_std, n)
+
+    # ------------------------------------------------------------------
+    def simulate(self, num_intervals, record_positions=False):
+        """Run the simulation and return flows ``(T, 2, H, W)``.
+
+        With ``record_positions=True`` also returns the raw trajectory
+        log ``(T, num_agents)`` (memory heavy; intended for tests).
+        """
+        grid, cfg, rng = self.grid, self.config, self._rng
+        n = cfg.num_agents
+        f = grid.samples_per_day
+        dt_hours = 24.0 / f
+
+        position = self.home.copy()
+        state = np.full(n, _HOME, dtype=np.int8)
+        event_until = np.full(n, -1, dtype=np.int64)  # busy at an event until t
+
+        flows = np.zeros((num_intervals, 2, grid.height, grid.width))
+        log = np.empty((num_intervals, n), dtype=np.int32) if record_positions else None
+
+        morning = evening = None
+        events_by_start = {}
+        for event in cfg.events:
+            events_by_start.setdefault(event.start_interval, []).append(event)
+
+        for t in range(num_intervals):
+            hour = float(grid.hour_of_day(t))
+            weekend = bool(grid.is_weekend(t))
+            demand = 1.0
+            if cfg.level_shift is not None and t >= cfg.level_shift.start_interval:
+                demand = cfg.level_shift.factor
+
+            if hour == 0.0 or morning is None:
+                # New day: re-jitter habitual departure times.
+                morning = self._morning_mean + rng.normal(0.0, 0.25, n)
+                evening = self._evening_mean + rng.normal(0.0, 0.4, n)
+
+            previous = position.copy()
+            busy = event_until > t
+
+            if not weekend:
+                # Morning commute: HOME -> WORK inside the departure slot.
+                departs = (state == _HOME) & ~busy & (morning >= hour) & (morning < hour + dt_hours)
+                departs &= rng.random(n) < min(demand, 1.0)
+                position[departs] = self.work[departs]
+                state[departs] = _WORK
+                # Evening commute: WORK -> HOME.
+                returns = (state == _WORK) & ~busy & (evening >= hour) & (evening < hour + dt_hours)
+                position[returns] = self.home[returns]
+                state[returns] = _HOME
+            else:
+                # Weekend leisure trips with a midday bump.
+                midday = np.exp(-0.5 * ((hour - 14.0) / 3.5) ** 2)
+                rate = cfg.weekend_leisure_rate * midday * demand
+                departs = (state == _HOME) & ~busy & (rng.random(n) < rate)
+                if np.any(departs):
+                    dest = _sample_regions(cfg.leisure_centers, int(departs.sum()), grid, rng)
+                    position[departs] = dest
+                    state[departs] = _OUT
+
+            # OUT agents drift home.
+            going_home = (state == _OUT) & ~busy & (rng.random(n) < cfg.return_rate)
+            position[going_home] = self.home[going_home]
+            state[going_home] = _HOME
+
+            # Random short noise trips to a nearby region.
+            noise = (rng.random(n) < cfg.noise_trip_rate * demand) & ~busy
+            if np.any(noise):
+                rows, cols = grid.region_coords(position[noise])
+                rows = np.clip(rows + rng.integers(-1, 2, int(noise.sum())), 0, grid.height - 1)
+                cols = np.clip(cols + rng.integers(-1, 2, int(noise.sum())), 0, grid.width - 1)
+                position[noise] = grid.region_index(rows, cols)
+                state[noise] = _OUT
+
+            # Events: pull a crowd to one region (point shift).
+            for event in events_by_start.get(t, ()):  # starts this interval
+                eligible = np.flatnonzero(~busy)
+                take = min(event.attendance, eligible.size)
+                chosen = rng.choice(eligible, size=take, replace=False)
+                position[chosen] = event.region
+                state[chosen] = _OUT
+                event_until[chosen] = t + event.duration
+
+            # Count transitions per Definition 2.
+            moved = previous != position
+            if np.any(moved):
+                out_rows, out_cols = grid.region_coords(previous[moved])
+                in_rows, in_cols = grid.region_coords(position[moved])
+                np.add.at(flows[t, 0], (out_rows, out_cols), 1.0)
+                np.add.at(flows[t, 1], (in_rows, in_cols), 1.0)
+
+            if record_positions:
+                log[t] = position
+
+        if record_positions:
+            return flows, log
+        return flows

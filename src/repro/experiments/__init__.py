@@ -1,0 +1,72 @@
+"""Experiment runners: one per paper table/figure.
+
+Each ``run_*`` function trains what it needs, returns a typed result
+object, and its ``str()`` prints the same rows/series the paper
+reports.  The ``benchmarks/`` directory wraps these with
+pytest-benchmark, one target per table/figure.
+"""
+
+from repro.experiments.common import (
+    PROFILES,
+    Profile,
+    format_table,
+    get_profile,
+    muse_config,
+    prepare,
+    train_baseline,
+    train_muse,
+    train_variant,
+)
+from repro.experiments.table1_complexity import Table1Result, run_table1
+from repro.experiments.table2_onestep import Table2Result, run_table2
+from repro.experiments.table3_multistep import (
+    MULTISTEP_METHODS,
+    Table3Result,
+    run_table3,
+)
+from repro.experiments.table4_peak import Table4Result, run_table4
+from repro.experiments.table5_weekday import Table5Result, run_table5
+from repro.experiments.table6_ablation import Table6Result, run_table6
+from repro.experiments.fig4_curves import Fig4Result, run_fig4
+from repro.experiments.fig5_tsne import Fig5Result, run_fig5
+from repro.experiments.fig6_pull_similarity import Fig6Result, run_fig6
+from repro.experiments.fig7_future_similarity import Fig7Result, run_fig7
+from repro.experiments.fig8_interpret import Fig8Result, run_fig8
+from repro.experiments.fig9_sensitivity import CI_SWEEPS, Fig9Result, PAPER_SWEEPS, run_fig9
+from repro.experiments.fig12_motivation import (
+    Fig1Result,
+    Fig2Result,
+    run_fig1,
+    run_fig2,
+)
+from repro.experiments.dataset_report import DatasetReport, build_dataset_report
+from repro.experiments.extra_ablations import (
+    FusionAblationResult,
+    GenWeightAblationResult,
+    PullModeResult,
+    run_fusion_ablation,
+    run_genweight_ablation,
+    run_pull_mode_ablation,
+)
+
+__all__ = [
+    "Profile", "PROFILES", "get_profile", "prepare", "muse_config",
+    "train_muse", "train_baseline", "train_variant", "format_table",
+    "run_table1", "Table1Result",
+    "run_table2", "Table2Result",
+    "run_table3", "Table3Result", "MULTISTEP_METHODS",
+    "run_table4", "Table4Result",
+    "run_table5", "Table5Result",
+    "run_table6", "Table6Result",
+    "run_fig4", "Fig4Result",
+    "run_fig5", "Fig5Result",
+    "run_fig6", "Fig6Result",
+    "run_fig7", "Fig7Result",
+    "run_fig8", "Fig8Result",
+    "run_fig9", "Fig9Result", "PAPER_SWEEPS", "CI_SWEEPS",
+    "run_fig1", "Fig1Result", "run_fig2", "Fig2Result",
+    "DatasetReport", "build_dataset_report",
+    "run_fusion_ablation", "FusionAblationResult",
+    "run_genweight_ablation", "GenWeightAblationResult",
+    "run_pull_mode_ablation", "PullModeResult",
+]

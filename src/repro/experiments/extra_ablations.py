@@ -1,0 +1,137 @@
+"""Extension ablations for the design choices DESIGN.md §4 calls out.
+
+Beyond the paper's Table VI, these isolate three implementation-level
+decisions:
+
+- **Fusion head** — ResPlus vs a plain 3x3 conv head vs no spatial
+  mixing: how much of the win is the long-range "plus" branch?
+- **Generative weight** — the ``gen_weight`` rebalancing between the
+  paper's objective (1.0) and pure regression (0.0) at reduced scale.
+- **Pull optimization** — the alternating (stop-gradient) treatment of
+  the ``+KL(r || d)`` bound term vs optimizing Eq. (29) literally
+  ("joint"), which is adversarial and diverges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import MUSENet
+from repro.experiments.common import format_table, get_profile, muse_config, prepare, train_muse
+from repro.optim import Adam, clip_grad_norm
+
+__all__ = [
+    "FusionAblationResult", "run_fusion_ablation",
+    "GenWeightAblationResult", "run_genweight_ablation",
+    "PullModeResult", "run_pull_mode_ablation",
+]
+
+
+@dataclass
+class FusionAblationResult:
+    """Test RMSE per fusion head."""
+
+    profile: str
+    rmse: dict = field(default_factory=dict)  # mode -> (out, in)
+
+    def __str__(self):
+        rows = [(mode, out, inn) for mode, (out, inn) in self.rmse.items()]
+        return format_table(("fusion", "out RMSE", "in RMSE"), rows,
+                            title=f"Fusion-head ablation ({self.profile})")
+
+
+def run_fusion_ablation(profile="ci", dataset="nyc-bike", seed=0):
+    """Compare ResPlus / plain-conv / pointwise fusion heads."""
+    prof = get_profile(profile)
+    data = prepare(dataset, prof)
+    result = FusionAblationResult(profile=prof.name)
+    for mode in ("resplus", "conv", "none"):
+        trainer = train_muse(data, prof, seed=seed, spatial_mode=mode)
+        report = trainer.evaluate(data)
+        result.rmse[mode] = (report.outflow_rmse, report.inflow_rmse)
+    return result
+
+
+@dataclass
+class GenWeightAblationResult:
+    """Test RMSE per generative-term weight."""
+
+    profile: str
+    rmse: dict = field(default_factory=dict)  # gen_weight -> (out, in)
+
+    def __str__(self):
+        rows = [(w, out, inn) for w, (out, inn) in self.rmse.items()]
+        return format_table(("gen_weight", "out RMSE", "in RMSE"), rows,
+                            title=f"Generative-weight ablation ({self.profile})")
+
+
+def run_genweight_ablation(profile="ci", dataset="nyc-bike",
+                           weights=(0.0, 0.05, 1.0), seed=0):
+    """Sweep the generative-vs-regression balance."""
+    prof = get_profile(profile)
+    data = prepare(dataset, prof)
+    result = GenWeightAblationResult(profile=prof.name)
+    for weight in weights:
+        trainer = train_muse(data, prof, seed=seed, gen_weight=weight)
+        report = trainer.evaluate(data)
+        result.rmse[weight] = (report.outflow_rmse, report.inflow_rmse)
+    return result
+
+
+@dataclass
+class PullModeResult:
+    """Full-batch loss trajectories for both pull treatments."""
+
+    steps: int
+    trajectories: dict = field(default_factory=dict)  # mode -> [totals]
+
+    def final(self, mode):
+        """Final total loss of a trajectory."""
+        return self.trajectories[mode][-1]
+
+    def diverged(self, mode, threshold=-1e4):
+        """Whether the objective ran away below ``threshold``."""
+        values = np.asarray(self.trajectories[mode])
+        return bool((values < threshold).any() or not np.isfinite(values).all())
+
+    def __str__(self):
+        rows = [
+            (mode, values[0], values[-1], min(values))
+            for mode, values in self.trajectories.items()
+        ]
+        return format_table(("pull mode", "first", "last", "min"), rows,
+                            title=f"Pull-term optimization ({self.steps} steps)")
+
+
+def run_pull_mode_ablation(profile="ci", dataset="nyc-bike", steps=25, seed=0):
+    """Train both pull treatments a fixed number of full-batch steps."""
+    prof = get_profile(profile)
+    data = prepare(dataset, prof)
+    batch = data.train.take(range(min(16, len(data.train))))
+    result = PullModeResult(steps=steps)
+    for mode in ("alternating", "joint"):
+        config = muse_config(data, prof, seed=seed, gen_weight=1.0,
+                             pull_mode=mode)
+        model = MUSENet(config)
+        optimizer = Adam(model.parameters(), lr=2e-3)
+        rng = np.random.default_rng(seed)
+        totals = []
+        for _ in range(steps):
+            optimizer.zero_grad()
+            breakdown, _outputs = model.training_loss(batch, rng=rng)
+            breakdown.total.backward()
+            clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+            totals.append(breakdown.total.item())
+        result.trajectories[mode] = totals
+    return result
+
+
+if __name__ == "__main__":
+    print(run_fusion_ablation())
+    print()
+    print(run_genweight_ablation())
+    print()
+    print(run_pull_mode_ablation())

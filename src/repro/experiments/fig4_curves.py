@@ -1,0 +1,87 @@
+"""Figure 4 — predicted vs ground-truth flow curves.
+
+Trains MUSE-Net and comparison methods, then extracts the citywide
+inflow series over the test window for each, plus per-method
+correlation and RMSE against the ground-truth curve — the numeric
+summary of what the paper's figure shows visually (MUSE-Net tracking
+both peaks and troughs most closely).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.common import (
+    format_table,
+    get_profile,
+    prepare,
+    train_baseline,
+    train_muse,
+)
+
+__all__ = ["Fig4Result", "run_fig4"]
+
+_DEFAULT_METHODS = ("DeepSTN+", "STGSP", "MUSE-Net")
+
+
+@dataclass
+class Fig4Result:
+    """Per-dataset curves: ground truth + one series per method."""
+
+    profile: str
+    curves: dict = field(default_factory=dict)  # dataset -> {name: series}
+
+    def correlation(self, dataset, method):
+        """Pearson correlation of a method's curve with ground truth."""
+        truth = self.curves[dataset]["ground-truth"]
+        prediction = self.curves[dataset][method]
+        return float(np.corrcoef(truth, prediction)[0, 1])
+
+    def curve_rmse(self, dataset, method):
+        """RMSE of the citywide curve against ground truth."""
+        truth = self.curves[dataset]["ground-truth"]
+        prediction = self.curves[dataset][method]
+        return float(np.sqrt(np.mean((truth - prediction) ** 2)))
+
+    def __str__(self):
+        pieces = []
+        for dataset, curves in self.curves.items():
+            rows = [
+                (method, self.correlation(dataset, method),
+                 self.curve_rmse(dataset, method))
+                for method in curves if method != "ground-truth"
+            ]
+            pieces.append(format_table(
+                ("Method", "corr", "curve RMSE"), rows,
+                title=f"Fig. 4 [{dataset}] citywide inflow curve ({self.profile})",
+                precision=3,
+            ))
+        return "\n\n".join(pieces)
+
+
+def run_fig4(profile="ci", datasets=None, methods=None, seed=0):
+    """Regenerate Fig. 4's curves; returns a :class:`Fig4Result`."""
+    prof = get_profile(profile)
+    datasets = datasets if datasets is not None else prof.datasets[:1]
+    methods = tuple(methods) if methods is not None else _DEFAULT_METHODS
+
+    result = Fig4Result(profile=prof.name)
+    for dataset_name in datasets:
+        data = prepare(dataset_name, prof)
+        truth = data.inverse(data.test.target)
+        curves = {"ground-truth": truth[:, 1].sum(axis=(1, 2))}
+        for method in methods:
+            if method == "MUSE-Net":
+                trainer = train_muse(data, prof, seed=seed)
+            else:
+                trainer = train_baseline(method, data, prof, seed=seed)
+            prediction = trainer.predict_flows(data, data.test)
+            curves[method] = prediction[:, 1].sum(axis=(1, 2))
+        result.curves[dataset_name] = curves
+    return result
+
+
+if __name__ == "__main__":
+    print(run_fig4())

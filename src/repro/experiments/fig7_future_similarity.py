@@ -1,0 +1,80 @@
+"""Figure 7 — similarity of exclusive/interactive representations with
+future traffic flow.
+
+The paper observes that the interactive representation's similarity
+pattern is *opposite* (complementary) to the exclusive ones': where
+exclusive representations align with the future flow, the interactive
+one anti-aligns, and vice versa.  The runner reproduces the four
+similarity matrices and reports the correlation between the exclusive
+and interactive per-sample similarity profiles (expected negative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import (
+    cosine_similarity_matrix,
+    diagonal_similarity,
+    spatial_signature,
+)
+from repro.experiments.common import format_table, get_profile, prepare, train_muse
+
+__all__ = ["Fig7Result", "run_fig7"]
+
+
+@dataclass
+class Fig7Result:
+    """Similarity matrices of each representation vs the future flow."""
+
+    matrices: dict  # 'c'/'p'/'t'/'s' -> (N, N)
+    diagonals: dict  # 'c'/'p'/'t'/'s' -> (N,) aligned similarity
+
+    def complementarity(self):
+        """Correlation of exclusive-mean vs interactive diagonals.
+
+        Negative values mean the interactive representation is
+        complementary to the exclusive ones — the figure's takeaway.
+        """
+        exclusive = np.mean([self.diagonals[k] for k in ("c", "p", "t")], axis=0)
+        interactive = self.diagonals["s"]
+        return float(np.corrcoef(exclusive, interactive)[0, 1])
+
+    def __str__(self):
+        rows = [
+            (key, float(self.diagonals[key].mean()), float(self.matrices[key].mean()))
+            for key in ("c", "p", "t", "s")
+        ]
+        table = format_table(
+            ("Representation", "diag sim", "mean sim"), rows,
+            title="Fig. 7 representations vs future flow", precision=3,
+        )
+        return table + f"\nexclusive-vs-interactive complementarity: {self.complementarity():.3f}"
+
+
+def run_fig7(profile="ci", dataset="nyc-bike", num_samples=32, seed=0):
+    """Regenerate Fig. 7; returns a :class:`Fig7Result`."""
+    prof = get_profile(profile)
+    data = prepare(dataset, prof)
+    trainer = train_muse(data, prof, seed=seed, gen_weight=1.0)
+    batch = data.test.take(range(min(num_samples, len(data.test))))
+    outputs = trainer.model.encode(batch)
+
+    # Batch-centered spatial signatures (see fig6 for the rationale).
+    def signature(array):
+        sig = spatial_signature(array)
+        return sig - sig.mean(axis=0, keepdims=True)
+
+    future = signature(batch.target)
+    matrices, diagonals = {}, {}
+    for key in ("c", "p", "t", "s"):
+        rep = signature(outputs.representations[key].data)
+        matrices[key] = cosine_similarity_matrix(rep, future)
+        diagonals[key] = diagonal_similarity(rep, future)
+    return Fig7Result(matrices=matrices, diagonals=diagonals)
+
+
+if __name__ == "__main__":
+    print(run_fig7())

@@ -1,0 +1,97 @@
+"""Figure 9 — hyper-parameter sensitivity of MUSE-Net.
+
+Sweeps the three hyper-parameters the paper studies on NYC-Bike:
+
+- (a) the balance coefficient ``lambda`` (candidate set 1e-3..1e3),
+- (b) the sampled distribution dimension ``k`` (16..1024),
+- (c) the representation dimension ``d`` (16..320),
+
+reporting test RMSE per value (mean over repeats).  Expected shape:
+a sweet spot around ``lambda = 1`` with degradation/instability at the
+extremes, and flat curves over wide ranges of ``k`` and ``d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.common import format_table, get_profile, prepare, train_muse
+
+__all__ = ["Fig9Result", "run_fig9", "PAPER_SWEEPS", "CI_SWEEPS"]
+
+PAPER_SWEEPS = {
+    "lambda": (1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3),
+    "k": (16, 32, 64, 128, 256, 512, 1024),
+    "d": (16, 32, 64, 128, 256, 320),
+}
+
+# CPU-budget sweeps: same spirit, fewer points, small capacities.
+CI_SWEEPS = {
+    "lambda": (1e-2, 1.0, 1e2),
+    "k": (8, 16, 32),
+    "d": (4, 8, 16),
+}
+
+
+@dataclass
+class Fig9Result:
+    """curves[param] -> list of (value, mean_rmse, std_rmse)."""
+
+    profile: str
+    curves: dict = field(default_factory=dict)
+
+    def best_value(self, param):
+        """The sweep value with the lowest mean RMSE."""
+        return min(self.curves[param], key=lambda entry: entry[1])[0]
+
+    def __str__(self):
+        pieces = []
+        for param, entries in self.curves.items():
+            rows = [(value, mean, std) for value, mean, std in entries]
+            pieces.append(format_table(
+                (param, "RMSE mean", "RMSE std"), rows,
+                title=f"Fig. 9 sensitivity: {param} ({self.profile})", precision=3,
+            ))
+        return "\n\n".join(pieces)
+
+
+def run_fig9(profile="ci", dataset="nyc-bike", sweeps=None, repeats=1, seed=0):
+    """Regenerate Fig. 9's three sweeps; returns a :class:`Fig9Result`.
+
+    ``repeats`` averages over seeds (the paper uses 10; CI uses 1).
+    """
+    prof = get_profile(profile)
+    sweeps = sweeps if sweeps is not None else (
+        CI_SWEEPS if prof.name == "ci" else PAPER_SWEEPS
+    )
+    data = prepare(dataset, prof)
+
+    def rmse_for(**overrides):
+        values = []
+        for repeat in range(repeats):
+            trainer = train_muse(data, prof, seed=seed + repeat, **overrides)
+            report = trainer.evaluate(data)
+            values.append(0.5 * (report.outflow_rmse + report.inflow_rmse))
+        return float(np.mean(values)), float(np.std(values))
+
+    result = Fig9Result(profile=prof.name)
+    if "lambda" in sweeps:
+        result.curves["lambda"] = [
+            (value,) + rmse_for(lam=value) for value in sweeps["lambda"]
+        ]
+    if "k" in sweeps:
+        result.curves["k"] = [
+            (value,) + rmse_for(latent_interactive=int(value))
+            for value in sweeps["k"]
+        ]
+    if "d" in sweeps:
+        result.curves["d"] = [
+            (value,) + rmse_for(rep_channels=int(value)) for value in sweeps["d"]
+        ]
+    return result
+
+
+if __name__ == "__main__":
+    print(run_fig9())

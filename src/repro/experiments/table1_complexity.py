@@ -1,0 +1,85 @@
+"""Table I — time/space complexity comparison.
+
+Regenerates the paper's complexity table two ways: the analytic
+formulas evaluated at the paper's operating point (L = 11, d = 64,
+M = H*W), and *measured* parameter counts plus single-batch forward
+timings of the instantiated models.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import complexity_table, count_parameters
+from repro.baselines import BaselineConfig, make_baseline
+from repro.core import MuseConfig, MUSENet
+from repro.data import load_dataset, prepare_forecast_data
+from repro.experiments.common import format_table, get_profile, muse_config, prepare
+
+__all__ = ["Table1Result", "run_table1"]
+
+_MEASURED_METHODS = ("DeepSTN+", "DMSTGCN", "GMAN")
+
+
+@dataclass
+class Table1Result:
+    """Analytic entries plus measured parameter counts and timings."""
+
+    analytic: list
+    measured: dict  # method -> (params, forward_seconds)
+
+    def __str__(self):
+        analytic_rows = [
+            (e.method, e.family, e.time_formula, f"{e.time_value:.2e}",
+             e.space_formula, f"{e.space_value:.2e}")
+            for e in self.analytic
+        ]
+        measured_rows = [
+            (name, params, f"{seconds * 1e3:.1f} ms")
+            for name, (params, seconds) in self.measured.items()
+        ]
+        return (
+            format_table(
+                ("Method", "Class", "Time", "Time@op", "Space", "Space@op"),
+                analytic_rows, title="Table I (analytic, L=11 d=64)",
+            )
+            + "\n\n"
+            + format_table(("Method", "Params", "Forward"), measured_rows,
+                           title="Measured on instantiated models")
+        )
+
+
+def run_table1(profile="ci", dataset="nyc-bike"):
+    """Regenerate Table I; returns a :class:`Table1Result`."""
+    profile = get_profile(profile)
+    data = prepare(dataset, profile)
+    grid = data.grid
+    total_length = (data.periodicity.len_closeness + data.periodicity.len_period
+                    + data.periodicity.len_trend)
+    analytic = complexity_table(L=total_length, d=64,
+                                M=grid.height * grid.width)
+
+    measured = {}
+    batch = data.test.take(range(min(8, len(data.test))))
+
+    def timed_forward(model):
+        model.predict(batch)  # warm-up
+        start = time.perf_counter()
+        model.predict(batch)
+        return time.perf_counter() - start
+
+    for name in _MEASURED_METHODS:
+        config = BaselineConfig.for_data(data, hidden=profile.hidden)
+        model = make_baseline(name, config)
+        measured[name] = (count_parameters(model), timed_forward(model))
+    muse = MUSENet(muse_config(data, profile))
+    measured["MUSE-Net"] = (count_parameters(muse), timed_forward(muse))
+
+    return Table1Result(analytic=analytic, measured=measured)
+
+
+if __name__ == "__main__":
+    print(run_table1())

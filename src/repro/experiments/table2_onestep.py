@@ -1,0 +1,101 @@
+"""Table II — one-step forecasting, all 12 methods x 3 datasets.
+
+For each dataset: train the 11 baselines and MUSE-Net on identical
+splits, evaluate RMSE / MAE / MAPE per flow channel on the held-out
+tail, and report the paper-style improvement row
+
+    (best baseline - MUSE-Net) / best baseline
+
+per metric.  The expected shape: MUSE-Net at or near the top on every
+dataset, with RNN/Seq2Seq (no spatial modeling) the weakest class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import BASELINE_NAMES
+from repro.experiments.common import (
+    format_table,
+    get_profile,
+    prepare,
+    train_baseline,
+    train_muse,
+)
+
+__all__ = ["Table2Result", "run_table2"]
+
+
+@dataclass
+class Table2Result:
+    """Per-dataset, per-method evaluation reports."""
+
+    profile: str
+    reports: dict = field(default_factory=dict)  # dataset -> {method: EvalReport}
+
+    METRICS = ("out RMSE", "out MAE", "out MAPE", "in RMSE", "in MAE", "in MAPE")
+
+    def rows(self, dataset):
+        """(method, 6 metrics) rows in the paper's column order."""
+        return [
+            (method,) + report.row()
+            for method, report in self.reports[dataset].items()
+        ]
+
+    def improvement(self, dataset):
+        """Paper-style improvement of MUSE-Net over the best baseline."""
+        table = self.reports[dataset]
+        ours = np.array(table["MUSE-Net"].row())
+        baselines = np.array([
+            report.row() for name, report in table.items() if name != "MUSE-Net"
+        ])
+        best = baselines.min(axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return (best - ours) / best
+
+    def muse_wins(self, dataset, metric_index=0):
+        """True when MUSE-Net beats every baseline on a metric."""
+        return self.improvement(dataset)[metric_index] >= 0
+
+    def __str__(self):
+        pieces = []
+        for dataset in self.reports:
+            rows = self.rows(dataset)
+            rows.append(
+                ("Improvement",) + tuple(f"{v * 100:.0f}%" for v in self.improvement(dataset))
+            )
+            pieces.append(format_table(
+                ("Method",) + self.METRICS, rows,
+                title=f"Table II [{dataset}] ({self.profile} profile)",
+            ))
+        return "\n\n".join(pieces)
+
+
+def run_table2(profile="ci", datasets=None, methods=None, seed=0):
+    """Regenerate Table II; returns a :class:`Table2Result`.
+
+    ``methods`` defaults to all 11 baselines plus MUSE-Net; pass a
+    subset for quicker partial runs.
+    """
+    prof = get_profile(profile)
+    datasets = datasets if datasets is not None else prof.datasets
+    methods = tuple(methods) if methods is not None else BASELINE_NAMES + ("MUSE-Net",)
+
+    result = Table2Result(profile=prof.name)
+    for dataset_name in datasets:
+        data = prepare(dataset_name, prof)
+        table = {}
+        for method in methods:
+            if method == "MUSE-Net":
+                trainer = train_muse(data, prof, seed=seed)
+            else:
+                trainer = train_baseline(method, data, prof, seed=seed)
+            table[method] = trainer.evaluate(data)
+        result.reports[dataset_name] = table
+    return result
+
+
+if __name__ == "__main__":
+    print(run_table2())

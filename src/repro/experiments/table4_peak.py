@@ -1,0 +1,86 @@
+"""Table IV — peak vs non-peak one-step performance.
+
+Trains the four multi-periodic methods once per dataset, then splits
+the test evaluation by the paper's peak windows (7-9 am, 5-7 pm).
+Expected shape: everyone is worse during peaks; MUSE-Net degrades the
+least thanks to the exclusive representations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data import non_peak_mask, peak_mask
+from repro.experiments.common import (
+    format_table,
+    get_profile,
+    prepare,
+    train_baseline,
+    train_muse,
+)
+from repro.experiments.table3_multistep import MULTISTEP_METHODS
+
+__all__ = ["Table4Result", "run_table4"]
+
+
+@dataclass
+class Table4Result:
+    """reports[dataset][method] -> {"peak": EvalReport, "non_peak": EvalReport}."""
+
+    profile: str
+    reports: dict = field(default_factory=dict)
+
+    def rows(self, dataset):
+        rows = []
+        for method, halves in self.reports[dataset].items():
+            peak, off = halves["peak"], halves["non_peak"]
+            rows.append((
+                method,
+                peak.outflow_rmse, peak.outflow_mape,
+                peak.inflow_rmse, peak.inflow_mape,
+                off.outflow_rmse, off.outflow_mape,
+                off.inflow_rmse, off.inflow_mape,
+            ))
+        return rows
+
+    def __str__(self):
+        pieces = []
+        headers = ("Method",
+                   "peak out RMSE", "peak out MAPE", "peak in RMSE", "peak in MAPE",
+                   "off out RMSE", "off out MAPE", "off in RMSE", "off in MAPE")
+        for dataset in self.reports:
+            pieces.append(format_table(
+                headers, self.rows(dataset),
+                title=f"Table IV [{dataset}] ({self.profile})",
+            ))
+        return "\n\n".join(pieces)
+
+
+def run_table4(profile="ci", datasets=None, methods=None, seed=0):
+    """Regenerate Table IV; returns a :class:`Table4Result`."""
+    prof = get_profile(profile)
+    datasets = datasets if datasets is not None else prof.datasets[:1]
+    methods = tuple(methods) if methods is not None else MULTISTEP_METHODS
+
+    result = Table4Result(profile=prof.name)
+    for dataset_name in datasets:
+        data = prepare(dataset_name, prof)
+        grid = data.grid
+        peak = peak_mask(grid, data.test.indices)
+        off = non_peak_mask(grid, data.test.indices)
+        table = {}
+        for method in methods:
+            if method == "MUSE-Net":
+                trainer = train_muse(data, prof, seed=seed)
+            else:
+                trainer = train_baseline(method, data, prof, seed=seed)
+            table[method] = {
+                "peak": trainer.evaluate(data, sample_mask=peak),
+                "non_peak": trainer.evaluate(data, sample_mask=off),
+            }
+        result.reports[dataset_name] = table
+    return result
+
+
+if __name__ == "__main__":
+    print(run_table4())

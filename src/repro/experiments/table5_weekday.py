@@ -1,0 +1,80 @@
+"""Table V — weekday vs weekend one-step performance.
+
+Same protocol as Table IV with the split on day-of-week (Mon-Fri vs
+Sat-Sun).  Expected shape: MUSE-Net leads on both halves; weekend
+errors are relatively higher for every method (less regular traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data import weekday_mask, weekend_mask
+from repro.experiments.common import (
+    format_table,
+    get_profile,
+    prepare,
+    train_baseline,
+    train_muse,
+)
+from repro.experiments.table3_multistep import MULTISTEP_METHODS
+
+__all__ = ["Table5Result", "run_table5"]
+
+
+@dataclass
+class Table5Result:
+    """reports[dataset][method] -> {"weekday": ..., "weekend": ...}."""
+
+    profile: str
+    reports: dict = field(default_factory=dict)
+
+    def rows(self, dataset):
+        rows = []
+        for method, halves in self.reports[dataset].items():
+            wd, we = halves["weekday"], halves["weekend"]
+            rows.append((
+                method,
+                wd.outflow_rmse, wd.outflow_mape, wd.inflow_rmse, wd.inflow_mape,
+                we.outflow_rmse, we.outflow_mape, we.inflow_rmse, we.inflow_mape,
+            ))
+        return rows
+
+    def __str__(self):
+        headers = ("Method",
+                   "wd out RMSE", "wd out MAPE", "wd in RMSE", "wd in MAPE",
+                   "we out RMSE", "we out MAPE", "we in RMSE", "we in MAPE")
+        return "\n\n".join(
+            format_table(headers, self.rows(dataset),
+                         title=f"Table V [{dataset}] ({self.profile})")
+            for dataset in self.reports
+        )
+
+
+def run_table5(profile="ci", datasets=None, methods=None, seed=0):
+    """Regenerate Table V; returns a :class:`Table5Result`."""
+    prof = get_profile(profile)
+    datasets = datasets if datasets is not None else prof.datasets[:1]
+    methods = tuple(methods) if methods is not None else MULTISTEP_METHODS
+
+    result = Table5Result(profile=prof.name)
+    for dataset_name in datasets:
+        data = prepare(dataset_name, prof)
+        weekday = weekday_mask(data.grid, data.test.indices)
+        weekend = weekend_mask(data.grid, data.test.indices)
+        table = {}
+        for method in methods:
+            if method == "MUSE-Net":
+                trainer = train_muse(data, prof, seed=seed)
+            else:
+                trainer = train_baseline(method, data, prof, seed=seed)
+            table[method] = {
+                "weekday": trainer.evaluate(data, sample_mask=weekday),
+                "weekend": trainer.evaluate(data, sample_mask=weekend),
+            }
+        result.reports[dataset_name] = table
+    return result
+
+
+if __name__ == "__main__":
+    print(run_table5())

@@ -1,0 +1,71 @@
+"""Table VI — ablation study over the four MUSE-Net variants.
+
+Trains the full model and its four ablations on identical splits.
+Expected shape (per the paper): w/o-Spatial is clearly worst,
+w/o-MultiDisentangle second worst, dropping either regularizer costs a
+little, and the full model wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import VARIANT_NAMES
+from repro.experiments.common import format_table, get_profile, prepare, train_variant
+
+__all__ = ["Table6Result", "run_table6"]
+
+
+@dataclass
+class Table6Result:
+    """reports[dataset][variant] -> EvalReport."""
+
+    profile: str
+    reports: dict = field(default_factory=dict)
+
+    def rows(self, dataset):
+        return [
+            (variant, report.outflow_rmse, report.outflow_mae,
+             report.inflow_rmse, report.inflow_mae)
+            for variant, report in self.reports[dataset].items()
+        ]
+
+    def full_model_best(self, dataset, metric="outflow_rmse"):
+        """True when the full model beats every ablation on ``metric``."""
+        table = self.reports[dataset]
+        full = getattr(table["full"], metric)
+        return all(
+            full <= getattr(report, metric)
+            for name, report in table.items() if name != "full"
+        )
+
+    def __str__(self):
+        return "\n\n".join(
+            format_table(
+                ("Variant", "out RMSE", "out MAE", "in RMSE", "in MAE"),
+                self.rows(dataset),
+                title=f"Table VI [{dataset}] ({self.profile})",
+            )
+            for dataset in self.reports
+        )
+
+
+def run_table6(profile="ci", datasets=None, variants=None, seed=0):
+    """Regenerate Table VI; returns a :class:`Table6Result`."""
+    prof = get_profile(profile)
+    datasets = datasets if datasets is not None else prof.datasets[:1]
+    variants = tuple(variants) if variants is not None else VARIANT_NAMES
+
+    result = Table6Result(profile=prof.name)
+    for dataset_name in datasets:
+        data = prepare(dataset_name, prof)
+        table = {}
+        for variant in variants:
+            trainer = train_variant(variant, data, prof, seed=seed)
+            table[variant] = trainer.evaluate(data)
+        result.reports[dataset_name] = table
+    return result
+
+
+if __name__ == "__main__":
+    print(run_table6())

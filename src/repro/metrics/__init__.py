@@ -1,0 +1,11 @@
+"""Evaluation metrics (paper §V-B): RMSE, MAE, MAPE."""
+
+from repro.metrics.errors import (
+    EvalReport,
+    evaluate_flows,
+    mae,
+    mape,
+    rmse,
+)
+
+__all__ = ["rmse", "mae", "mape", "evaluate_flows", "EvalReport"]

@@ -1,0 +1,113 @@
+"""Forecast error metrics.
+
+The paper reports RMSE, MAE, and MAPE per dataset and per flow channel
+(outflow / inflow).  MAPE follows the standard traffic-forecasting
+convention of masking near-zero ground truth (otherwise empty regions
+at night dominate the percentage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["rmse", "mae", "mape", "evaluate_flows", "EvalReport"]
+
+
+def _validate(prediction, target, mask):
+    prediction = np.asarray(prediction, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"prediction shape {prediction.shape} != target shape {target.shape}"
+        )
+    if mask is not None:
+        mask = np.broadcast_to(np.asarray(mask, dtype=bool), target.shape)
+        if not mask.any():
+            raise ValueError("metric mask selects no elements")
+        prediction = prediction[mask]
+        target = target[mask]
+    return prediction, target
+
+
+def rmse(prediction, target, mask=None):
+    """Root mean squared error."""
+    prediction, target = _validate(prediction, target, mask)
+    return float(np.sqrt(np.mean((prediction - target) ** 2)))
+
+
+def mae(prediction, target, mask=None):
+    """Mean absolute error."""
+    prediction, target = _validate(prediction, target, mask)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def mape(prediction, target, mask=None, threshold=1.0):
+    """Mean absolute percentage error over cells with ``|target| >= threshold``.
+
+    Returns ``nan`` when no cell clears the threshold.
+    """
+    prediction, target = _validate(prediction, target, mask)
+    valid = np.abs(target) >= threshold
+    if not valid.any():
+        return float("nan")
+    return float(np.mean(np.abs(prediction[valid] - target[valid]) / np.abs(target[valid])))
+
+
+@dataclass
+class EvalReport:
+    """Per-channel metric bundle, mirroring the paper's table columns."""
+
+    outflow_rmse: float
+    outflow_mae: float
+    outflow_mape: float
+    inflow_rmse: float
+    inflow_mae: float
+    inflow_mape: float
+
+    def row(self):
+        """Values in the paper's column order."""
+        return (
+            self.outflow_rmse, self.outflow_mae, self.outflow_mape,
+            self.inflow_rmse, self.inflow_mae, self.inflow_mape,
+        )
+
+    def __str__(self):
+        return (
+            f"out RMSE {self.outflow_rmse:.2f} MAE {self.outflow_mae:.2f} "
+            f"MAPE {self.outflow_mape * 100:.2f}% | "
+            f"in RMSE {self.inflow_rmse:.2f} MAE {self.inflow_mae:.2f} "
+            f"MAPE {self.inflow_mape * 100:.2f}%"
+        )
+
+
+def evaluate_flows(prediction, target, sample_mask=None):
+    """Build an :class:`EvalReport` from ``(N, 2, H, W)`` flow arrays.
+
+    ``sample_mask`` (optional, shape ``(N,)``) restricts the evaluation
+    to a subset of samples — this is how the peak/non-peak and
+    weekday/weekend tables are produced.
+    """
+    prediction = np.asarray(prediction, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if prediction.ndim != 4 or prediction.shape[1] != 2:
+        raise ValueError(f"expected (N, 2, H, W) flows; got {prediction.shape}")
+    if sample_mask is not None:
+        sample_mask = np.asarray(sample_mask, dtype=bool)
+        if sample_mask.shape != (len(target),):
+            raise ValueError("sample_mask must have shape (N,)")
+        prediction = prediction[sample_mask]
+        target = target[sample_mask]
+        if len(target) == 0:
+            raise ValueError("sample_mask selects no samples")
+    out_pred, in_pred = prediction[:, 0], prediction[:, 1]
+    out_true, in_true = target[:, 0], target[:, 1]
+    return EvalReport(
+        outflow_rmse=rmse(out_pred, out_true),
+        outflow_mae=mae(out_pred, out_true),
+        outflow_mape=mape(out_pred, out_true),
+        inflow_rmse=rmse(in_pred, in_true),
+        inflow_mae=mae(in_pred, in_true),
+        inflow_mape=mape(in_pred, in_true),
+    )

@@ -1,0 +1,64 @@
+"""Attention primitives (for the GMAN / ST-GSP baselines)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import softmax
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor, concat, matmul, split, swapaxes
+
+__all__ = ["scaled_dot_product_attention", "MultiHeadAttention"]
+
+
+def scaled_dot_product_attention(query, key, value, mask=None):
+    """Attention(Q, K, V) = softmax(QK^T / sqrt(d)) V.
+
+    Shapes are ``(..., T_q, d)``, ``(..., T_k, d)``, ``(..., T_k, d_v)``.
+    ``mask`` (optional) is a boolean array broadcastable to the score
+    shape; ``False`` positions are excluded.
+    """
+    d = query.shape[-1]
+    scores = matmul(query, swapaxes(key, -1, -2)) * (1.0 / np.sqrt(d))
+    if mask is not None:
+        blocked = (~np.asarray(mask)).astype(scores.dtype) * -1e9
+        scores = scores + Tensor(np.broadcast_to(blocked, scores.shape).copy())
+    weights = softmax(scores, axis=-1)
+    return matmul(weights, value), weights
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention over ``(N, T, D)`` sequences."""
+
+    def __init__(self, model_dim, num_heads, rng=None):
+        super().__init__()
+        if model_dim % num_heads != 0:
+            raise ValueError(f"model_dim {model_dim} not divisible by num_heads {num_heads}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.model_dim = model_dim
+        self.num_heads = num_heads
+        self.head_dim = model_dim // num_heads
+        self.q_proj = Linear(model_dim, model_dim, rng=rng)
+        self.k_proj = Linear(model_dim, model_dim, rng=rng)
+        self.v_proj = Linear(model_dim, model_dim, rng=rng)
+        self.out_proj = Linear(model_dim, model_dim, rng=rng)
+
+    def _split_heads(self, x):
+        batch, steps, _dim = x.shape
+        x = x.reshape((batch, steps, self.num_heads, self.head_dim))
+        return swapaxes(x, 1, 2)  # (N, heads, T, head_dim)
+
+    def _merge_heads(self, x):
+        batch, _heads, steps, _dim = x.shape
+        x = swapaxes(x, 1, 2)
+        return x.reshape((batch, steps, self.model_dim))
+
+    def forward(self, query, key=None, value=None, mask=None):
+        key = key if key is not None else query
+        value = value if value is not None else key
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+        attended, _weights = scaled_dot_product_attention(q, k, v, mask=mask)
+        return self.out_proj(self._merge_heads(attended))

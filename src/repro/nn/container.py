@@ -1,0 +1,57 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.nn.module import Module
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers):
+        super().__init__()
+        for index, layer in enumerate(layers):
+            setattr(self, f"layer{index}", layer)
+        self._layers = list(layers)
+
+    def forward(self, x):
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __len__(self):
+        return len(self._layers)
+
+    def __getitem__(self, index):
+        return self._layers[index]
+
+    def __iter__(self):
+        return iter(self._layers)
+
+
+class ModuleList(Module):
+    """List of modules registered for parameter traversal."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module):
+        setattr(self, f"item{len(self._items)}", module)
+        self._items.append(module)
+        return self
+
+    def __len__(self):
+        return len(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def __iter__(self):
+        return iter(self._items)

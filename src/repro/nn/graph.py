@@ -1,0 +1,129 @@
+"""Graph convolution layers (for the GCN baselines).
+
+Grid datasets induce a natural lattice graph; :func:`grid_adjacency`
+builds it with networkx and :func:`normalize_adjacency` produces the
+symmetric-normalized operator of Kipf & Welling.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, matmul
+
+__all__ = [
+    "grid_adjacency",
+    "normalize_adjacency",
+    "GraphConv",
+    "ChebConv",
+    "AdaptiveGraphConv",
+]
+
+
+def grid_adjacency(height, width, diagonal=False):
+    """Dense adjacency of an ``height x width`` lattice.
+
+    Nodes are regions in row-major order (matching flattened grid
+    tensors).  ``diagonal=True`` adds 8-neighbourhood edges.
+    """
+    graph = nx.grid_2d_graph(height, width)
+    if diagonal:
+        for h in range(height - 1):
+            for w in range(width - 1):
+                graph.add_edge((h, w), (h + 1, w + 1))
+                graph.add_edge((h + 1, w), (h, w + 1))
+    nodes = [(h, w) for h in range(height) for w in range(width)]
+    return nx.to_numpy_array(graph, nodelist=nodes)
+
+
+def normalize_adjacency(adjacency, add_self_loops=True):
+    """Symmetric normalization D^-1/2 (A + I) D^-1/2."""
+    adjacency = np.asarray(adjacency, dtype=float)
+    if add_self_loops:
+        adjacency = adjacency + np.eye(adjacency.shape[0])
+    degree = adjacency.sum(axis=1)
+    inv_sqrt = np.where(degree > 0, degree ** -0.5, 0.0)
+    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+class GraphConv(Module):
+    """Kipf-Welling graph convolution: ``A_hat X W + b``.
+
+    ``adjacency`` is a fixed (pre-normalized) dense matrix; inputs are
+    ``(N, M, F)`` node-feature batches with ``M`` graph nodes.
+    """
+
+    def __init__(self, in_features, out_features, adjacency, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.adjacency = Tensor(np.asarray(adjacency, dtype=float))
+        self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,)))
+
+    def forward(self, x):
+        mixed = matmul(self.adjacency, x)  # broadcasts over the batch axis
+        return matmul(mixed, self.weight) + self.bias
+
+
+class ChebConv(Module):
+    """Chebyshev-polynomial graph convolution (ASTGCN's operator).
+
+    Uses the scaled Laplacian ``L~ = 2 L / lambda_max - I`` and the
+    recurrence ``T_k = 2 L~ T_{k-1} - T_{k-2}``.
+    """
+
+    def __init__(self, in_features, out_features, adjacency, order=3, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        adjacency = np.asarray(adjacency, dtype=float)
+        degree = np.diag(adjacency.sum(axis=1))
+        laplacian = degree - adjacency
+        eigs = np.linalg.eigvalsh(laplacian)
+        lam_max = float(eigs[-1]) if eigs[-1] > 0 else 2.0
+        scaled = 2.0 * laplacian / lam_max - np.eye(adjacency.shape[0])
+        self.order = order
+        self._cheb = [np.eye(adjacency.shape[0]), scaled]
+        for _ in range(2, order):
+            self._cheb.append(2.0 * scaled @ self._cheb[-1] - self._cheb[-2])
+        self._cheb = [Tensor(t) for t in self._cheb[:order]]
+        self.weights = Parameter(
+            init.glorot_uniform((order, in_features, out_features), rng)
+        )
+        self.bias = Parameter(init.zeros((out_features,)))
+
+    def forward(self, x):
+        out = None
+        for k in range(self.order):
+            term = matmul(matmul(self._cheb[k], x), self.weights[k])
+            out = term if out is None else out + term
+        return out + self.bias
+
+
+class AdaptiveGraphConv(Module):
+    """Graph conv with a learned adjacency (DMSTGCN-style dynamics).
+
+    The adjacency is ``softmax(relu(E1 E2^T))`` over learned node
+    embeddings, so spatial structure is data-driven rather than fixed.
+    """
+
+    def __init__(self, in_features, out_features, num_nodes, embed_dim=8, rng=None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.source_embed = Parameter(init.normal((num_nodes, embed_dim), rng, std=0.1))
+        self.target_embed = Parameter(init.normal((embed_dim, num_nodes), rng, std=0.1))
+        self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,)))
+
+    def adjacency(self):
+        """The current learned adjacency, rows normalized by softmax."""
+        from repro.nn.activations import softmax
+        from repro.tensor.ops import relu
+
+        return softmax(relu(matmul(self.source_embed, self.target_embed)), axis=-1)
+
+    def forward(self, x):
+        mixed = matmul(self.adjacency(), x)
+        return matmul(mixed, self.weight) + self.bias

@@ -1,0 +1,68 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+from repro.tensor.reductions import mean, var
+from repro.tensor.ops import sqrt
+
+__all__ = ["BatchNorm2d", "LayerNorm"]
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over ``(N, C, H, W)`` inputs.
+
+    Running statistics are tracked with exponential moving averages and
+    used in evaluation mode.
+    """
+
+    def __init__(self, num_features, eps=1e-5, momentum=0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)), name="weight")
+        self.bias = Parameter(init.zeros((num_features,)), name="bias")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x):
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (N, C, H, W); got shape {x.shape}")
+        if self.training:
+            mu = mean(x, axis=(0, 2, 3), keepdims=True)
+            sigma2 = var(x, axis=(0, 2, 3), keepdims=True)
+            m = self.momentum
+            self.running_mean = (1 - m) * self.running_mean + m * mu.data.reshape(-1)
+            self.running_var = (1 - m) * self.running_var + m * sigma2.data.reshape(-1)
+        else:
+            mu = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            sigma2 = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        normalized = (x - mu) / sqrt(sigma2 + self.eps)
+        scale = self.weight.reshape((1, -1, 1, 1))
+        shift = self.bias.reshape((1, -1, 1, 1))
+        return normalized * scale + shift
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing ``normalized_shape`` axes."""
+
+    def __init__(self, normalized_shape, eps=1e-5):
+        super().__init__()
+        if isinstance(normalized_shape, int):
+            normalized_shape = (normalized_shape,)
+        self.normalized_shape = tuple(normalized_shape)
+        self.eps = eps
+        self.weight = Parameter(init.ones(self.normalized_shape), name="weight")
+        self.bias = Parameter(init.zeros(self.normalized_shape), name="bias")
+
+    def forward(self, x):
+        axes = tuple(range(x.ndim - len(self.normalized_shape), x.ndim))
+        mu = mean(x, axis=axes, keepdims=True)
+        sigma2 = var(x, axis=axes, keepdims=True)
+        normalized = (x - mu) / sqrt(sigma2 + self.eps)
+        return normalized * self.weight + self.bias

@@ -1,0 +1,21 @@
+"""Optimizers, schedules, and gradient clipping."""
+
+from repro.optim.base import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.adamw import AdamW
+from repro.optim.adagrad import Adagrad
+from repro.optim.rmsprop import RMSProp
+from repro.optim.schedules import (
+    CosineDecay,
+    ExponentialDecay,
+    StepDecay,
+    WarmupCosine,
+)
+from repro.optim.clip import clip_grad_norm, clip_grad_value
+
+__all__ = [
+    "Optimizer", "SGD", "Adam", "AdamW", "Adagrad", "RMSProp",
+    "StepDecay", "ExponentialDecay", "CosineDecay", "WarmupCosine",
+    "clip_grad_norm", "clip_grad_value",
+]

@@ -1,0 +1,25 @@
+"""Adagrad optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+
+__all__ = ["Adagrad"]
+
+
+class Adagrad(Optimizer):
+    """Adagrad (Duchi et al., 2011): per-parameter accumulated scaling."""
+
+    def __init__(self, parameters, lr=1e-2, eps=1e-10):
+        super().__init__(parameters, lr)
+        self.eps = eps
+
+    def _update(self, param, grad, state):
+        accumulated = state.get("sum_sq")
+        if accumulated is None:
+            accumulated = np.zeros_like(param.data)
+        accumulated = accumulated + grad * grad
+        state["sum_sq"] = accumulated
+        param.data -= self.lr * grad / (np.sqrt(accumulated) + self.eps)

@@ -1,0 +1,36 @@
+"""Adam optimizer (the paper trains with Adam, lr=2e-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias-corrected moments."""
+
+    def __init__(self, parameters, lr=2e-4, betas=(0.9, 0.999), eps=1e-8,
+                 weight_decay=0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def _update(self, param, grad, state):
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        m = state.get("m")
+        v = state.get("v")
+        t = state.get("t", 0) + 1
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+        state["m"], state["v"], state["t"] = m, v, t
+        m_hat = m / (1.0 - self.beta1 ** t)
+        v_hat = v / (1.0 - self.beta2 ** t)
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

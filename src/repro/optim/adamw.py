@@ -1,0 +1,40 @@
+"""AdamW optimizer (decoupled weight decay)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+
+__all__ = ["AdamW"]
+
+
+class AdamW(Optimizer):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019).
+
+    Unlike L2-regularized Adam, the decay is applied directly to the
+    weights rather than folded into the gradient, which keeps the decay
+    strength independent of the adaptive step size.
+    """
+
+    def __init__(self, parameters, lr=1e-3, betas=(0.9, 0.999), eps=1e-8,
+                 weight_decay=1e-2):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def _update(self, param, grad, state):
+        m = state.get("m")
+        v = state.get("v")
+        t = state.get("t", 0) + 1
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+        state["m"], state["v"], state["t"] = m, v, t
+        m_hat = m / (1.0 - self.beta1 ** t)
+        v_hat = v / (1.0 - self.beta2 ** t)
+        param.data -= self.lr * (m_hat / (np.sqrt(v_hat) + self.eps)
+                                 + self.weight_decay * param.data)

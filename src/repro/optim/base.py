@@ -1,0 +1,44 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class: holds the parameter list and the update contract.
+
+    Subclasses implement :meth:`_update` for a single parameter given
+    its gradient and a per-parameter state dict.
+    """
+
+    def __init__(self, parameters, lr):
+        parameters = list(parameters)
+        if not parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive; got {lr}")
+        self.parameters = parameters
+        self.lr = lr
+        self._state = [dict() for _ in parameters]
+        self._step_count = 0
+
+    def zero_grad(self):
+        """Clear gradients on every tracked parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self):
+        """Apply one update using the currently accumulated gradients.
+
+        Parameters with no gradient (unused in the current graph) are
+        skipped, which lets models with conditional branches train.
+        """
+        self._step_count += 1
+        for param, state in zip(self.parameters, self._state):
+            if param.grad is None:
+                continue
+            self._update(param, param.grad, state)
+
+    def _update(self, param, grad, state):
+        raise NotImplementedError

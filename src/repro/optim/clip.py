@@ -1,0 +1,28 @@
+"""Gradient clipping utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["clip_grad_norm", "clip_grad_value"]
+
+
+def clip_grad_norm(parameters, max_norm):
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging exploding gradients).
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    total = np.sqrt(sum(float(np.sum(p.grad * p.grad)) for p in parameters))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for param in parameters:
+            param.grad *= scale
+    return total
+
+
+def clip_grad_value(parameters, max_value):
+    """Clamp every gradient element to ``[-max_value, max_value]``."""
+    for param in parameters:
+        if param.grad is not None:
+            np.clip(param.grad, -max_value, max_value, out=param.grad)

@@ -1,0 +1,26 @@
+"""RMSProp optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+
+__all__ = ["RMSProp"]
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponentially decaying squared-gradient average."""
+
+    def __init__(self, parameters, lr=1e-3, alpha=0.99, eps=1e-8):
+        super().__init__(parameters, lr)
+        self.alpha = alpha
+        self.eps = eps
+
+    def _update(self, param, grad, state):
+        avg = state.get("square_avg")
+        if avg is None:
+            avg = np.zeros_like(param.data)
+        avg = self.alpha * avg + (1.0 - self.alpha) * grad * grad
+        state["square_avg"] = avg
+        param.data -= self.lr * grad / (np.sqrt(avg) + self.eps)

@@ -1,0 +1,78 @@
+"""Learning-rate schedules (mutate ``optimizer.lr`` in place)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StepDecay", "ExponentialDecay", "CosineDecay", "WarmupCosine"]
+
+
+class _Schedule:
+    """Base: call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self):
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch)
+
+    def _lr_at(self, epoch):
+        raise NotImplementedError
+
+
+class StepDecay(_Schedule):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size, gamma=0.1):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch):
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialDecay(_Schedule):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer, gamma=0.95):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def _lr_at(self, epoch):
+        return self.base_lr * self.gamma ** epoch
+
+
+class CosineDecay(_Schedule):
+    """Cosine annealing from the base rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer, total_epochs, min_lr=0.0):
+        super().__init__(optimizer)
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def _lr_at(self, epoch):
+        progress = min(epoch / self.total_epochs, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + np.cos(np.pi * progress))
+
+
+class WarmupCosine(_Schedule):
+    """Linear warmup to the base rate, then cosine annealing."""
+
+    def __init__(self, optimizer, warmup_epochs, total_epochs, min_lr=0.0):
+        super().__init__(optimizer)
+        if warmup_epochs >= total_epochs:
+            raise ValueError("warmup must be shorter than the total schedule")
+        self.warmup_epochs = warmup_epochs
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def _lr_at(self, epoch):
+        if epoch <= self.warmup_epochs:
+            return self.base_lr * epoch / self.warmup_epochs
+        progress = (epoch - self.warmup_epochs) / (self.total_epochs - self.warmup_epochs)
+        progress = min(progress, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + np.cos(np.pi * progress))

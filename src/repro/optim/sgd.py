@@ -1,0 +1,31 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum and optional weight decay."""
+
+    def __init__(self, parameters, lr=0.01, momentum=0.0, weight_decay=0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+
+    def _update(self, param, grad, state):
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            velocity = state.get("velocity")
+            if velocity is None:
+                velocity = np.zeros_like(param.data)
+            velocity = self.momentum * velocity - self.lr * grad
+            state["velocity"] = velocity
+            param.data += velocity
+        else:
+            param.data -= self.lr * grad

@@ -1,0 +1,146 @@
+"""2-D convolution and pooling with gradients.
+
+The forward pass extracts sliding windows with
+``numpy.lib.stride_tricks.sliding_window_view`` (a zero-copy im2col) and
+contracts them against the kernel with ``tensordot``.  The backward pass
+scatters gradients back with a small loop over kernel offsets, which is
+fast for the 3x3 kernels used throughout the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.tensor.tensor import Tensor, as_tensor
+
+__all__ = ["conv2d", "avg_pool2d", "max_pool2d", "global_avg_pool2d"]
+
+
+def _pair(value):
+    """Coerce an int or 2-tuple to a (h, w) pair."""
+    if isinstance(value, int):
+        return (value, value)
+    return tuple(value)
+
+
+def conv2d(x, weight, bias=None, stride=1, padding=0):
+    """Cross-correlate ``x`` with ``weight`` (the deep-learning "conv").
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Kernel of shape ``(C_out, C_in, KH, KW)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    stride, padding:
+        Ints or (h, w) pairs; padding is symmetric zero padding.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input has {c_in} channels but kernel expects {c_in_w}")
+
+    if ph or pw:
+        x_pad = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    else:
+        x_pad = x.data
+    h_out = (h + 2 * ph - kh) // sh + 1
+    w_out = (w + 2 * pw - kw) // sw + 1
+
+    # (N, C, H', W', KH, KW) view of all receptive fields.
+    windows = sliding_window_view(x_pad, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    # Contract channels and kernel dims: result is (N, H', W', C_out).
+    out = np.tensordot(windows, weight.data, axes=([1, 4, 5], [1, 2, 3]))
+    out = np.ascontiguousarray(out.transpose(0, 3, 1, 2))
+
+    parents = [x, weight]
+    bias_t = None
+    if bias is not None:
+        bias_t = as_tensor(bias)
+        out = out + bias_t.data[None, :, None, None]
+        parents.append(bias_t)
+
+    def backward(grad):
+        if weight.requires_grad:
+            # grad: (N, C_out, H', W'); windows: (N, C_in, H', W', KH, KW)
+            grad_w = np.tensordot(grad, windows, axes=([0, 2, 3], [0, 2, 3]))
+            weight._accumulate_grad(grad_w)
+        if x.requires_grad:
+            grad_pad = np.zeros_like(x_pad)
+            # One scatter per kernel offset: cheap for small kernels.
+            for p in range(kh):
+                for q in range(kw):
+                    # (N, C_out, H', W') x (C_out, C_in) -> (N, C_in, H', W')
+                    contrib = np.tensordot(grad, weight.data[:, :, p, q], axes=([1], [0]))
+                    contrib = contrib.transpose(0, 3, 1, 2)
+                    grad_pad[:, :, p:p + h_out * sh:sh, q:q + w_out * sw:sw] += contrib
+            if ph or pw:
+                grad_x = grad_pad[:, :, ph:ph + h, pw:pw + w]
+            else:
+                grad_x = grad_pad
+            x._accumulate_grad(grad_x)
+        if bias_t is not None and bias_t.requires_grad:
+            bias_t._accumulate_grad(grad.sum(axis=(0, 2, 3)))
+
+    return Tensor._from_op(out, tuple(parents), backward, name="conv2d")
+
+
+def avg_pool2d(x, kernel_size, stride=None):
+    """Average pooling over non-overlapping or strided windows."""
+    x = as_tensor(x)
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    n, c, h, w = x.shape
+    h_out = (h - kh) // sh + 1
+    w_out = (w - kw) // sw + 1
+    windows = sliding_window_view(x.data, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    out = windows.mean(axis=(4, 5))
+    scale = 1.0 / (kh * kw)
+
+    def backward(grad):
+        grad_x = np.zeros_like(x.data)
+        for p in range(kh):
+            for q in range(kw):
+                grad_x[:, :, p:p + h_out * sh:sh, q:q + w_out * sw:sw] += grad * scale
+        x._accumulate_grad(grad_x)
+
+    return Tensor._from_op(out, (x,), backward, name="avg_pool2d")
+
+
+def max_pool2d(x, kernel_size, stride=None):
+    """Max pooling; ties split the gradient evenly."""
+    x = as_tensor(x)
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    n, c, h, w = x.shape
+    h_out = (h - kh) // sh + 1
+    w_out = (w - kw) // sw + 1
+    windows = sliding_window_view(x.data, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    out = windows.max(axis=(4, 5))
+    mask = windows == out[..., None, None]
+    counts = mask.sum(axis=(4, 5), keepdims=True)
+    share = mask / counts
+
+    def backward(grad):
+        grad_x = np.zeros_like(x.data)
+        weighted = grad[..., None, None] * share
+        for p in range(kh):
+            for q in range(kw):
+                grad_x[:, :, p:p + h_out * sh:sh, q:q + w_out * sw:sw] += weighted[..., p, q]
+        x._accumulate_grad(grad_x)
+
+    return Tensor._from_op(out, (x,), backward, name="max_pool2d")
+
+
+def global_avg_pool2d(x):
+    """Average over the spatial dims, returning ``(N, C)``."""
+    from repro.tensor.reductions import mean
+
+    return mean(x, axis=(2, 3))

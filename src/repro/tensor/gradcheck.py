@@ -1,0 +1,64 @@
+"""Numerical gradient checking for autodiff ops.
+
+Used heavily by the test suite: every primitive op is validated against
+central finite differences in float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(fn, inputs, index, eps=1e-6):
+    """Central-difference gradient of ``fn`` w.r.t. ``inputs[index]``.
+
+    ``fn`` maps a list of :class:`Tensor` inputs to a scalar
+    :class:`Tensor`.  Returns an array shaped like the chosen input.
+    """
+    base = [Tensor(t.data.copy()) for t in inputs]
+    target = base[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(base).item()
+        flat[i] = original - eps
+        minus = fn(base).item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn, inputs, atol=1e-5, rtol=1e-4, eps=1e-6):
+    """Assert analytic gradients of ``fn`` match finite differences.
+
+    Parameters
+    ----------
+    fn:
+        Callable mapping a list of tensors to a scalar tensor.
+    inputs:
+        List of float64 tensors; each gets ``requires_grad=True``.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch.
+    """
+    tracked = [Tensor(t.data.astype(np.float64), requires_grad=True) for t in inputs]
+    out = fn(tracked)
+    out.backward()
+    for i, tensor in enumerate(tracked):
+        analytic = tensor.grad
+        if analytic is None:
+            analytic = np.zeros_like(tensor.data)
+        numeric = numerical_gradient(fn, tracked, i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs diff {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

@@ -1,0 +1,248 @@
+"""Elementwise and broadcasting operations with gradients.
+
+Every function takes tensors (or values coercible to tensors), computes
+the forward result with numpy, and registers a backward closure that
+deposits gradients into the inputs.  Broadcasting is handled by
+:func:`unbroadcast`, which sums gradients over the broadcast axes so
+each input receives a gradient of its own shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, as_tensor
+
+__all__ = [
+    "unbroadcast",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "pow_",
+    "exp",
+    "log",
+    "sqrt",
+    "abs_",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "leaky_relu",
+    "softplus",
+    "clip",
+    "maximum",
+    "minimum",
+    "where",
+]
+
+
+def unbroadcast(grad, shape):
+    """Reduce ``grad`` to ``shape`` by summing over broadcast axes.
+
+    Numpy broadcasting either prepends axes or stretches size-1 axes;
+    the gradient of a broadcast is the sum over exactly those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched size-1 axes.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _binary(a, b, forward, grad_a, grad_b, name):
+    """Build a broadcasting binary op.
+
+    ``grad_a``/``grad_b`` map the upstream gradient to the raw (still
+    broadcast-shaped) gradient of each input; unbroadcasting to the
+    input shapes happens here so individual ops don't repeat it.
+    """
+    a = as_tensor(a)
+    b = as_tensor(b)
+    data = forward(a.data, b.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate_grad(unbroadcast(grad_a(grad), a.shape))
+        if b.requires_grad:
+            b._accumulate_grad(unbroadcast(grad_b(grad), b.shape))
+
+    return Tensor._from_op(data, (a, b), backward, name=name)
+
+
+def add(a, b):
+    """Elementwise ``a + b`` with broadcasting."""
+    return _binary(a, b, np.add, lambda g: g, lambda g: g, "add")
+
+
+def sub(a, b):
+    """Elementwise ``a - b`` with broadcasting."""
+    return _binary(a, b, np.subtract, lambda g: g, lambda g: -g, "sub")
+
+
+def mul(a, b):
+    """Elementwise ``a * b`` with broadcasting."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    return _binary(a, b, np.multiply, lambda g: g * b.data, lambda g: g * a.data, "mul")
+
+
+def div(a, b):
+    """Elementwise ``a / b`` with broadcasting."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    return _binary(
+        a,
+        b,
+        np.divide,
+        lambda g: g / b.data,
+        lambda g: -g * a.data / (b.data * b.data),
+        "div",
+    )
+
+
+def maximum(a, b):
+    """Elementwise maximum; gradient flows to the larger input.
+
+    Ties send the full gradient to ``a`` (matching ``np.maximum``'s
+    choice of the first argument), keeping the op's gradient well
+    defined under gradient checking.
+    """
+    a = as_tensor(a)
+    b = as_tensor(b)
+    mask = a.data >= b.data
+    return _binary(
+        a, b, np.maximum, lambda g: g * mask, lambda g: g * (~mask), "maximum"
+    )
+
+
+def minimum(a, b):
+    """Elementwise minimum; gradient flows to the smaller input."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    mask = a.data <= b.data
+    return _binary(
+        a, b, np.minimum, lambda g: g * mask, lambda g: g * (~mask), "minimum"
+    )
+
+
+def _unary(a, data, grad_fn, name):
+    a = as_tensor(a)
+
+    def backward(grad):
+        a._accumulate_grad(grad_fn(grad))
+
+    return Tensor._from_op(data, (a,), backward, name=name)
+
+
+def neg(a):
+    """Elementwise negation."""
+    a = as_tensor(a)
+    return _unary(a, -a.data, lambda g: -g, "neg")
+
+
+def pow_(a, exponent):
+    """Elementwise power with a constant (non-tensor) exponent."""
+    a = as_tensor(a)
+    if isinstance(exponent, Tensor):
+        raise TypeError("pow_ supports constant exponents only; use exp/log for tensor exponents")
+    data = a.data ** exponent
+    return _unary(a, data, lambda g: g * exponent * a.data ** (exponent - 1), "pow")
+
+
+def exp(a):
+    """Elementwise exponential."""
+    a = as_tensor(a)
+    data = np.exp(a.data)
+    return _unary(a, data, lambda g: g * data, "exp")
+
+
+def log(a):
+    """Elementwise natural logarithm."""
+    a = as_tensor(a)
+    return _unary(a, np.log(a.data), lambda g: g / a.data, "log")
+
+
+def sqrt(a):
+    """Elementwise square root."""
+    a = as_tensor(a)
+    data = np.sqrt(a.data)
+    return _unary(a, data, lambda g: g * 0.5 / data, "sqrt")
+
+
+def abs_(a):
+    """Elementwise absolute value (subgradient 0 at zero... sign)."""
+    a = as_tensor(a)
+    return _unary(a, np.abs(a.data), lambda g: g * np.sign(a.data), "abs")
+
+
+def tanh(a):
+    """Elementwise hyperbolic tangent."""
+    a = as_tensor(a)
+    data = np.tanh(a.data)
+    return _unary(a, data, lambda g: g * (1.0 - data * data), "tanh")
+
+
+def sigmoid(a):
+    """Numerically stable elementwise logistic sigmoid."""
+    a = as_tensor(a)
+    x = a.data
+    data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+    return _unary(a, data, lambda g: g * data * (1.0 - data), "sigmoid")
+
+
+def relu(a):
+    """Elementwise rectified linear unit."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    return _unary(a, a.data * mask, lambda g: g * mask, "relu")
+
+
+def leaky_relu(a, negative_slope=0.01):
+    """Leaky ReLU with configurable negative slope."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    scale = np.where(mask, 1.0, negative_slope)
+    return _unary(a, a.data * scale, lambda g: g * scale, "leaky_relu")
+
+
+def softplus(a):
+    """Numerically stable ``log(1 + exp(a))``."""
+    a = as_tensor(a)
+    x = a.data
+    data = np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+    sig = np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+    return _unary(a, data, lambda g: g * sig, "softplus")
+
+
+def clip(a, low, high):
+    """Clamp values to ``[low, high]``; gradient is zero outside."""
+    a = as_tensor(a)
+    mask = (a.data >= low) & (a.data <= high)
+    return _unary(a, np.clip(a.data, low, high), lambda g: g * mask, "clip")
+
+
+def where(condition, a, b):
+    """Select from ``a`` where ``condition`` else from ``b``.
+
+    ``condition`` is a plain boolean array (no gradient flows to it).
+    """
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    cond = cond.astype(bool)
+    a = as_tensor(a)
+    b = as_tensor(b)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate_grad(unbroadcast(grad * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate_grad(unbroadcast(grad * (~cond), b.shape))
+
+    return Tensor._from_op(data, (a, b), backward, name="where")

@@ -1,0 +1,41 @@
+"""Seeded randomness helpers for the tensor library.
+
+All stochastic behaviour in the library flows through
+``numpy.random.Generator`` objects so experiments are reproducible from
+a single integer seed.  :func:`spawn` derives independent child
+generators for submodules (data simulation, weight init,
+reparameterization noise) so changing one consumer does not shift the
+random stream of another.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["make_rng", "spawn", "normal_like", "reparameterize_noise"]
+
+
+def make_rng(seed):
+    """Create a ``numpy.random.Generator`` from an int seed (or pass one through)."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng, count):
+    """Derive ``count`` statistically independent child generators."""
+    seq = np.random.SeedSequence(rng.integers(0, 2**63 - 1, dtype=np.int64))
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def normal_like(tensor, rng, scale=1.0):
+    """Detached standard-normal noise with ``tensor``'s shape and dtype."""
+    data = rng.standard_normal(tensor.shape).astype(tensor.dtype) * scale
+    return Tensor(data)
+
+
+def reparameterize_noise(shape, rng, dtype=np.float64):
+    """Standard-normal epsilon for the VAE reparameterization trick."""
+    return Tensor(rng.standard_normal(shape).astype(dtype))

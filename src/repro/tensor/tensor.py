@@ -1,0 +1,254 @@
+"""Core reverse-mode autodiff tensor.
+
+This module provides the :class:`Tensor` class, a thin wrapper around a
+``numpy.ndarray`` that records the operations applied to it so that
+gradients can be computed with a single call to :meth:`Tensor.backward`.
+
+The design follows the classic "tape by closure" pattern: every
+operation returns a new ``Tensor`` whose ``_backward`` attribute is a
+closure that, given the upstream gradient, deposits gradients into the
+operation's inputs.  ``backward()`` walks the graph in reverse
+topological order and invokes those closures.
+
+Only the graph bookkeeping lives here; the actual operations are
+implemented in the sibling modules (:mod:`repro.tensor.ops`,
+:mod:`repro.tensor.matmul`, :mod:`repro.tensor.reductions`,
+:mod:`repro.tensor.shape`, :mod:`repro.tensor.conv`) and attached to
+``Tensor`` as methods by :mod:`repro.tensor` at import time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
+    "as_tensor",
+]
+
+_GRAD_ENABLED = True
+_DEFAULT_DTYPE = np.float64
+
+
+def set_default_dtype(dtype):
+    """Set the dtype used when constructing tensors from Python data.
+
+    ``float64`` (the default) is what the gradient-checking tests use;
+    models switch to ``float32`` for speed.
+    """
+    global _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = np.dtype(dtype).type
+
+
+def get_default_dtype():
+    """Return the dtype currently used for new tensors."""
+    return _DEFAULT_DTYPE
+
+
+def is_grad_enabled():
+    """Return ``True`` when operations should record the autodiff tape."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient recording.
+
+    Inside the block every operation behaves like plain numpy: outputs
+    have ``requires_grad=False`` and no backward closures are created.
+    Use it for evaluation loops and data preprocessing.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+class Tensor:
+    """A numpy array plus the bookkeeping needed for backpropagation.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts.  Floating point inputs keep
+        their dtype; Python scalars/lists are converted to the default
+        dtype (see :func:`set_default_dtype`).
+    requires_grad:
+        When ``True`` the tensor accumulates gradients during
+        :meth:`backward`.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad=False, name=None):
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data)
+        if array.dtype.kind not in "fc":
+            array = array.astype(_DEFAULT_DTYPE)
+        self.data = array
+        self.grad = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward = None
+        self._parents = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        """Number of dimensions of the underlying array."""
+        return self.data.ndim
+
+    @property
+    def size(self):
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def dtype(self):
+        """Dtype of the underlying array."""
+        return self.data.dtype
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        label = f" name={self.name!r}" if self.name else ""
+        grad = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad}{label})"
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers (used by the op modules)
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_op(cls, data, parents, backward, name=None):
+        """Build a graph node from an op result.
+
+        ``parents`` is the tuple of input tensors, ``backward`` the
+        closure mapping the upstream gradient to per-parent gradient
+        deposits.  When gradients are globally disabled or no parent
+        requires them, the result is a detached leaf.
+        """
+        out = cls(data, name=name)
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate_grad(self, grad):
+        """Add ``grad`` into ``self.grad``, allocating on first use."""
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match tensor shape "
+                f"{self.data.shape} (tensor {self.name or '<unnamed>'})"
+            )
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad=None):
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient with the same shape as ``self``.  May be
+            omitted for scalar tensors, in which case it defaults to 1.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient is only valid "
+                    f"for scalar tensors; got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        self._accumulate_grad(np.broadcast_to(np.asarray(grad), self.data.shape))
+
+        for node in reversed(self._topological_order()):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    def _topological_order(self):
+        """Return graph nodes reachable from ``self`` in topological order."""
+        order = []
+        visited = set()
+        # Iterative DFS: model graphs are deep enough (recurrent nets
+        # unrolled over time) that recursion would hit Python's limit.
+        stack = [(self, iter(self._parents))]
+        visited.add(id(self))
+        while stack:
+            node, parents = stack[-1]
+            advanced = False
+            for parent in parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    visited.add(id(parent))
+                    stack.append((parent, iter(parent._parents)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+        return order
+
+    # ------------------------------------------------------------------
+    # Gradient / graph management
+    # ------------------------------------------------------------------
+    def zero_grad(self):
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def detach(self):
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False, name=self.name)
+
+    def copy(self):
+        """Return a detached deep copy."""
+        return Tensor(self.data.copy(), requires_grad=False, name=self.name)
+
+    def numpy(self):
+        """Return the underlying numpy array (shared, not copied)."""
+        return self.data
+
+    def item(self):
+        """Return the value of a scalar tensor as a Python number."""
+        return self.data.item()
+
+    def astype(self, dtype):
+        """Return a detached copy cast to ``dtype``."""
+        return Tensor(self.data.astype(dtype))
+
+
+def as_tensor(value, name=None):
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, name=name)

@@ -1,0 +1,18 @@
+"""Training harness: trainer, history, seeding."""
+
+from repro.training.history import History
+from repro.training.trainer import TrainConfig, Trainer
+from repro.training.uncertainty import (
+    ConformalForecaster,
+    ensemble_predict,
+    interval_coverage,
+)
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.rollout import direct_vs_recursive_rmse, recursive_forecast
+
+__all__ = [
+    "History", "TrainConfig", "Trainer",
+    "ConformalForecaster", "ensemble_predict", "interval_coverage",
+    "save_checkpoint", "load_checkpoint",
+    "recursive_forecast", "direct_vs_recursive_rmse",
+]

@@ -1,0 +1,92 @@
+"""Training checkpoints: model + optimizer + progress in one file.
+
+Long paper-profile runs should survive interruption; a checkpoint
+bundles the model weights, the optimizer's slot variables (Adam
+moments etc.), the step count, and the training history into one
+``.npz`` archive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.training.history import History
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(path, model, optimizer, history=None, epoch=None):
+    """Write a resumable training snapshot.
+
+    Parameters
+    ----------
+    model, optimizer:
+        The :class:`~repro.nn.Module` and
+        :class:`~repro.optim.Optimizer` to snapshot.  The optimizer
+        must be tracking exactly the model's parameters (the usual
+        setup).
+    history:
+        Optional :class:`~repro.training.History` to carry along.
+    epoch:
+        Optional epoch counter stored for bookkeeping.
+    """
+    payload = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "lr": np.array(optimizer.lr),
+        "step_count": np.array(optimizer._step_count),
+        "epoch": np.array(-1 if epoch is None else epoch),
+    }
+    for name, value in model.state_dict().items():
+        payload[f"model/{name}"] = value
+    for index, state in enumerate(optimizer._state):
+        for key, value in state.items():
+            payload[f"opt/{index}/{key}"] = np.asarray(value)
+    if history is not None:
+        payload["history/train_loss"] = np.array(history.train_loss)
+        payload["history/train_reg"] = np.array(history.train_reg)
+        payload["history/val_rmse"] = np.array(history.val_rmse)
+        payload["history/best"] = np.array([history.best_epoch, history.best_val_rmse])
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(path, model, optimizer):
+    """Restore a snapshot in place; returns ``(history, epoch)``.
+
+    ``history`` is ``None`` when the checkpoint carried none.
+    """
+    with np.load(path) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        model.load_state_dict({
+            key[len("model/"):]: archive[key]
+            for key in archive.files if key.startswith("model/")
+        })
+        optimizer.lr = float(archive["lr"])
+        optimizer._step_count = int(archive["step_count"])
+        for index in range(len(optimizer._state)):
+            prefix = f"opt/{index}/"
+            state = {}
+            for key in archive.files:
+                if key.startswith(prefix):
+                    value = archive[key]
+                    state[key[len(prefix):]] = (
+                        int(value) if value.ndim == 0 and value.dtype.kind == "i"
+                        else value.copy()
+                    )
+            optimizer._state[index] = state
+
+        history = None
+        if "history/train_loss" in archive.files:
+            history = History(
+                train_loss=list(archive["history/train_loss"]),
+                train_reg=list(archive["history/train_reg"]),
+                val_rmse=list(archive["history/val_rmse"]),
+            )
+            best_epoch, best_rmse = archive["history/best"]
+            history.best_epoch = int(best_epoch)
+            history.best_val_rmse = float(best_rmse)
+        epoch = int(archive["epoch"])
+        return history, (None if epoch < 0 else epoch)

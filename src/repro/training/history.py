@@ -1,0 +1,39 @@
+"""Training history record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["History"]
+
+
+@dataclass
+class History:
+    """Per-epoch curves collected by the trainer."""
+
+    train_loss: list = field(default_factory=list)
+    train_reg: list = field(default_factory=list)
+    val_rmse: list = field(default_factory=list)
+    best_epoch: int = -1
+    best_val_rmse: float = float("inf")
+    stopped_early: bool = False
+
+    @property
+    def epochs_run(self):
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+    def record(self, train_loss, train_reg, val_rmse, min_delta=0.0):
+        """Append one epoch; returns True when this is a new best.
+
+        ``min_delta`` is the minimum improvement that counts as a new
+        best (standard early-stopping slack).
+        """
+        self.train_loss.append(train_loss)
+        self.train_reg.append(train_reg)
+        self.val_rmse.append(val_rmse)
+        if val_rmse < self.best_val_rmse - min_delta:
+            self.best_val_rmse = val_rmse
+            self.best_epoch = len(self.val_rmse) - 1
+            return True
+        return False

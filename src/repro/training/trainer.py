@@ -1,0 +1,123 @@
+"""Generic trainer for MUSE-Net and the baselines.
+
+Every model follows the same protocol:
+
+- ``training_loss(batch, rng) -> (LossBreakdown, outputs)`` where
+  ``outputs.prediction`` is the scaled flow prediction, and
+- ``predict(batch) -> ndarray`` of scaled predictions.
+
+The trainer mirrors the paper's setup — Adam, batch size 8 — with
+early stopping on validation RMSE and restoration of the best weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.pipeline import ForecastData
+from repro.data.windows import SampleBatch, iterate_batches
+from repro.metrics import evaluate_flows, rmse
+from repro.optim import Adam, clip_grad_norm
+from repro.training.history import History
+
+__all__ = ["TrainConfig", "Trainer"]
+
+
+@dataclass
+class TrainConfig:
+    """Trainer hyper-parameters (paper defaults where applicable)."""
+
+    epochs: int = 20
+    batch_size: int = 8
+    lr: float = 2e-4  # the paper's Adam learning rate
+    clip_norm: float = 5.0
+    patience: int = None  # early stopping; None disables
+    min_delta: float = 0.0  # minimum val-RMSE improvement that resets patience
+    seed: int = 0
+    verbose: bool = False
+    eval_batch_size: int = 64
+
+
+class Trainer:
+    """Fit a forecasting model on prepared :class:`ForecastData`."""
+
+    def __init__(self, model, config: TrainConfig = None):
+        self.model = model
+        self.config = config if config is not None else TrainConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr)
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def fit(self, data: ForecastData):
+        """Train with early stopping; restores the best-val weights."""
+        config = self.config
+        history = History()
+        best_state = None
+        bad_epochs = 0
+
+        for epoch in range(config.epochs):
+            self.model.train()
+            epoch_losses = []
+            epoch_regs = []
+            for batch in iterate_batches(data.train, config.batch_size, rng=self._rng):
+                self.optimizer.zero_grad()
+                breakdown, _outputs = self.model.training_loss(batch, rng=self._rng)
+                breakdown.total.backward()
+                if config.clip_norm:
+                    clip_grad_norm(self.model.parameters(), config.clip_norm)
+                self.optimizer.step()
+                epoch_losses.append(breakdown.total.item())
+                epoch_regs.append(breakdown.reg.item())
+
+            val_rmse = self._validation_rmse(data)
+            improved = history.record(
+                float(np.mean(epoch_losses)), float(np.mean(epoch_regs)), val_rmse,
+                min_delta=config.min_delta,
+            )
+            if improved:
+                best_state = self.model.state_dict()
+                bad_epochs = 0
+            else:
+                bad_epochs += 1
+            if config.verbose:
+                print(
+                    f"epoch {epoch + 1}/{config.epochs} "
+                    f"loss {history.train_loss[-1]:.4f} "
+                    f"reg {history.train_reg[-1]:.4f} val-rmse {val_rmse:.4f}"
+                )
+            if config.patience is not None and bad_epochs > config.patience:
+                history.stopped_early = True
+                break
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return history
+
+    # ------------------------------------------------------------------
+    def predict_scaled(self, batch: SampleBatch):
+        """Model predictions in scaled ([-1, 1]) space, chunked."""
+        self.model.eval()
+        pieces = []
+        size = self.config.eval_batch_size
+        for start in range(0, len(batch), size):
+            pieces.append(self.model.predict(batch.take(range(start, min(start + size, len(batch))))))
+        return np.concatenate(pieces, axis=0)
+
+    def predict_flows(self, data: ForecastData, batch: SampleBatch):
+        """Predictions mapped back to flow units."""
+        return data.inverse(self.predict_scaled(batch))
+
+    def _validation_rmse(self, data: ForecastData):
+        prediction = self.predict_flows(data, data.val)
+        truth = data.inverse(data.val.target)
+        return rmse(prediction, truth)
+
+    def evaluate(self, data: ForecastData, batch: SampleBatch = None, sample_mask=None):
+        """Full :class:`~repro.metrics.EvalReport` on a split (default test)."""
+        batch = batch if batch is not None else data.test
+        prediction = self.predict_flows(data, batch)
+        truth = data.inverse(batch.target)
+        return evaluate_flows(prediction, truth, sample_mask=sample_mask)

@@ -1,0 +1,10 @@
+"""Terminal visualization (no plotting libraries available offline)."""
+
+from repro.viz.text import (
+    heatmap,
+    histogram,
+    line_chart,
+    sparkline,
+)
+
+__all__ = ["sparkline", "line_chart", "heatmap", "histogram"]

@@ -1,0 +1,116 @@
+"""Text-based charts for terminals.
+
+The offline environment has no plotting stack, so the figure runners
+and examples render their series and grids as Unicode charts: compact
+sparklines, multi-row line charts, shaded heatmaps, and histograms.
+Pure functions over numpy arrays; all return strings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "line_chart", "heatmap", "histogram"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_SHADE_LEVELS = " ░▒▓█"
+
+
+def _normalize(values, low=None, high=None):
+    values = np.asarray(values, dtype=float)
+    low = float(np.nanmin(values)) if low is None else low
+    high = float(np.nanmax(values)) if high is None else high
+    if high == low:
+        return np.zeros_like(values)
+    return np.clip((values - low) / (high - low), 0.0, 1.0)
+
+
+def sparkline(values, low=None, high=None):
+    """One-line bar chart: ``sparkline([1,5,3]) == '▁█▄'``.
+
+    ``low``/``high`` pin the scale (useful when aligning several
+    sparklines); NaNs render as spaces.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    unit = _normalize(values, low, high)
+    chars = []
+    for value, u in zip(values, unit):
+        if np.isnan(value):
+            chars.append(" ")
+        else:
+            chars.append(_SPARK_LEVELS[int(round(u * (len(_SPARK_LEVELS) - 1)))])
+    return "".join(chars)
+
+
+def line_chart(series, height=8, width=None, labels=None):
+    """Multi-series ASCII line chart.
+
+    ``series`` is a dict ``{name: 1-D array}`` (or a single array).
+    Each series gets a distinct marker; a shared y-scale and a legend
+    are included.  ``width`` resamples long series to fit.
+    """
+    if isinstance(series, (list, np.ndarray)):
+        series = {"series": np.asarray(series)}
+    markers = "•xo+*#@"
+    arrays = {name: np.asarray(vals, dtype=float) for name, vals in series.items()}
+    if not arrays:
+        return "(no data)"
+    length = max(len(a) for a in arrays.values())
+    if width is not None and length > width:
+        def resample(a):
+            idx = np.linspace(0, len(a) - 1, width).round().astype(int)
+            return a[idx]
+        arrays = {name: resample(a) for name, a in arrays.items()}
+        length = width
+
+    low = min(float(np.nanmin(a)) for a in arrays.values())
+    high = max(float(np.nanmax(a)) for a in arrays.values())
+    grid = [[" "] * length for _ in range(height)]
+    for index, (name, values) in enumerate(arrays.items()):
+        marker = markers[index % len(markers)]
+        unit = _normalize(values, low, high)
+        for x, u in enumerate(unit):
+            if np.isnan(values[x]):
+                continue
+            y = height - 1 - int(round(u * (height - 1)))
+            grid[y][x] = marker
+    lines = [f"{high:10.2f} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{low:10.2f} ┤" + "".join(grid[-1]))
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(arrays)
+    )
+    return "\n".join(lines) + "\n" + " " * 12 + legend
+
+
+def heatmap(matrix, low=None, high=None, row_labels=None):
+    """Shaded-block rendering of a 2-D array.
+
+    Intensity maps to ``' ░▒▓█'``; pass ``low``/``high`` to pin the
+    scale across several heatmaps.
+    """
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+    unit = _normalize(matrix, low, high)
+    lines = []
+    for r, row in enumerate(unit):
+        cells = "".join(
+            _SHADE_LEVELS[int(round(u * (len(_SHADE_LEVELS) - 1)))] * 2 for u in row
+        )
+        label = f"{row_labels[r]:>8} " if row_labels is not None else ""
+        lines.append(label + cells)
+    return "\n".join(lines)
+
+
+def histogram(values, bins=10, width=40):
+    """Horizontal bar histogram of a 1-D sample."""
+    values = np.asarray(values, dtype=float).ravel()
+    counts, edges = np.histogram(values, bins=bins)
+    top = counts.max() if counts.max() > 0 else 1
+    lines = []
+    for count, left, right in zip(counts, edges[:-1], edges[1:]):
+        bar = "█" * int(round(width * count / top))
+        lines.append(f"[{left:8.2f}, {right:8.2f}) {bar} {count}")
+    return "\n".join(lines)

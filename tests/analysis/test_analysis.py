@@ -1,0 +1,148 @@
+"""Tests for t-SNE, similarity, and complexity analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    complexity_table,
+    cosine_similarity_matrix,
+    diagonal_similarity,
+    flatten_per_sample,
+    silhouette_score,
+    tsne,
+)
+
+
+def gaussian_clusters(rng, centers, per_cluster=20, dim=10, spread=0.3):
+    points, labels = [], []
+    for label, center in enumerate(centers):
+        blob = rng.standard_normal((per_cluster, dim)) * spread + center
+        points.append(blob)
+        labels.extend([label] * per_cluster)
+    return np.concatenate(points), np.array(labels)
+
+
+class TestTSNE:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((30, 8))
+        y = tsne(x, iterations=50, seed=0)
+        assert y.shape == (30, 2)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((20, 5))
+        a = tsne(x, iterations=50, seed=1)
+        b = tsne(x, iterations=50, seed=1)
+        np.testing.assert_allclose(a, b)
+
+    def test_separates_well_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        centers = [np.zeros(10), np.full(10, 8.0), np.concatenate([np.full(5, -8.0), np.zeros(5)])]
+        points, labels = gaussian_clusters(rng, centers)
+        embedding = tsne(points, iterations=250, seed=0)
+        # Clusters that are separated in input space must stay separated
+        # in the embedding.
+        assert silhouette_score(embedding, labels) > 0.5
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 4)))
+
+    def test_output_centered(self):
+        rng = np.random.default_rng(0)
+        y = tsne(rng.standard_normal((15, 6)), iterations=30, seed=0)
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-9)
+
+
+class TestSilhouette:
+    def test_perfect_separation_near_one(self):
+        points = np.array([[0.0, 0], [0.1, 0], [10.0, 0], [10.1, 0]])
+        labels = np.array([0, 0, 1, 1])
+        assert silhouette_score(points, labels) > 0.9
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        points = rng.standard_normal((60, 4))
+        labels = rng.integers(0, 2, size=60)
+        assert abs(silhouette_score(points, labels)) < 0.2
+
+    def test_single_cluster_raises(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((4, 2)), np.zeros(4))
+
+
+class TestSimilarity:
+    def test_self_similarity_is_one(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((5, 7))
+        np.testing.assert_allclose(np.diag(cosine_similarity_matrix(a, a)), 1.0)
+
+    def test_orthogonal_vectors_zero(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        np.testing.assert_allclose(cosine_similarity_matrix(a, b), [[0.0]], atol=1e-12)
+
+    def test_opposite_vectors_minus_one(self):
+        a = np.array([[1.0, 2.0]])
+        np.testing.assert_allclose(cosine_similarity_matrix(a, -a), [[-1.0]])
+
+    def test_matrix_shape(self):
+        rng = np.random.default_rng(0)
+        sim = cosine_similarity_matrix(rng.standard_normal((4, 3, 3)),
+                                       rng.standard_normal((6, 9)))
+        assert sim.shape == (4, 6)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        sim = cosine_similarity_matrix(rng.standard_normal((10, 5)),
+                                       rng.standard_normal((10, 5)))
+        assert np.all(sim <= 1.0 + 1e-12)
+        assert np.all(sim >= -1.0 - 1e-12)
+
+    def test_diagonal_matches_matrix_diagonal(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((6, 8))
+        b = rng.standard_normal((6, 8))
+        np.testing.assert_allclose(
+            diagonal_similarity(a, b), np.diag(cosine_similarity_matrix(a, b))
+        )
+
+    def test_diagonal_length_mismatch(self):
+        with pytest.raises(ValueError):
+            diagonal_similarity(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_flatten_per_sample(self):
+        assert flatten_per_sample(np.zeros((4, 2, 3))).shape == (4, 6)
+
+    def test_zero_vector_does_not_nan(self):
+        sim = cosine_similarity_matrix(np.zeros((1, 3)), np.ones((1, 3)))
+        assert np.isfinite(sim).all()
+
+
+class TestComplexity:
+    def test_four_methods(self):
+        entries = complexity_table(L=11, d=64, M=200)
+        assert [e.method for e in entries] == ["DeepSTN+", "DMSTGCN", "GMAN", "MUSE-Net"]
+
+    def test_musenet_matches_deepstn(self):
+        # Table I: MUSE-Net has the same asymptotic complexity as DeepSTN+.
+        entries = {e.method: e for e in complexity_table(L=11, d=64, M=200)}
+        assert entries["MUSE-Net"].time_value == entries["DeepSTN+"].time_value
+        assert entries["MUSE-Net"].space_value == entries["DeepSTN+"].space_value
+
+    def test_gman_slower_for_large_grids(self):
+        # The paper argues MUSE-Net is faster than GMAN because L, d << M.
+        entries = {e.method: e for e in complexity_table(L=11, d=64, M=1024)}
+        assert entries["MUSE-Net"].time_value < entries["GMAN"].time_value
+
+    def test_dense_graph_hurts_dmstgcn(self):
+        # With E -> M^2, DMSTGCN's time exceeds MUSE-Net's.
+        M = 1024
+        entries = {e.method: e for e in complexity_table(L=11, d=64, M=M, E=M * M)}
+        assert entries["DMSTGCN"].time_value > entries["MUSE-Net"].time_value
+
+    def test_default_edge_count_is_lattice(self):
+        sparse = complexity_table(L=11, d=64, M=200)
+        explicit = complexity_table(L=11, d=64, M=200, E=400)
+        assert sparse[1].time_value == explicit[1].time_value

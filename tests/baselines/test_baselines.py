@@ -1,0 +1,137 @@
+"""Contract and behaviour tests for all 11 baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINE_NAMES,
+    BaselineConfig,
+    BaselineForecaster,
+    make_baseline,
+)
+from repro.baselines.stnorm import spatial_norm, temporal_norm
+from repro.optim import Adam, clip_grad_norm
+from repro.tensor import Tensor
+
+
+class TestRegistry:
+    def test_all_eleven_present(self):
+        assert len(BASELINE_NAMES) == 11
+
+    def test_paper_names(self):
+        for name in ("RNN", "Seq2Seq", "ASTGCN", "CONVGCN", "GMAN", "STGNN",
+                     "DMSTGCN", "ST-Norm", "STGSP", "DeepSTN+", "ST-SSL"):
+            assert name in BASELINE_NAMES
+
+    def test_unknown_name_raises(self, baseline_config):
+        with pytest.raises(ValueError):
+            make_baseline("ARIMA", baseline_config)
+
+
+class TestConfig:
+    def test_derived_quantities(self):
+        config = BaselineConfig(len_closeness=3, len_period=4, len_trend=4,
+                                height=10, width=20)
+        assert config.total_length == 11
+        assert config.num_regions == 200
+        assert config.frame_features == 400
+
+    def test_for_data(self, tiny_data, baseline_config):
+        assert baseline_config.height == tiny_data.grid.height
+        assert baseline_config.len_closeness == tiny_data.periodicity.len_closeness
+
+
+@pytest.mark.parametrize("name", BASELINE_NAMES)
+class TestEveryBaseline:
+    def test_prediction_shape_and_range(self, name, tiny_data, baseline_config):
+        model = make_baseline(name, baseline_config)
+        prediction = model.predict(tiny_data.test)
+        assert prediction.shape == tiny_data.test.target.shape
+        assert np.all(np.abs(prediction) <= 1.0)  # all heads end in tanh
+
+    def test_one_training_step_updates_all_parameters(self, name, tiny_data,
+                                                      baseline_config):
+        model = make_baseline(name, baseline_config)
+        model.train()
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        batch = tiny_data.train.take(range(6))
+        breakdown, outputs = model.training_loss(batch, rng=np.random.default_rng(0))
+        assert np.isfinite(breakdown.total.item())
+        breakdown.total.backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        # Every parameter participates in the loss graph.
+        assert all(grads), f"{name}: {sum(not g for g in grads)} parameters without grad"
+        optimizer.step()
+
+    def test_loss_decreases_over_steps(self, name, tiny_data, baseline_config):
+        model = make_baseline(name, baseline_config)
+        model.train()
+        optimizer = Adam(model.parameters(), lr=2e-3)
+        rng = np.random.default_rng(0)
+        batch = tiny_data.train.take(range(12))
+        first = last = None
+        for _ in range(6):
+            optimizer.zero_grad()
+            breakdown, _ = model.training_loss(batch, rng=rng)
+            breakdown.total.backward()
+            clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+            if first is None:
+                first = breakdown.reg.item()
+            last = breakdown.reg.item()
+        assert last < first, f"{name} did not learn: {first} -> {last}"
+
+    def test_deterministic_prediction(self, name, tiny_data, baseline_config):
+        model = make_baseline(name, baseline_config)
+        a = model.predict(tiny_data.test)
+        b = model.predict(tiny_data.test)
+        np.testing.assert_allclose(a, b)
+
+
+class TestSTNormComponents:
+    def test_temporal_norm_zero_mean_over_time(self):
+        frames = Tensor(np.random.default_rng(0).uniform(0, 5, (2, 6, 2, 3, 3)))
+        out = temporal_norm(frames)
+        np.testing.assert_allclose(out.data.mean(axis=1), 0.0, atol=1e-7)
+
+    def test_spatial_norm_zero_mean_over_space(self):
+        frames = Tensor(np.random.default_rng(0).uniform(0, 5, (2, 6, 2, 3, 3)))
+        out = spatial_norm(frames)
+        np.testing.assert_allclose(out.data.mean(axis=(3, 4)), 0.0, atol=1e-7)
+
+    def test_constant_input_is_finite(self):
+        frames = Tensor(np.full((1, 4, 2, 3, 3), 7.0))
+        assert np.all(np.isfinite(temporal_norm(frames).data))
+        assert np.all(np.isfinite(spatial_norm(frames).data))
+
+
+class TestSTSSL:
+    def test_auxiliary_loss_active_in_training(self, tiny_data, baseline_config):
+        model = make_baseline("ST-SSL", baseline_config)
+        model.train()
+        batch = tiny_data.train.take(range(6))
+        breakdown, _ = model.training_loss(batch, rng=np.random.default_rng(0))
+        assert breakdown.push.item() != 0.0  # aux loss recorded in `push`
+
+    def test_auxiliary_loss_disabled_in_eval(self, tiny_data, baseline_config):
+        model = make_baseline("ST-SSL", baseline_config)
+        model.eval()
+        batch = tiny_data.train.take(range(6))
+        breakdown, _ = model.training_loss(batch, rng=np.random.default_rng(0))
+        assert breakdown.push.item() == 0.0
+
+
+class TestBaseClass:
+    def test_forward_not_implemented(self, baseline_config):
+        with pytest.raises(NotImplementedError):
+            BaselineForecaster(baseline_config)(None, None, None)
+
+    def test_frames_order_is_chronological(self, baseline_config, tiny_data):
+        model = make_baseline("RNN", baseline_config)
+        batch = tiny_data.train.take(range(2))
+        frames = model._frames((batch.closeness, batch.period, batch.trend))
+        lt = baseline_config.len_trend
+        lp = baseline_config.len_period
+        np.testing.assert_allclose(frames.data[:, :lt], batch.trend)
+        np.testing.assert_allclose(frames.data[:, lt:lt + lp], batch.period)
+        np.testing.assert_allclose(frames.data[:, lt + lp:], batch.closeness)

@@ -1,0 +1,69 @@
+"""Tests for the naive reference forecasters and sanity comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HistoricalAverageForecaster, PersistenceForecaster
+from repro.core import MUSENet
+from repro.metrics import rmse
+from repro.training import TrainConfig, Trainer
+
+
+class TestPersistence:
+    def test_predicts_last_closeness_frame(self, tiny_data):
+        model = PersistenceForecaster().fit()
+        prediction = model.predict(tiny_data.test)
+        np.testing.assert_allclose(prediction, tiny_data.test.closeness[:, -1])
+
+    def test_shape(self, tiny_data):
+        prediction = PersistenceForecaster().predict(tiny_data.test)
+        assert prediction.shape == tiny_data.test.target.shape
+
+    def test_output_is_copy(self, tiny_data):
+        prediction = PersistenceForecaster().predict(tiny_data.test)
+        prediction[...] = 0.0
+        assert tiny_data.test.closeness[:, -1].max() != 0.0
+
+
+class TestHistoricalAverage:
+    def test_predict_before_fit_raises(self, tiny_data):
+        model = HistoricalAverageForecaster(tiny_data.grid)
+        with pytest.raises(RuntimeError):
+            model.predict(tiny_data.test)
+
+    def test_constant_flows_recovered_exactly(self, tiny_data):
+        # With constant targets, the average equals the constant.
+        model = HistoricalAverageForecaster(tiny_data.grid)
+        batch = tiny_data.train
+        constant = batch.take(np.arange(len(batch)))
+        constant.target = np.ones_like(constant.target) * 0.25
+        model.fit(constant)
+        prediction = model.predict(constant)
+        np.testing.assert_allclose(prediction, 0.25)
+
+    def test_beats_persistence_on_periodic_data(self, full_data):
+        # Traffic is strongly daily-periodic, so time-of-day averages
+        # should beat naive persistence over the full test tail.
+        historical = HistoricalAverageForecaster(full_data.grid).fit(full_data.train)
+        persistence = PersistenceForecaster()
+        truth = full_data.test.target
+        rmse_hist = rmse(historical.predict(full_data.test), truth)
+        rmse_pers = rmse(persistence.predict(full_data.test), truth)
+        assert rmse_hist < rmse_pers
+
+    def test_unseen_key_falls_back_to_global_mean(self, tiny_data):
+        model = HistoricalAverageForecaster(tiny_data.grid)
+        small = tiny_data.train.take(range(4))  # few keys covered
+        model.fit(small)
+        prediction = model.predict(tiny_data.test)
+        assert np.all(np.isfinite(prediction))
+
+
+class TestTrainedBeatsNaive:
+    def test_muse_beats_persistence(self, full_data, tiny_config):
+        trainer = Trainer(MUSENet(tiny_config), TrainConfig(epochs=8, lr=2e-3))
+        trainer.fit(full_data)
+        truth = full_data.test.target
+        model_rmse = rmse(trainer.predict_scaled(full_data.test), truth)
+        naive_rmse = rmse(PersistenceForecaster().predict(full_data.test), truth)
+        assert model_rmse < naive_rmse

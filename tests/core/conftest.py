@@ -1,0 +1,26 @@
+"""Shared fixtures for core-model tests: a tiny prepared dataset."""
+
+import pytest
+
+from repro.core import MuseConfig
+from repro.data import load_dataset, prepare_forecast_data
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    """Tiny NYC-Bike analogue prepared for forecasting (cached)."""
+    dataset = load_dataset("nyc-bike", scale="tiny")
+    return prepare_forecast_data(dataset, max_train_samples=32, max_test_samples=12)
+
+
+@pytest.fixture(scope="session")
+def tiny_config(tiny_data):
+    """Model config matched to the tiny dataset, sized for speed."""
+    return MuseConfig.for_data(
+        tiny_data,
+        rep_channels=8,
+        latent_interactive=16,
+        res_blocks=1,
+        plus_channels=2,
+        decoder_hidden=32,
+    )

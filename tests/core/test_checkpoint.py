@@ -1,0 +1,121 @@
+"""Tests for training checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.core import MUSENet
+from repro.nn import Linear, Parameter, Sequential, ReLU
+from repro.optim import Adam
+from repro.tensor import Tensor
+from repro.training import History, load_checkpoint, save_checkpoint
+
+
+def small_model():
+    rng = np.random.default_rng(0)
+    return Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+
+
+def take_steps(model, optimizer, steps, seed=0):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((16, 4)))
+    y = Tensor(rng.standard_normal((16, 2)))
+    for _ in range(steps):
+        optimizer.zero_grad()
+        diff = model(x) - y
+        (diff * diff).mean().backward()
+        optimizer.step()
+    return x, y
+
+
+class TestRoundTrip:
+    def test_weights_restored(self, tmp_path):
+        model = small_model()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        take_steps(model, optimizer, 5)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, optimizer, epoch=5)
+
+        fresh = small_model()
+        fresh_opt = Adam(fresh.parameters(), lr=1e-2)
+        history, epoch = load_checkpoint(path, fresh, fresh_opt)
+        assert epoch == 5
+        assert history is None
+        for a, b in zip(model.parameters(), fresh.parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_optimizer_moments_restored(self, tmp_path):
+        model = small_model()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        take_steps(model, optimizer, 5)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, optimizer)
+
+        fresh = small_model()
+        fresh_opt = Adam(fresh.parameters(), lr=1e-2)
+        load_checkpoint(path, fresh, fresh_opt)
+        assert fresh_opt._step_count == optimizer._step_count
+        for orig, restored in zip(optimizer._state, fresh_opt._state):
+            assert set(orig) == set(restored)
+            np.testing.assert_allclose(orig["m"], restored["m"])
+            assert orig["t"] == restored["t"]
+
+    def test_resume_matches_uninterrupted_run(self, tmp_path):
+        # Train 10 steps straight vs 5 + checkpoint + resume + 5.
+        straight = small_model()
+        opt_straight = Adam(straight.parameters(), lr=1e-2)
+        take_steps(straight, opt_straight, 10)
+
+        first = small_model()
+        opt_first = Adam(first.parameters(), lr=1e-2)
+        take_steps(first, opt_first, 5)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, first, opt_first)
+
+        resumed = small_model()
+        opt_resumed = Adam(resumed.parameters(), lr=1e-2)
+        load_checkpoint(path, resumed, opt_resumed)
+        take_steps(resumed, opt_resumed, 5)
+
+        for a, b in zip(straight.parameters(), resumed.parameters()):
+            np.testing.assert_allclose(a.data, b.data, rtol=1e-10)
+
+    def test_history_round_trip(self, tmp_path):
+        model = small_model()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        history = History()
+        history.record(1.0, 0.5, 2.0)
+        history.record(0.8, 0.4, 1.5)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, optimizer, history=history, epoch=2)
+        restored, epoch = load_checkpoint(path, model, optimizer)
+        assert epoch == 2
+        assert restored.val_rmse == [2.0, 1.5]
+        assert restored.best_val_rmse == 1.5
+        assert restored.best_epoch == 1
+
+    def test_version_mismatch(self, tmp_path):
+        model = small_model()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, optimizer)
+        data = dict(np.load(path))
+        data["format_version"] = np.array(42)
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, model, optimizer)
+
+    def test_works_with_musenet(self, tmp_path, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        breakdown, _ = model.training_loss(tiny_data.train.take(range(4)),
+                                           rng=np.random.default_rng(0))
+        breakdown.total.backward()
+        optimizer.step()
+        path = tmp_path / "muse.npz"
+        save_checkpoint(path, model, optimizer)
+
+        fresh = MUSENet(tiny_config)
+        fresh_opt = Adam(fresh.parameters(), lr=1e-3)
+        load_checkpoint(path, fresh, fresh_opt)
+        np.testing.assert_allclose(fresh.predict(tiny_data.test),
+                                   model.predict(tiny_data.test))

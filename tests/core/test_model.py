@@ -1,0 +1,175 @@
+"""Tests for the full MUSE-Net model and its objective."""
+
+import numpy as np
+import pytest
+
+from repro.core import MUSENet, MuseConfig, make_variant, muse_training_loss
+from repro.core.losses import UNORDERED_PAIRS
+from repro.optim import Adam, clip_grad_norm
+from repro.tensor import Tensor
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = MuseConfig()
+        assert (config.len_closeness, config.len_period, config.len_trend) == (3, 4, 4)
+        assert config.rep_channels == 64
+        assert config.latent_interactive == 128
+        assert config.latent_exclusive == 32  # k / 4
+        assert config.lam == 1.0
+
+    def test_for_data_matches_geometry(self, tiny_data, tiny_config):
+        assert tiny_config.height == tiny_data.grid.height
+        assert tiny_config.len_closeness == tiny_data.periodicity.len_closeness
+
+    def test_series_length_lookup(self):
+        config = MuseConfig(len_closeness=5, len_period=6, len_trend=7)
+        assert config.series_length("c") == 5
+        assert config.series_length("p") == 6
+        assert config.series_length("t") == 7
+
+
+class TestForward:
+    def test_output_shapes(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        batch = tiny_data.train.take(range(4))
+        outputs = model(batch.closeness, batch.period, batch.trend,
+                        rng=np.random.default_rng(0))
+        h, w = tiny_config.height, tiny_config.width
+        assert outputs.prediction.shape == (4, 2, h, w)
+        for key in ("c", "p", "t", "s"):
+            assert outputs.representations[key].shape == (4, tiny_config.rep_channels, h, w)
+        for key in ("c", "p", "t"):
+            assert outputs.exclusive_posteriors[key].dim == tiny_config.latent_exclusive
+            assert outputs.reconstructions[key].shape == outputs.series_inputs[key].shape
+        assert outputs.interactive_posterior.dim == tiny_config.latent_interactive
+        assert set(outputs.duplex_posteriors) == set(UNORDERED_PAIRS)
+
+    def test_prediction_in_tanh_range(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        prediction = model.predict(tiny_data.test)
+        assert np.all(np.abs(prediction) <= 1.0)
+
+    def test_predict_is_deterministic(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        a = model.predict(tiny_data.test)
+        b = model.predict(tiny_data.test)
+        np.testing.assert_allclose(a, b)
+
+    def test_same_seed_same_model(self, tiny_data, tiny_config):
+        a = MUSENet(tiny_config).predict(tiny_data.test)
+        b = MUSENet(tiny_config).predict(tiny_data.test)
+        np.testing.assert_allclose(a, b)
+
+
+class TestLoss:
+    def test_components_present_and_finite(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        breakdown, _ = model.training_loss(tiny_data.train.take(range(4)),
+                                           rng=np.random.default_rng(0))
+        for value in breakdown.scalars().values():
+            assert np.isfinite(value)
+
+    def test_total_is_sum_of_components(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        breakdown, _ = model.training_loss(tiny_data.train.take(range(4)),
+                                           rng=np.random.default_rng(0))
+        s = breakdown.scalars()
+        np.testing.assert_allclose(
+            s["total"], s["dis"] + s["push"] + s["pull"] + s["reg"], rtol=1e-9
+        )
+
+    def test_lambda_zero_reduces_weights(self, tiny_data, tiny_config):
+        # With lambda = 0 the push weight is 1, so the full objective
+        # equals the no-push objective.
+        batch = tiny_data.train.take(range(4))
+        config = MuseConfig.for_data(tiny_data, rep_channels=8,
+                                     latent_interactive=16, res_blocks=1,
+                                     plus_channels=2, decoder_hidden=32, lam=0.0)
+        model = MUSENet(config)
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        with_push, _ = model.training_loss(batch, rng=rng_a, use_push=True, use_pull=False)
+        without_push, _ = model.training_loss(batch, rng=rng_b, use_push=False, use_pull=False)
+        np.testing.assert_allclose(with_push.total.item(), without_push.total.item(),
+                                   rtol=1e-9)
+
+    def test_no_pull_zeroes_pull_component(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config, use_pull=False)
+        breakdown, _ = model.training_loss(tiny_data.train.take(range(4)),
+                                           rng=np.random.default_rng(0))
+        assert breakdown.pull.item() == 0.0
+
+    def test_gradients_reach_all_parameters(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        breakdown, _ = model.training_loss(tiny_data.train.take(range(4)),
+                                           rng=np.random.default_rng(0))
+        breakdown.total.backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_loss_decreases_under_training(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        rng = np.random.default_rng(0)
+        batch = tiny_data.train.take(range(16))
+        first = last = None
+        for step in range(12):
+            optimizer.zero_grad()
+            breakdown, _ = model.training_loss(batch, rng=rng)
+            breakdown.total.backward()
+            clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+            if first is None:
+                first = breakdown.reg.item()
+            last = breakdown.reg.item()
+        assert last < first
+
+
+class TestVariants:
+    @pytest.mark.parametrize("name", ["full", "w/o-Spatial", "w/o-MultiDisentangle",
+                                      "w/o-SemanticPushing", "w/o-SemanticPulling"])
+    def test_variant_trains_one_step(self, name, tiny_data, tiny_config):
+        model = make_variant(name, tiny_config)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        batch = tiny_data.train.take(range(4))
+        breakdown, outputs = model.training_loss(batch, rng=np.random.default_rng(0))
+        assert np.isfinite(breakdown.total.item())
+        breakdown.total.backward()
+        optimizer.step()
+        assert outputs.prediction.shape == (4, 2, tiny_config.height, tiny_config.width)
+
+    def test_unknown_variant(self, tiny_config):
+        with pytest.raises(ValueError):
+            make_variant("w/o-Everything", tiny_config)
+
+    def test_no_spatial_has_fewer_parameters(self, tiny_config):
+        full = make_variant("full", tiny_config)
+        no_spatial = make_variant("w/o-Spatial", tiny_config)
+        assert no_spatial.num_parameters() < full.num_parameters()
+
+    def test_pairwise_variant_predicts(self, tiny_data, tiny_config):
+        model = make_variant("w/o-MultiDisentangle", tiny_config)
+        prediction = model.predict(tiny_data.test)
+        assert prediction.shape == tiny_data.test.target.shape
+
+
+class TestPullStability:
+    def test_pull_does_not_diverge(self, tiny_data, tiny_config):
+        # Regression test for the adversarial +KL(r || d) term: with the
+        # stop-gradient treatment the total loss must stay finite and
+        # bounded over a burst of full-batch steps.
+        model = MUSENet(tiny_config)
+        optimizer = Adam(model.parameters(), lr=2e-3)
+        rng = np.random.default_rng(0)
+        batch = tiny_data.train.take(range(16))
+        totals = []
+        for _ in range(25):
+            optimizer.zero_grad()
+            breakdown, _ = model.training_loss(batch, rng=rng)
+            breakdown.total.backward()
+            clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+            totals.append(breakdown.total.item())
+        assert np.all(np.isfinite(totals))
+        assert totals[-1] > -1e4  # the un-fixed objective reached -1e7 here

@@ -1,0 +1,74 @@
+"""Tests for spatial_mode / pull_mode switches and extension ablations."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.core import MUSENet, muse_training_loss
+from repro.optim import Adam, clip_grad_norm
+
+
+class TestSpatialModes:
+    @pytest.mark.parametrize("mode", ["resplus", "conv", "none"])
+    def test_forward_shapes(self, mode, tiny_data, tiny_config):
+        model = MUSENet(replace(tiny_config, spatial_mode=mode))
+        prediction = model.predict(tiny_data.test)
+        assert prediction.shape == tiny_data.test.target.shape
+        assert np.all(np.abs(prediction) <= 1.0)
+
+    def test_unknown_mode_raises(self, tiny_config):
+        with pytest.raises(ValueError):
+            MUSENet(replace(tiny_config, spatial_mode="transformer"))
+
+    def test_use_spatial_false_overrides_config(self, tiny_config):
+        model = MUSENet(replace(tiny_config, spatial_mode="resplus"),
+                        use_spatial=False)
+        assert model.spatial_mode == "none"
+
+    def test_parameter_count_ordering(self, tiny_config):
+        counts = {
+            mode: MUSENet(replace(tiny_config, spatial_mode=mode)).num_parameters()
+            for mode in ("resplus", "conv", "none")
+        }
+        assert counts["none"] < counts["conv"] < counts["resplus"]
+
+    def test_conv_mode_trains(self, tiny_data, tiny_config):
+        model = MUSENet(replace(tiny_config, spatial_mode="conv"))
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        batch = tiny_data.train.take(range(8))
+        first = last = None
+        rng = np.random.default_rng(0)
+        for _ in range(6):
+            optimizer.zero_grad()
+            breakdown, _ = model.training_loss(batch, rng=rng)
+            breakdown.total.backward()
+            clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+            first = breakdown.reg.item() if first is None else first
+            last = breakdown.reg.item()
+        assert last < first
+
+
+class TestPullModes:
+    def test_invalid_pull_mode_raises(self, tiny_data, tiny_config):
+        model = MUSENet(replace(tiny_config, pull_mode="magic"))
+        with pytest.raises(ValueError):
+            model.training_loss(tiny_data.train.take(range(4)),
+                                rng=np.random.default_rng(0))
+
+    def test_joint_mode_runs_but_value_differs(self, tiny_data, tiny_config):
+        batch = tiny_data.train.take(range(4))
+        alternating = MUSENet(replace(tiny_config, pull_mode="alternating"))
+        joint = MUSENet(replace(tiny_config, pull_mode="joint"))
+        a, _ = alternating.training_loss(batch, rng=np.random.default_rng(0))
+        j, _ = joint.training_loss(batch, rng=np.random.default_rng(0))
+        # Same initial weights (same seed), but the joint objective
+        # subtracts KL(r||d) at value level while the alternating one
+        # cancels it — the totals must differ.
+        assert a.total.item() != pytest.approx(j.total.item())
+
+    def test_gen_weight_zero_reduces_to_regression(self, tiny_data, tiny_config):
+        model = MUSENet(replace(tiny_config, gen_weight=0.0))
+        breakdown, _ = model.training_loss(tiny_data.train.take(range(4)),
+                                           rng=np.random.default_rng(0))
+        assert breakdown.total.item() == pytest.approx(breakdown.reg.item())

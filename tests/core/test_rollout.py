@@ -1,0 +1,92 @@
+"""Tests for recursive multi-step rollout."""
+
+import numpy as np
+import pytest
+
+from repro.core import MUSENet
+from repro.data.windows import SampleBatch
+from repro.training import (
+    TrainConfig,
+    Trainer,
+    direct_vs_recursive_rmse,
+    recursive_forecast,
+)
+
+
+class _EchoModel:
+    """Predicts the last closeness frame (persistence) — rollout of it
+    must therefore keep emitting that same frame."""
+
+    def predict(self, batch):
+        return np.asarray(batch.closeness)[:, -1].copy()
+
+
+class _IncrementModel:
+    """Predicts last frame + 1, making the rollout arithmetic visible."""
+
+    def predict(self, batch):
+        return np.asarray(batch.closeness)[:, -1] + 1.0
+
+
+def toy_batch(n=3, lc=2, h=2, w=2):
+    rng = np.random.default_rng(0)
+    return SampleBatch(
+        closeness=rng.uniform(0, 1, (n, lc, 2, h, w)),
+        period=rng.uniform(0, 1, (n, 1, 2, h, w)),
+        trend=rng.uniform(0, 1, (n, 1, 2, h, w)),
+        target=rng.uniform(0, 1, (n, 2, h, w)),
+        indices=np.arange(n) + 100,
+    )
+
+
+class TestRecursiveForecast:
+    def test_shapes(self):
+        batch = toy_batch()
+        out = recursive_forecast(_EchoModel(), batch, horizons=3)
+        assert out.shape == (3, 3, 2, 2, 2)
+
+    def test_persistence_rollout_is_constant(self):
+        batch = toy_batch()
+        out = recursive_forecast(_EchoModel(), batch, horizons=3)
+        np.testing.assert_allclose(out[0], out[1])
+        np.testing.assert_allclose(out[0], out[2])
+        np.testing.assert_allclose(out[0], batch.closeness[:, -1])
+
+    def test_predictions_feed_back(self):
+        batch = toy_batch()
+        out = recursive_forecast(_IncrementModel(), batch, horizons=3)
+        np.testing.assert_allclose(out[1], out[0] + 1.0)
+        np.testing.assert_allclose(out[2], out[0] + 2.0)
+
+    def test_input_batch_not_mutated(self):
+        batch = toy_batch()
+        before = batch.closeness.copy()
+        recursive_forecast(_IncrementModel(), batch, horizons=2)
+        np.testing.assert_allclose(batch.closeness, before)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            recursive_forecast(_EchoModel(), toy_batch(), horizons=0)
+
+    def test_with_trained_musenet(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        trainer = Trainer(model, TrainConfig(epochs=3, lr=2e-3))
+        trainer.fit(tiny_data)
+        out = recursive_forecast(model, tiny_data.test, horizons=2)
+        assert out.shape[0] == 2
+        assert np.all(np.abs(out) <= 1.0)  # stays in tanh range
+
+
+class TestComparisonTable:
+    def test_rows(self):
+        truths = np.zeros((2, 3, 2, 2, 2))
+        recursive = np.ones_like(truths)
+        direct = np.ones_like(truths) * 2.0
+        rows = direct_vs_recursive_rmse(recursive, direct, truths)
+        assert rows == [(1, 1.0, 2.0), (2, 1.0, 2.0)]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            direct_vs_recursive_rmse(np.zeros((1, 2, 2, 2, 2)),
+                                     np.zeros((2, 2, 2, 2, 2)),
+                                     np.zeros((2, 2, 2, 2, 2)))

@@ -1,0 +1,123 @@
+"""Tests for the Trainer harness and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import MUSENet
+from repro.metrics import EvalReport, evaluate_flows, mae, mape, rmse
+from repro.training import TrainConfig, Trainer
+
+
+class TestMetrics:
+    def test_rmse_zero_for_perfect(self):
+        x = np.random.default_rng(0).uniform(0, 5, (4, 2, 3, 3))
+        assert rmse(x, x) == 0.0
+
+    def test_rmse_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_mae_known_value(self):
+        assert mae(np.array([0.0, 0.0]), np.array([3.0, -4.0])) == 3.5
+
+    def test_mape_masks_small_targets(self):
+        prediction = np.array([1.0, 100.0])
+        target = np.array([0.01, 50.0])  # first entry below threshold
+        assert mape(prediction, target) == pytest.approx(1.0)
+
+    def test_mape_nan_when_all_masked(self):
+        assert np.isnan(mape(np.array([1.0]), np.array([0.0])))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_mask_argument(self):
+        prediction = np.array([0.0, 10.0])
+        target = np.array([0.0, 0.0])
+        assert rmse(prediction, target, mask=np.array([True, False])) == 0.0
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(3), mask=np.zeros(3, dtype=bool))
+
+    def test_evaluate_flows_channels(self):
+        rng = np.random.default_rng(0)
+        target = rng.uniform(1, 10, (6, 2, 3, 3))
+        prediction = target.copy()
+        prediction[:, 0] += 1.0  # bias only the outflow channel
+        report = evaluate_flows(prediction, target)
+        assert report.outflow_rmse == pytest.approx(1.0)
+        assert report.inflow_rmse == 0.0
+
+    def test_evaluate_flows_sample_mask(self):
+        rng = np.random.default_rng(0)
+        target = rng.uniform(1, 10, (6, 2, 3, 3))
+        prediction = target.copy()
+        prediction[3:] += 5.0
+        clean = evaluate_flows(prediction, target,
+                               sample_mask=np.array([1, 1, 1, 0, 0, 0], dtype=bool))
+        assert clean.outflow_rmse == 0.0
+
+    def test_evaluate_flows_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            evaluate_flows(np.zeros((3, 4)), np.zeros((3, 4)))
+
+    def test_report_row_order(self):
+        report = EvalReport(1, 2, 3, 4, 5, 6)
+        assert report.row() == (1, 2, 3, 4, 5, 6)
+        assert "RMSE" in str(report)
+
+
+class TestTrainer:
+    def test_fit_improves_validation(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        trainer = Trainer(model, TrainConfig(epochs=5, lr=1e-3, seed=0))
+        history = trainer.fit(tiny_data)
+        assert history.epochs_run == 5
+        assert history.val_rmse[-1] < history.val_rmse[0]
+
+    def test_best_weights_restored(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        trainer = Trainer(model, TrainConfig(epochs=4, lr=1e-3, seed=0))
+        history = trainer.fit(tiny_data)
+        # After fit, evaluating val must reproduce the best epoch's rmse.
+        prediction = trainer.predict_flows(tiny_data, tiny_data.val)
+        truth = tiny_data.inverse(tiny_data.val.target)
+        assert rmse(prediction, truth) == pytest.approx(history.best_val_rmse, rel=1e-9)
+
+    def test_early_stopping(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        trainer = Trainer(model, TrainConfig(epochs=50, lr=1e-9, patience=1,
+                                             min_delta=0.5, seed=0))
+        history = trainer.fit(tiny_data)
+        # With a vanishing lr nothing improves beyond min_delta, so
+        # training stops early.
+        assert history.stopped_early
+        assert history.epochs_run < 50
+
+    def test_evaluate_returns_report(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        trainer = Trainer(model, TrainConfig(epochs=1, lr=1e-3))
+        trainer.fit(tiny_data)
+        report = trainer.evaluate(tiny_data)
+        assert np.isfinite(report.outflow_rmse)
+
+    def test_predictions_in_flow_units(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        trainer = Trainer(model, TrainConfig(epochs=2, lr=1e-3))
+        trainer.fit(tiny_data)
+        flows = trainer.predict_flows(tiny_data, tiny_data.test)
+        # Flow units are non-negative-ish counts; scaled units live in
+        # [-1, 1].  A trained model must leave the scaled range.
+        assert flows.max() > 1.5
+
+    def test_chunked_prediction_matches_single(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        small_chunks = Trainer(model, TrainConfig(eval_batch_size=3))
+        big_chunks = Trainer(model, TrainConfig(eval_batch_size=1000))
+        np.testing.assert_allclose(
+            small_chunks.predict_scaled(tiny_data.test),
+            big_chunks.predict_scaled(tiny_data.test),
+        )

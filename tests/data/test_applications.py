@@ -1,0 +1,143 @@
+"""Tests for the application-domain generators and custom lags."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MultiPeriodicity,
+    air_quality_dataset,
+    energy_dataset,
+    epidemic_dataset,
+    prepare_forecast_data,
+)
+
+
+class TestCustomLags:
+    def test_defaults_match_paper(self):
+        mp = MultiPeriodicity(3, 4, 4, samples_per_day=48)
+        assert mp.period_lag == 48
+        assert mp.trend_lag == 48 * 7
+
+    def test_custom_lags_in_indices(self):
+        mp = MultiPeriodicity(2, 2, 1, samples_per_day=1,
+                              period_lag=7, trend_lag=28)
+        np.testing.assert_array_equal(mp.period_indices(100), [86, 93])
+        np.testing.assert_array_equal(mp.trend_indices(100), [72])
+
+    def test_min_index_uses_custom_lags(self):
+        mp = MultiPeriodicity(2, 2, 2, samples_per_day=1,
+                              period_lag=7, trend_lag=28)
+        assert mp.min_index == 56
+
+    def test_invalid_lag(self):
+        with pytest.raises(ValueError):
+            MultiPeriodicity(1, 1, 1, samples_per_day=1, period_lag=0)
+
+
+class TestEpidemic:
+    def setup_method(self):
+        self.ds = epidemic_dataset(days=120, seed=3)
+
+    def test_shape_and_nonnegative(self):
+        assert self.ds.flows.shape == (120, 2, 6, 6)
+        assert np.all(self.ds.flows >= 0)
+
+    def test_daily_sampling_with_weekly_period(self):
+        assert self.ds.grid.samples_per_day == 1
+        assert self.ds.periodicity.period_lag == 7
+        assert self.ds.periodicity.trend_lag == 28
+
+    def test_outbreak_grows_then_declines(self):
+        active = self.ds.flows[:, 1].sum(axis=(1, 2))
+        peak = int(active.argmax())
+        assert 0 < peak < 119
+        assert active[peak] > active[0]
+        assert active[peak] > active[-1]
+
+    def test_intervention_reduces_transmission(self):
+        cases = self.ds.flows[:, 0].sum(axis=(1, 2))
+        # Growth rate after the day-60 intervention is lower than the
+        # pre-intervention exponential phase.
+        early = cases[20:40].mean()
+        late_growth = cases[70:90].mean() / max(cases[60:70].mean(), 1e-9)
+        assert late_growth < 2.0
+        assert early > 0
+
+    def test_weekend_underreporting(self):
+        days = np.arange(120)
+        weekday = (days % 7) < 5
+        cases = self.ds.flows[:, 0].sum(axis=(1, 2))
+        # Normalize out the epidemic curve with a 7-day rolling mean.
+        kernel = np.ones(7) / 7
+        smooth = np.convolve(cases, kernel, mode="same")
+        ratio = cases / np.maximum(smooth, 1e-9)
+        assert ratio[weekday].mean() > ratio[~weekday].mean()
+
+    def test_pipeline_integration(self):
+        data = prepare_forecast_data(self.ds, test_intervals=20)
+        assert len(data.train) > 0
+        assert data.train.period.shape[1] == 2  # L_p frames
+
+
+class TestAirQuality:
+    def setup_method(self):
+        self.ds = air_quality_dataset(days=21, seed=1)
+
+    def test_shapes(self):
+        assert self.ds.flows.shape == (21 * 24, 2, 6, 8)
+        assert np.all(self.ds.flows >= 0)
+
+    def test_no2_follows_rush_hour(self):
+        hours = self.ds.grid.hour_of_day(np.arange(self.ds.num_intervals))
+        weekday = ~self.ds.grid.is_weekend(np.arange(self.ds.num_intervals))
+        no2 = self.ds.flows[:, 1].sum(axis=(1, 2))
+        rush = no2[weekday & (hours == 8)].mean()
+        night = no2[weekday & (hours == 3)].mean()
+        assert rush > 1.5 * night
+
+    def test_inversion_raises_pm(self):
+        ds = air_quality_dataset(days=35, seed=1)
+        pm = ds.flows[:, 0].mean(axis=(1, 2))
+        start = ds.grid.intervals_for_days(21)
+        during = pm[start + 24:start + 4 * 24].mean()
+        before = pm[start - 5 * 24:start - 24].mean()
+        assert during > before
+
+    def test_weekend_cleaner_than_weekday(self):
+        idx = np.arange(self.ds.num_intervals)
+        weekend = self.ds.grid.is_weekend(idx)
+        no2 = self.ds.flows[:, 1].sum(axis=(1, 2))
+        assert no2[~weekend].mean() > no2[weekend].mean()
+
+
+class TestEnergy:
+    def setup_method(self):
+        self.ds = energy_dataset(days=21, seed=2)
+
+    def test_shapes(self):
+        assert self.ds.flows.shape == (21 * 24, 2, 5, 8)
+        assert np.all(self.ds.flows >= 0)
+
+    def test_solar_zero_at_night(self):
+        hours = self.ds.grid.hour_of_day(np.arange(self.ds.num_intervals))
+        solar = self.ds.flows[:, 1].sum(axis=(1, 2))
+        assert solar[hours == 0].max() == 0.0
+        assert solar[hours == 12].min() > 0.0
+
+    def test_evening_demand_peak(self):
+        hours = self.ds.grid.hour_of_day(np.arange(self.ds.num_intervals))
+        demand = self.ds.flows[:, 0].sum(axis=(1, 2))
+        assert demand[hours == 20].mean() > demand[hours == 4].mean()
+
+    def test_heat_wave_level_shift(self):
+        ds = energy_dataset(days=35, seed=2)
+        demand = ds.flows[:, 0].sum(axis=(1, 2))
+        start = ds.grid.intervals_for_days(int(35 * 0.55))
+        during = demand[start:start + 3 * 24].mean()
+        before = demand[start - 6 * 24:start - 3 * 24].mean()
+        assert during > 1.15 * before
+
+    def test_reproducible(self):
+        a = energy_dataset(days=7, seed=5)
+        b = energy_dataset(days=7, seed=5)
+        np.testing.assert_allclose(a.flows, b.flows)

@@ -1,0 +1,131 @@
+"""Tests for dataset factories and the end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_NAMES,
+    generate_pattern_flows,
+    GridSpec,
+    PatternConfig,
+    load_dataset,
+    prepare_forecast_data,
+    synthetic_nyc_bike,
+)
+
+
+class TestFactories:
+    def test_tiny_geometry(self):
+        ds = synthetic_nyc_bike(scale="tiny")
+        assert ds.flows.shape[1:] == (2, 4, 6)
+        assert ds.grid.start_weekday == 4  # 2016-07-01 was a Friday
+
+    def test_load_by_name(self):
+        for name in DATASET_NAMES:
+            ds = load_dataset(name, scale="tiny")
+            assert ds.name == name
+            assert ds.num_intervals == len(ds.flows)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_dataset("chicago")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("nyc-bike", scale="huge")
+
+    def test_deterministic_by_default(self):
+        a = load_dataset("nyc-bike", scale="tiny")
+        b = load_dataset("nyc-bike", scale="tiny")
+        np.testing.assert_allclose(a.flows, b.flows)
+
+    def test_seed_override_changes_data(self):
+        a = load_dataset("nyc-bike", scale="tiny")
+        b = load_dataset("nyc-bike", scale="tiny", seed=99)
+        assert not np.allclose(a.flows, b.flows)
+
+    def test_taxi_busier_than_bike(self):
+        bike = load_dataset("nyc-bike", scale="tiny")
+        taxi = load_dataset("nyc-taxi", scale="tiny")
+        assert taxi.flows.sum() > bike.flows.sum()
+
+    def test_periodicity_matches_sampling(self):
+        ds = load_dataset("taxibj", scale="tiny")
+        assert ds.periodicity.samples_per_day == ds.grid.samples_per_day
+
+    def test_summary_mentions_name(self):
+        assert "nyc-bike" in load_dataset("nyc-bike", scale="tiny").summary()
+
+    def test_test_window_leaves_training_data(self):
+        ds = load_dataset("nyc-bike", scale="tiny")
+        usable = ds.num_intervals - ds.periodicity.min_index
+        assert 0 < ds.test_window() < usable
+
+
+class TestPatternGenerator:
+    GRID = GridSpec(3, 4, interval_minutes=60)
+
+    def test_shape_and_nonnegative(self):
+        flows = generate_pattern_flows(self.GRID, 24 * 7)
+        assert flows.shape == (168, 2, 3, 4)
+        assert np.all(flows >= 0)
+
+    def test_daily_peaks_on_weekdays(self):
+        config = PatternConfig(noise_std=0.0)
+        flows = generate_pattern_flows(self.GRID, 24 * 5, config=config)
+        totals = flows.sum(axis=(1, 2, 3))
+        hours = self.GRID.hour_of_day(np.arange(len(flows)))
+        assert totals[hours == 8].mean() > totals[hours == 3].mean()
+
+    def test_level_shift_applies(self):
+        config = PatternConfig(noise_std=0.0, level_shift=(48, 2.0))
+        flows = generate_pattern_flows(self.GRID, 96, config=config)
+        base = generate_pattern_flows(self.GRID, 96, config=PatternConfig(noise_std=0.0))
+        np.testing.assert_allclose(flows[60], base[60] * 2.0, rtol=1e-9)
+
+    def test_event_spike(self):
+        config = PatternConfig(noise_std=0.0, events=[(10, 1, 2, 50.0, 2)])
+        flows = generate_pattern_flows(self.GRID, 24, config=config)
+        base = generate_pattern_flows(self.GRID, 24, config=PatternConfig(noise_std=0.0))
+        assert flows[10, 1, 1, 2] > base[10, 1, 1, 2] + 40
+
+    def test_reproducible(self):
+        a = generate_pattern_flows(self.GRID, 48, seed=5)
+        b = generate_pattern_flows(self.GRID, 48, seed=5)
+        np.testing.assert_allclose(a, b)
+
+
+class TestPipeline:
+    def test_splits_are_chronological(self):
+        fd = prepare_forecast_data(load_dataset("nyc-bike", scale="tiny"))
+        assert fd.train.indices.max() < fd.val.indices.min()
+        assert fd.val.indices.max() < fd.test.indices.min()
+
+    def test_training_targets_scaled_to_range(self):
+        fd = prepare_forecast_data(load_dataset("nyc-bike", scale="tiny"))
+        assert fd.train.target.min() >= -1.0 - 1e-9
+        assert fd.train.target.max() <= 1.0 + 1e-9
+
+    def test_inverse_restores_flow_units(self):
+        ds = load_dataset("nyc-bike", scale="tiny")
+        fd = prepare_forecast_data(ds)
+        restored = fd.inverse(fd.train.target)
+        original = ds.flows[fd.train.indices]
+        np.testing.assert_allclose(restored, original, atol=1e-9)
+
+    def test_multistep_horizon_margin(self):
+        ds = load_dataset("nyc-bike", scale="tiny")
+        h3 = prepare_forecast_data(ds, horizon=3)
+        # Anchors never index beyond the last interval.
+        assert h3.test.indices.max() <= ds.num_intervals - 1
+
+    def test_sample_caps(self):
+        ds = load_dataset("nyc-bike", scale="tiny")
+        fd = prepare_forecast_data(ds, max_train_samples=16, max_test_samples=8)
+        assert len(fd.train) == 16
+        assert len(fd.test) == 8
+
+    def test_caps_preserve_order(self):
+        ds = load_dataset("nyc-bike", scale="tiny")
+        fd = prepare_forecast_data(ds, max_train_samples=16)
+        assert np.all(np.diff(fd.train.indices) > 0)

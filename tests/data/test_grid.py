@@ -1,0 +1,84 @@
+"""Tests for GridSpec geometry and calendar arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.data import GridSpec
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        grid = GridSpec(10, 20, interval_minutes=30)
+        assert grid.num_regions == 200
+        assert grid.samples_per_day == 48
+        assert grid.samples_per_week == 336
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            GridSpec(0, 5)
+
+    def test_interval_must_divide_day(self):
+        with pytest.raises(ValueError):
+            GridSpec(2, 2, interval_minutes=7)
+
+    def test_invalid_weekday(self):
+        with pytest.raises(ValueError):
+            GridSpec(2, 2, start_weekday=7)
+
+
+class TestRegionIndexing:
+    def test_round_trip(self):
+        grid = GridSpec(4, 6)
+        for row in range(4):
+            for col in range(6):
+                index = grid.region_index(row, col)
+                assert grid.region_coords(index) == (row, col)
+
+    def test_row_major_order(self):
+        grid = GridSpec(3, 5)
+        assert grid.region_index(0, 0) == 0
+        assert grid.region_index(0, 4) == 4
+        assert grid.region_index(1, 0) == 5
+
+    def test_vectorized(self):
+        grid = GridSpec(3, 5)
+        rows = np.array([0, 1, 2])
+        cols = np.array([4, 0, 3])
+        np.testing.assert_array_equal(grid.region_index(rows, cols), [4, 5, 13])
+
+    def test_out_of_bounds(self):
+        grid = GridSpec(3, 5)
+        with pytest.raises(ValueError):
+            grid.region_index(3, 0)
+        with pytest.raises(ValueError):
+            grid.region_coords(15)
+
+
+class TestCalendar:
+    def test_hour_of_day_cycle(self):
+        grid = GridSpec(2, 2, interval_minutes=30)
+        assert grid.hour_of_day(0) == 0.0
+        assert grid.hour_of_day(16) == 8.0
+        assert grid.hour_of_day(48) == 0.0
+
+    def test_day_of_week_respects_start(self):
+        grid = GridSpec(2, 2, interval_minutes=30, start_weekday=4)  # Friday
+        assert grid.day_of_week(0) == 4
+        assert grid.day_of_week(48) == 5  # Saturday
+        assert grid.day_of_week(3 * 48) == 0  # wraps to Monday
+
+    def test_is_weekend(self):
+        grid = GridSpec(2, 2, interval_minutes=60, start_weekday=5)  # Saturday
+        assert grid.is_weekend(0)
+        assert grid.is_weekend(24 + 1)  # Sunday
+        assert not grid.is_weekend(2 * 24)  # Monday
+
+    def test_intervals_for_days(self):
+        grid = GridSpec(2, 2, interval_minutes=30)
+        assert grid.intervals_for_days(3) == 144
+
+    def test_vectorized_calendar(self):
+        grid = GridSpec(2, 2, interval_minutes=60)
+        hours = grid.hour_of_day(np.arange(25))
+        assert hours[24] == 0.0
+        assert hours[12] == 12.0

@@ -1,0 +1,117 @@
+"""Tests for Definition-3 windowing (closeness/period/trend)."""
+
+import numpy as np
+import pytest
+
+from repro.data import MultiPeriodicity
+
+F = 48  # samples per day
+
+
+def indexed_flows(num_intervals):
+    """Flows whose value encodes the interval index, for easy checking."""
+    flows = np.zeros((num_intervals, 2, 2, 2))
+    flows += np.arange(num_intervals)[:, None, None, None]
+    return flows
+
+
+class TestIndices:
+    def setup_method(self):
+        self.mp = MultiPeriodicity(3, 4, 4, samples_per_day=F)
+
+    def test_min_index_is_trend_bound(self):
+        assert self.mp.min_index == 4 * F * 7
+
+    def test_closeness_eq3(self):
+        i = 2000
+        np.testing.assert_array_equal(self.mp.closeness_indices(i), [1997, 1998, 1999])
+
+    def test_period_eq4(self):
+        i = 2000
+        np.testing.assert_array_equal(
+            self.mp.period_indices(i), [i - 4 * F, i - 3 * F, i - 2 * F, i - F]
+        )
+
+    def test_trend_eq5(self):
+        i = 2000
+        expected = [i - k * F * 7 for k in (4, 3, 2, 1)]
+        np.testing.assert_array_equal(self.mp.trend_indices(i), expected)
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            MultiPeriodicity(0, 1, 1)
+
+
+class TestSliceAt:
+    def setup_method(self):
+        self.mp = MultiPeriodicity(2, 2, 1, samples_per_day=F)
+        self.flows = indexed_flows(self.mp.min_index + 10)
+
+    def test_sample_contents(self):
+        i = self.mp.min_index + 3
+        sample = self.mp.slice_at(self.flows, i)
+        np.testing.assert_allclose(sample.closeness[:, 0, 0, 0], [i - 2, i - 1])
+        np.testing.assert_allclose(sample.period[:, 0, 0, 0], [i - 2 * F, i - F])
+        np.testing.assert_allclose(sample.trend[:, 0, 0, 0], [i - 7 * F])
+        np.testing.assert_allclose(sample.target[0, 0, 0], i)
+
+    def test_below_min_index_raises(self):
+        with pytest.raises(IndexError):
+            self.mp.slice_at(self.flows, self.mp.min_index - 1)
+
+    def test_beyond_end_raises(self):
+        with pytest.raises(IndexError):
+            self.mp.slice_at(self.flows, len(self.flows))
+
+    def test_shapes(self):
+        sample = self.mp.slice_at(self.flows, self.mp.min_index)
+        assert sample.closeness.shape == (2, 2, 2, 2)
+        assert sample.period.shape == (2, 2, 2, 2)
+        assert sample.trend.shape == (1, 2, 2, 2)
+        assert sample.target.shape == (2, 2, 2)
+
+
+class TestMultiStep:
+    def setup_method(self):
+        self.mp = MultiPeriodicity(2, 2, 1, samples_per_day=F)
+        self.flows = indexed_flows(self.mp.min_index + 20)
+
+    def test_horizon_one_matches_one_step(self):
+        anchor = self.mp.min_index + 5
+        single = self.mp.slice_at(self.flows, anchor)
+        multi = self.mp.slice_multistep(self.flows, anchor, horizon=1)
+        np.testing.assert_allclose(single.target, multi.target)
+        np.testing.assert_allclose(single.closeness, multi.closeness)
+
+    def test_horizon_moves_target_not_closeness(self):
+        anchor = self.mp.min_index + 5
+        h1 = self.mp.slice_multistep(self.flows, anchor, horizon=1)
+        h3 = self.mp.slice_multistep(self.flows, anchor, horizon=3)
+        np.testing.assert_allclose(h1.closeness, h3.closeness)
+        assert h3.target[0, 0, 0] == h1.target[0, 0, 0] + 2
+
+    def test_period_lags_follow_target(self):
+        anchor = self.mp.min_index + 5
+        h2 = self.mp.slice_multistep(self.flows, anchor, horizon=2)
+        target = anchor + 1
+        np.testing.assert_allclose(h2.period[:, 0, 0, 0], [target - 2 * F, target - F])
+
+    def test_all_inputs_strictly_before_anchor(self):
+        # No lookahead: every referenced interval must be < anchor.
+        anchor = self.mp.min_index + 5
+        for horizon in (1, 2, 3):
+            target = anchor + horizon - 1
+            assert np.all(self.mp.closeness_indices(anchor) < anchor)
+            assert np.all(self.mp.period_indices(target) < anchor)
+            assert np.all(self.mp.trend_indices(target) < anchor)
+
+    def test_invalid_horizon(self):
+        anchor = self.mp.min_index + 5
+        with pytest.raises(ValueError):
+            self.mp.slice_multistep(self.flows, anchor, horizon=0)
+        with pytest.raises(ValueError):
+            self.mp.slice_multistep(self.flows, anchor, horizon=F + 1)
+
+    def test_out_of_range_anchor(self):
+        with pytest.raises(IndexError):
+            self.mp.slice_multistep(self.flows, len(self.flows) - 1, horizon=5)

@@ -1,0 +1,132 @@
+"""Hypothesis property tests for data-substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    CityConfig,
+    GridSpec,
+    MultiPeriodicity,
+    TrajectorySimulator,
+    flows_from_positions,
+)
+
+
+@given(
+    st.integers(2, 5),  # height
+    st.integers(2, 5),  # width
+    st.integers(2, 12),  # steps
+    st.integers(1, 20),  # agents
+    st.integers(0, 1000),  # seed
+)
+@settings(max_examples=40, deadline=None)
+def test_flow_conservation(height, width, steps, agents, seed):
+    """Every region exit is somewhere else's entry: totals balance."""
+    grid = GridSpec(height, width, interval_minutes=60)
+    rng = np.random.default_rng(seed)
+    positions = rng.integers(0, grid.num_regions, size=(steps, agents))
+    flows = flows_from_positions(positions, grid)
+    np.testing.assert_allclose(
+        flows[:, 0].sum(axis=(1, 2)), flows[:, 1].sum(axis=(1, 2))
+    )
+
+
+@given(
+    st.integers(2, 4),
+    st.integers(2, 4),
+    st.integers(2, 8),
+    st.integers(1, 15),
+    st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_flows_bounded_by_population(height, width, steps, agents, seed):
+    """No interval can move more agents than exist."""
+    grid = GridSpec(height, width, interval_minutes=60)
+    rng = np.random.default_rng(seed)
+    positions = rng.integers(0, grid.num_regions, size=(steps, agents))
+    flows = flows_from_positions(positions, grid)
+    assert flows[:, 0].sum(axis=(1, 2)).max() <= agents
+    assert flows.min() >= 0
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(20, 80))
+@settings(max_examples=15, deadline=None)
+def test_simulator_flows_always_valid(seed, agents):
+    """Simulator output is finite, non-negative, and conserved."""
+    grid = GridSpec(3, 4, interval_minutes=120)
+    simulator = TrajectorySimulator(grid, CityConfig(num_agents=agents), seed=seed)
+    flows = simulator.simulate(grid.intervals_for_days(2))
+    assert np.all(np.isfinite(flows))
+    assert flows.min() >= 0
+    # Conservation holds for every interval after the first.
+    np.testing.assert_allclose(
+        flows[1:, 0].sum(axis=(1, 2)), flows[1:, 1].sum(axis=(1, 2))
+    )
+
+
+@given(
+    st.integers(1, 4),  # L_c
+    st.integers(1, 3),  # L_p
+    st.integers(1, 2),  # L_t
+    st.integers(2, 24),  # samples per day
+    st.integers(0, 50),  # offset past min_index
+)
+@settings(max_examples=60, deadline=None)
+def test_periodicity_indices_strictly_past(lc, lp, lt, f, offset):
+    """Every referenced interval lies strictly before the target."""
+    mp = MultiPeriodicity(lc, lp, lt, samples_per_day=f)
+    i = mp.min_index + offset
+    for idx in (mp.closeness_indices(i), mp.period_indices(i), mp.trend_indices(i)):
+        assert np.all(idx >= 0)
+        assert np.all(idx < i)
+
+
+@given(
+    st.integers(1, 4),
+    st.integers(1, 3),
+    st.integers(1, 2),
+    st.integers(2, 24),
+)
+@settings(max_examples=60, deadline=None)
+def test_periodicity_min_index_is_tight(lc, lp, lt, f):
+    """min_index is the smallest index whose windows stay in bounds."""
+    mp = MultiPeriodicity(lc, lp, lt, samples_per_day=f)
+    i = mp.min_index
+    oldest = min(
+        mp.closeness_indices(i).min(),
+        mp.period_indices(i).min(),
+        mp.trend_indices(i).min(),
+    )
+    assert oldest == 0 or oldest > 0
+    # One step earlier, some window would go negative.
+    j = i - 1
+    oldest_early = min(
+        mp.closeness_indices(j).min(),
+        mp.period_indices(j).min(),
+        mp.trend_indices(j).min(),
+    )
+    assert oldest_early < 0
+
+
+@given(
+    st.integers(2, 24),  # samples per day
+    st.integers(0, 6),  # start weekday
+    st.integers(0, 500),  # interval
+)
+@settings(max_examples=80, deadline=None)
+def test_calendar_consistency(f, start_weekday, interval):
+    """Hour/day-of-week arithmetic is consistent and cyclic."""
+    interval_minutes = 24 * 60 // f
+    if 24 * 60 % f != 0:
+        return  # GridSpec requires the interval to divide a day
+    grid = GridSpec(2, 2, interval_minutes=interval_minutes,
+                    start_weekday=start_weekday)
+    hour = float(grid.hour_of_day(interval))
+    assert 0.0 <= hour < 24.0
+    dow = int(grid.day_of_week(interval))
+    assert 0 <= dow < 7
+    # A week later, same hour and weekday.
+    later = interval + grid.samples_per_week
+    assert float(grid.hour_of_day(later)) == hour
+    assert int(grid.day_of_week(later)) == dow

@@ -1,0 +1,188 @@
+"""Tests for scaling, sample batching, splits, and masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data import (
+    GridSpec,
+    MinMaxScaler,
+    MultiPeriodicity,
+    build_samples,
+    chronological_split,
+    iterate_batches,
+    non_peak_mask,
+    peak_mask,
+    weekday_mask,
+    weekend_mask,
+)
+
+
+class TestScaler:
+    def test_range_after_transform(self):
+        scaler = MinMaxScaler((-1, 1))
+        data = np.random.default_rng(0).uniform(5, 50, size=(10, 4))
+        out = scaler.fit_transform(data)
+        assert out.min() == pytest.approx(-1.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_inverse_round_trip(self):
+        scaler = MinMaxScaler()
+        data = np.random.default_rng(0).uniform(-3, 9, size=(20,))
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.fit_transform(data)), data, rtol=1e-12
+        )
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.ones(3))
+
+    def test_constant_data_does_not_divide_by_zero(self):
+        out = MinMaxScaler().fit_transform(np.full(5, 3.0))
+        assert np.all(np.isfinite(out))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler((1, 1))
+
+    def test_test_values_can_exceed_range(self):
+        # Values outside the fitted range map outside [-1, 1] (expected).
+        scaler = MinMaxScaler().fit(np.array([0.0, 10.0]))
+        assert scaler.transform(np.array([20.0]))[0] > 1.0
+
+    @given(
+        hnp.arrays(np.float64, st.integers(2, 50),
+                   elements=st.floats(-100, 100, allow_nan=False))
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, data):
+        scaler = MinMaxScaler()
+        recovered = scaler.inverse_transform(scaler.fit_transform(data))
+        np.testing.assert_allclose(recovered, data, atol=1e-9)
+
+
+def make_setup(num_intervals=800, f=48):
+    mp = MultiPeriodicity(2, 1, 1, samples_per_day=f)
+    flows = np.random.default_rng(0).uniform(0, 5, size=(num_intervals, 2, 3, 4))
+    return mp, flows
+
+
+class TestBuildSamples:
+    def test_shapes(self):
+        mp, flows = make_setup()
+        indices = np.arange(mp.min_index, mp.min_index + 10)
+        batch = build_samples(flows, mp, indices)
+        assert batch.closeness.shape == (10, 2, 2, 3, 4)
+        assert batch.period.shape == (10, 1, 2, 3, 4)
+        assert batch.target.shape == (10, 2, 3, 4)
+        assert len(batch) == 10
+
+    def test_targets_match_flows(self):
+        mp, flows = make_setup()
+        indices = [mp.min_index, mp.min_index + 5]
+        batch = build_samples(flows, mp, indices)
+        np.testing.assert_allclose(batch.target[1], flows[mp.min_index + 5])
+
+    def test_take_subsets(self):
+        mp, flows = make_setup()
+        batch = build_samples(flows, mp, np.arange(mp.min_index, mp.min_index + 6))
+        sub = batch.take([0, 3])
+        assert len(sub) == 2
+        np.testing.assert_allclose(sub.target[1], batch.target[3])
+
+
+class TestSplit:
+    def test_partition_is_disjoint_and_ordered(self):
+        mp, _flows = make_setup()
+        train, val, test = chronological_split(800, mp, test_intervals=100)
+        assert set(train) & set(val) == set()
+        assert set(val) & set(test) == set()
+        assert train.max() < val.min() < test.min()
+
+    def test_test_size(self):
+        mp, _ = make_setup()
+        _train, _val, test = chronological_split(800, mp, test_intervals=100)
+        assert len(test) == 100
+
+    def test_val_fraction(self):
+        mp, _ = make_setup()
+        train, val, _test = chronological_split(800, mp, test_intervals=100,
+                                                val_fraction=0.2)
+        assert len(val) == pytest.approx(0.2 * (len(train) + len(val)), abs=1)
+
+    def test_horizon_margin_trims_tail(self):
+        mp, _ = make_setup()
+        _tr, _v, test_plain = chronological_split(800, mp, test_intervals=50)
+        _tr2, _v2, test_margin = chronological_split(800, mp, test_intervals=50,
+                                                     horizon_margin=3)
+        assert test_margin.max() == test_plain.max() - 3
+
+    def test_too_small_raises(self):
+        mp, _ = make_setup()
+        with pytest.raises(ValueError):
+            chronological_split(mp.min_index + 2, mp, test_intervals=1)
+
+    def test_oversized_test_raises(self):
+        mp, _ = make_setup()
+        with pytest.raises(ValueError):
+            chronological_split(800, mp, test_intervals=10_000)
+
+
+class TestBatching:
+    def test_batches_cover_everything_once(self):
+        mp, flows = make_setup()
+        batch = build_samples(flows, mp, np.arange(mp.min_index, mp.min_index + 23))
+        seen = []
+        for piece in iterate_batches(batch, 5, rng=np.random.default_rng(0)):
+            seen.extend(piece.indices.tolist())
+        assert sorted(seen) == sorted(batch.indices.tolist())
+
+    def test_batch_sizes(self):
+        mp, flows = make_setup()
+        batch = build_samples(flows, mp, np.arange(mp.min_index, mp.min_index + 23))
+        sizes = [len(p) for p in iterate_batches(batch, 5, shuffle=False)]
+        assert sizes == [5, 5, 5, 5, 3]
+
+    def test_no_shuffle_preserves_order(self):
+        mp, flows = make_setup()
+        batch = build_samples(flows, mp, np.arange(mp.min_index, mp.min_index + 10))
+        first = next(iter(iterate_batches(batch, 4, shuffle=False)))
+        np.testing.assert_array_equal(first.indices, batch.indices[:4])
+
+    def test_shuffle_deterministic_per_seed(self):
+        mp, flows = make_setup()
+        batch = build_samples(flows, mp, np.arange(mp.min_index, mp.min_index + 20))
+        a = [p.indices.tolist() for p in iterate_batches(batch, 6, rng=np.random.default_rng(3))]
+        b = [p.indices.tolist() for p in iterate_batches(batch, 6, rng=np.random.default_rng(3))]
+        assert a == b
+
+
+class TestMasks:
+    GRID = GridSpec(2, 2, interval_minutes=60, start_weekday=0)
+
+    def test_peak_hours(self):
+        # Monday 07:00 and 17:00 are peak; 12:00 is not.
+        assert peak_mask(self.GRID, [7])[0]
+        assert peak_mask(self.GRID, [17])[0]
+        assert not peak_mask(self.GRID, [12])[0]
+
+    def test_peak_boundaries_half_open(self):
+        assert not peak_mask(self.GRID, [9])[0]   # 9:00 excluded
+        assert peak_mask(self.GRID, [8])[0]
+
+    def test_non_peak_complement(self):
+        idx = np.arange(48)
+        np.testing.assert_array_equal(peak_mask(self.GRID, idx), ~non_peak_mask(self.GRID, idx))
+
+    def test_weekday_weekend_partition(self):
+        idx = np.arange(24 * 14)
+        np.testing.assert_array_equal(
+            weekday_mask(self.GRID, idx), ~weekend_mask(self.GRID, idx)
+        )
+
+    def test_weekend_respects_start_weekday(self):
+        saturday_start = GridSpec(2, 2, interval_minutes=60, start_weekday=5)
+        assert weekend_mask(saturday_start, [0])[0]
+        assert not weekend_mask(saturday_start, [2 * 24])[0]

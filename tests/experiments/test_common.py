@@ -1,0 +1,88 @@
+"""Tests for the experiment infrastructure (profiles, tables, prep)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PROFILES,
+    Profile,
+    format_table,
+    get_profile,
+    muse_config,
+    prepare,
+)
+
+
+class TestProfiles:
+    def test_three_profiles_exist(self):
+        assert set(PROFILES) == {"ci", "paper", "full"}
+
+    def test_get_profile_by_name(self):
+        assert get_profile("ci").name == "ci"
+
+    def test_get_profile_passthrough(self):
+        custom = Profile(name="mine", dataset_scale="tiny", epochs=1)
+        assert get_profile(custom) is custom
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError):
+            get_profile("gpu")
+
+    def test_full_profile_matches_paper(self):
+        full = get_profile("full")
+        assert full.epochs == 350
+        assert full.lr == 2e-4
+        assert full.batch_size == 8
+        assert full.rep_channels == 64
+        assert full.latent_interactive == 128
+        assert full.gen_weight == 1.0  # the paper's objective, unrebalanced
+
+    def test_profiles_are_increasingly_expensive(self):
+        assert PROFILES["ci"].epochs < PROFILES["paper"].epochs < PROFILES["full"].epochs
+
+
+class TestPrepare:
+    def test_prepare_ci_dataset(self):
+        data = prepare("nyc-bike", "ci")
+        assert len(data.train) > 0
+        assert len(data.test) > 0
+
+    def test_prepare_with_horizon(self):
+        data = prepare("nyc-bike", "ci", horizon=2)
+        assert data.horizon == 2
+
+    def test_muse_config_inherits_profile(self):
+        data = prepare("nyc-bike", "ci")
+        config = muse_config(data, "ci")
+        assert config.rep_channels == PROFILES["ci"].rep_channels
+        assert config.gen_weight == PROFILES["ci"].gen_weight
+
+    def test_muse_config_overrides(self):
+        data = prepare("nyc-bike", "ci")
+        config = muse_config(data, "ci", gen_weight=1.0, rep_channels=4)
+        assert config.gen_weight == 1.0
+        assert config.rep_channels == 4
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(("a", "bb"), [(1.5, "x"), (2.25, "y")])
+        assert "a" in text and "bb" in text
+        assert "1.50" in text and "2.25" in text
+
+    def test_title(self):
+        text = format_table(("a",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_precision(self):
+        text = format_table(("a",), [(1.23456,)], precision=4)
+        assert "1.2346" in text
+
+    def test_empty_rows(self):
+        text = format_table(("col",), [])
+        assert "col" in text
+
+    def test_alignment(self):
+        text = format_table(("name", "v"), [("long-method-name", 1.0), ("x", 2.0)])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2])  # separator matches rows

@@ -1,0 +1,54 @@
+"""Tests for the dataset diagnostics report."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.experiments import build_dataset_report
+
+
+@pytest.fixture(scope="module")
+def bike_report():
+    return build_dataset_report("nyc-bike")
+
+
+class TestReport:
+    def test_accepts_name_or_dataset(self, bike_report):
+        direct = build_dataset_report(load_dataset("nyc-bike", scale="tiny"))
+        assert direct.daily_strength == bike_report.daily_strength
+
+    def test_synthetic_traffic_passes_precondition(self, bike_report):
+        assert bike_report.has_multiperiodic_structure()
+
+    def test_daily_strength_high(self, bike_report):
+        assert bike_report.daily_strength > 0.5
+
+    def test_peak_ratio_above_one(self, bike_report):
+        # Commuter cities are busier at rush hour.
+        assert bike_report.peak_ratio > 1.5
+
+    def test_weekend_quieter(self, bike_report):
+        assert bike_report.weekend_ratio < 1.0
+
+    def test_profile_length_matches_sampling(self, bike_report):
+        dataset = load_dataset("nyc-bike", scale="tiny")
+        assert len(bike_report.daily_profile) == dataset.grid.samples_per_day
+
+    def test_str_contains_charts(self, bike_report):
+        text = str(bike_report)
+        assert "daily profile" in text
+        assert "flow map" in text
+
+    def test_noise_dataset_fails_precondition(self):
+        from repro.data.datasets import TrafficDataset
+        from repro.data import GridSpec, MultiPeriodicity
+
+        grid = GridSpec(3, 3, interval_minutes=120)
+        rng = np.random.default_rng(0)
+        flows = rng.uniform(0, 5, size=(grid.intervals_for_days(14), 2, 3, 3))
+        noise = TrafficDataset(
+            name="noise", scale="custom", grid=grid, flows=flows,
+            periodicity=MultiPeriodicity(2, 1, 1, samples_per_day=grid.samples_per_day),
+        )
+        report = build_dataset_report(noise)
+        assert not report.has_multiperiodic_structure()

@@ -1,0 +1,47 @@
+"""Tests for extension-ablation result objects (no training)."""
+
+import numpy as np
+
+from repro.experiments import (
+    FusionAblationResult,
+    GenWeightAblationResult,
+    PullModeResult,
+)
+
+
+class TestFusionResult:
+    def test_str_renders_rows(self):
+        result = FusionAblationResult(profile="t",
+                                      rmse={"resplus": (1.0, 1.1), "none": (2.0, 2.1)})
+        text = str(result)
+        assert "resplus" in text
+        assert "2.10" in text
+
+
+class TestGenWeightResult:
+    def test_str(self):
+        result = GenWeightAblationResult(profile="t", rmse={0.0: (1.0, 1.0)})
+        assert "gen_weight" in str(result)
+
+
+class TestPullModeResult:
+    def make(self):
+        return PullModeResult(steps=3, trajectories={
+            "alternating": [100.0, 80.0, 60.0],
+            "joint": [100.0, -5e6, -1e9],
+        })
+
+    def test_final(self):
+        assert self.make().final("alternating") == 60.0
+
+    def test_diverged_detects_runaway(self):
+        result = self.make()
+        assert result.diverged("joint")
+        assert not result.diverged("alternating")
+
+    def test_diverged_detects_nan(self):
+        result = PullModeResult(steps=2, trajectories={"joint": [1.0, float("nan")]})
+        assert result.diverged("joint")
+
+    def test_str(self):
+        assert "pull mode" in str(self.make())

@@ -1,0 +1,62 @@
+"""Integration tests for the cheap experiment runners.
+
+The training-heavy runners are exercised (and shape-asserted) by the
+benchmark suite; these are the ones fast enough for the unit-test run.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig1, run_fig2, run_pull_mode_ablation, run_table1
+
+
+class TestTable1:
+    def test_runs_and_measures_all_methods(self):
+        result = run_table1(profile="ci")
+        assert {e.method for e in result.analytic} == \
+            {"DeepSTN+", "DMSTGCN", "GMAN", "MUSE-Net"}
+        assert set(result.measured) == {"DeepSTN+", "DMSTGCN", "GMAN", "MUSE-Net"}
+
+    def test_musenet_params_largest(self):
+        result = run_table1(profile="ci")
+        params = {name: p for name, (p, _t) in result.measured.items()}
+        assert params["MUSE-Net"] == max(params.values())
+
+    def test_str_renders(self):
+        assert "Table I" in str(run_table1(profile="ci"))
+
+
+class TestFig1:
+    def test_level_shift_detected(self):
+        result = run_fig1(seed=0)
+        assert result.level_shift_ks > 0.05
+        assert result.level_shift_pvalue < 0.05
+
+    def test_point_shift_is_outlier(self):
+        result = run_fig1(seed=0)
+        assert result.point_shift_zscore > 3.0
+
+    def test_str_has_sparklines(self):
+        text = str(run_fig1(seed=0))
+        assert "level shift" in text
+        assert "point shift" in text
+
+
+class TestFig2:
+    def test_correlation_traces_bounded(self):
+        result = run_fig2(seed=0)
+        for trace in result.correlations.values():
+            assert np.all(np.abs(trace) <= 1.0 + 1e-9)
+
+    def test_interaction_shifts(self):
+        result = run_fig2(seed=0)
+        assert result.dominant_switches() >= 1
+
+    def test_all_three_subseries_present(self):
+        assert set(run_fig2(seed=0).correlations) == {"c", "p", "t"}
+
+
+class TestPullModeAblation:
+    def test_joint_diverges_alternating_does_not(self):
+        result = run_pull_mode_ablation(profile="ci", steps=15)
+        assert result.diverged("joint")
+        assert not result.diverged("alternating")

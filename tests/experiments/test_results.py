@@ -1,0 +1,116 @@
+"""Tests for experiment result objects (math, not training)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ComplexityEntry
+from repro.experiments import (
+    Fig4Result,
+    Fig5Result,
+    Fig6Result,
+    Fig9Result,
+    Table1Result,
+    Table2Result,
+    Table6Result,
+)
+from repro.metrics import EvalReport
+
+
+def report(*values):
+    return EvalReport(*values)
+
+
+class TestTable2Result:
+    def make(self):
+        result = Table2Result(profile="test")
+        result.reports["ds"] = {
+            "Base-A": report(2.0, 1.0, 0.5, 2.0, 1.0, 0.5),
+            "Base-B": report(4.0, 2.0, 0.8, 3.0, 1.5, 0.6),
+            "MUSE-Net": report(1.0, 0.8, 0.4, 1.5, 0.9, 0.45),
+        }
+        return result
+
+    def test_rows_in_paper_order(self):
+        rows = self.make().rows("ds")
+        assert rows[0][0] == "Base-A"
+        assert rows[0][1:] == (2.0, 1.0, 0.5, 2.0, 1.0, 0.5)
+
+    def test_improvement_formula(self):
+        improvement = self.make().improvement("ds")
+        # (best baseline - ours) / best baseline = (2 - 1) / 2
+        assert improvement[0] == pytest.approx(0.5)
+
+    def test_muse_wins(self):
+        assert self.make().muse_wins("ds")
+
+    def test_muse_loses_when_worse(self):
+        result = self.make()
+        result.reports["ds"]["MUSE-Net"] = report(9.0, 9, 9, 9, 9, 9)
+        assert not result.muse_wins("ds")
+
+    def test_str_contains_improvement_row(self):
+        assert "Improvement" in str(self.make())
+
+
+class TestTable6Result:
+    def make(self, full_rmse=1.0):
+        result = Table6Result(profile="test")
+        result.reports["ds"] = {
+            "full": report(full_rmse, 1, 1, 1, 1, 1),
+            "w/o-Spatial": report(5.0, 1, 1, 5.0, 1, 1),
+            "w/o-SemanticPushing": report(1.2, 1, 1, 1.2, 1, 1),
+        }
+        return result
+
+    def test_full_model_best(self):
+        assert self.make().full_model_best("ds")
+
+    def test_full_model_not_best(self):
+        assert not self.make(full_rmse=2.0).full_model_best("ds")
+
+    def test_rows(self):
+        rows = self.make().rows("ds")
+        assert len(rows) == 3
+
+
+class TestFigResults:
+    def test_fig4_correlation_and_rmse(self):
+        truth = np.array([1.0, 2.0, 3.0, 4.0])
+        result = Fig4Result(profile="t", curves={
+            "ds": {"ground-truth": truth, "m": truth * 2.0}
+        })
+        assert result.correlation("ds", "m") == pytest.approx(1.0)
+        assert result.curve_rmse("ds", "m") > 0
+
+    def test_fig5_separation_flag(self):
+        result = Fig5Result(
+            original_embedding=np.zeros((4, 2)), original_labels=np.zeros(4),
+            disentangled_embedding=np.zeros((4, 2)),
+            disentangled_labels=np.zeros(4),
+            original_silhouette=0.1, disentangled_silhouette=0.8,
+        )
+        assert result.separation_improved
+        assert "separates" in str(result)
+
+    def test_fig6_fractions(self):
+        matrix = np.array([[0.5, -0.5], [0.25, 0.75]])
+        result = Fig6Result(matrices={"c": matrix, "p": matrix, "t": matrix},
+                            centered_matrices={"c": matrix, "p": matrix, "t": matrix})
+        assert result.positive_fraction("c") == 0.75
+        assert result.mean_similarity("c") == pytest.approx(0.25)
+
+    def test_fig9_best_value(self):
+        result = Fig9Result(profile="t", curves={
+            "lambda": [(0.1, 3.0, 0.0), (1.0, 1.0, 0.0), (10.0, 2.0, 0.0)]
+        })
+        assert result.best_value("lambda") == 1.0
+
+
+class TestTable1Result:
+    def test_str_renders_both_tables(self):
+        entry = ComplexityEntry("M", "CNN", "O(n)", "O(n)", 1.0, 2.0)
+        result = Table1Result(analytic=[entry], measured={"M": (100, 0.01)})
+        text = str(result)
+        assert "analytic" in text
+        assert "Measured" in text
+        assert "100" in text

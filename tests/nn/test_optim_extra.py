@@ -1,0 +1,103 @@
+"""Tests for AdamW, Adagrad, and the warmup schedule."""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.tensor import Tensor
+
+
+def quadratic():
+    target = np.array([2.0, -1.0])
+    w = nn.Parameter(np.zeros(2))
+
+    def loss():
+        diff = w - Tensor(target)
+        return (diff * diff).sum()
+
+    return w, loss, target
+
+
+class TestAdamW:
+    def test_converges(self):
+        w, loss, target = quadratic()
+        opt = optim.AdamW([w], lr=0.1, weight_decay=0.0)
+        for _ in range(200):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-2)
+
+    def test_decay_shrinks_weights_without_gradient_signal(self):
+        w = nn.Parameter(np.full(3, 5.0))
+        opt = optim.AdamW([w], lr=0.1, weight_decay=0.1)
+        for _ in range(10):
+            opt.zero_grad()
+            (w * Tensor(np.zeros(3))).sum().backward()
+            opt.step()
+        assert np.all(np.abs(w.data) < 5.0)
+
+    def test_decay_decoupled_from_adaptive_scale(self):
+        # With a huge gradient, plain-Adam L2 decay would be normalized
+        # away; decoupled decay still shrinks by lr * wd * w each step.
+        w = nn.Parameter(np.array([10.0]))
+        opt = optim.AdamW([w], lr=0.01, weight_decay=0.5)
+        (w * 1000.0).sum().backward()
+        before = float(w.data[0])
+        opt.step()
+        # Step = lr*(m_hat/... ≈ 1) + lr*wd*w = 0.01 + 0.05
+        assert before - float(w.data[0]) == pytest.approx(0.06, rel=0.05)
+
+
+class TestAdagrad:
+    def test_converges(self):
+        w, loss, target = quadratic()
+        opt = optim.Adagrad([w], lr=0.5)
+        for _ in range(300):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=5e-2)
+
+    def test_effective_rate_decreases(self):
+        w = nn.Parameter(np.array([0.0]))
+        opt = optim.Adagrad([w], lr=1.0)
+        steps = []
+        for _ in range(3):
+            opt.zero_grad()
+            (w * 2.0).sum().backward()
+            before = float(w.data[0])
+            opt.step()
+            steps.append(abs(float(w.data[0]) - before))
+        assert steps[0] > steps[1] > steps[2]
+
+
+class TestWarmupCosine:
+    def make(self, warmup=3, total=10):
+        w, _loss, _t = quadratic()
+        opt = optim.SGD([w], lr=1.0)
+        return opt, optim.WarmupCosine(opt, warmup_epochs=warmup, total_epochs=total)
+
+    def test_warmup_ramps_linearly(self):
+        opt, sched = self.make()
+        sched.step()
+        assert opt.lr == pytest.approx(1.0 / 3)
+        sched.step()
+        assert opt.lr == pytest.approx(2.0 / 3)
+
+    def test_peak_at_end_of_warmup(self):
+        opt, sched = self.make()
+        for _ in range(3):
+            sched.step()
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_decays_after_warmup(self):
+        opt, sched = self.make()
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_warmup(self):
+        opt, _ = self.make()
+        with pytest.raises(ValueError):
+            optim.WarmupCosine(opt, warmup_epochs=10, total_epochs=10)

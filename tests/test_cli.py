@@ -1,0 +1,93 @@
+"""Tests for the command-line interface and dataset I/O."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.data import load_dataset
+from repro.data.io import load_dataset_file, save_dataset
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "nyc-bike"])
+        assert args.scale == "tiny"
+        assert args.out is None
+
+    def test_simulate_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "chicago"])
+
+    def test_experiment_profile_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table2", "--profile", "gpu"])
+
+    def test_all_experiments_registered(self):
+        expected = ({f"table{i}" for i in range(1, 7)}
+                    | {f"fig{i}" for i in range(4, 10)}
+                    | {"fig1", "fig2"})
+        assert set(EXPERIMENTS) == expected
+
+
+class TestCommands:
+    def test_info_exit_code(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "MUSE-Net" in out
+        assert "nyc-bike" in out
+
+    def test_simulate_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "city.npz"
+        assert main(["simulate", "nyc-bike", "--scale", "tiny",
+                     "--out", str(out_file)]) == 0
+        assert out_file.exists()
+
+    def test_train_unknown_method_exit_code(self, capsys):
+        assert main(["train", "ARIMA"]) == 2
+
+    def test_experiment_unknown_name_exit_code(self, capsys):
+        assert main(["experiment", "table99"]) == 2
+
+    def test_complexity_prints_table(self, capsys):
+        assert main(["complexity"]) == 0
+        out = capsys.readouterr().out
+        assert "MUSE-Net" in out
+        assert "GMAN" in out
+
+
+class TestDatasetIO:
+    def test_round_trip(self, tmp_path):
+        dataset = load_dataset("nyc-bike", scale="tiny")
+        path = tmp_path / "bike.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset_file(path)
+        assert loaded.name == dataset.name
+        assert loaded.scale == dataset.scale
+        assert loaded.grid == dataset.grid
+        np.testing.assert_allclose(loaded.flows, dataset.flows)
+        assert loaded.periodicity.len_trend == dataset.periodicity.len_trend
+
+    def test_version_check(self, tmp_path):
+        dataset = load_dataset("nyc-bike", scale="tiny")
+        path = tmp_path / "bike.npz"
+        save_dataset(dataset, path)
+        data = dict(np.load(path))
+        data["format_version"] = np.array(99)
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            load_dataset_file(path)
+
+    def test_loaded_dataset_flows_are_writable(self, tmp_path):
+        dataset = load_dataset("nyc-bike", scale="tiny")
+        path = tmp_path / "bike.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset_file(path)
+        loaded.flows[0] = 0.0  # must not raise (copy, not mmap view)

@@ -1,0 +1,37 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fastest one runs end to end.
+(The training examples run in minutes and are exercised manually /
+by the benchmark suite's equivalent paths.)
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_custom_city_simulation_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "custom_city_simulation.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "point shift" in result.stdout
+    assert "pipeline" in result.stdout

@@ -1,0 +1,83 @@
+"""Hypothesis property tests for the evaluation metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics import evaluate_flows, mae, mape, rmse
+
+ARRAYS = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 8)),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+@given(ARRAYS)
+@settings(max_examples=50, deadline=None)
+def test_metrics_zero_iff_perfect(arr):
+    assert rmse(arr, arr) == 0.0
+    assert mae(arr, arr) == 0.0
+
+
+@given(ARRAYS, ARRAYS)
+@settings(max_examples=50, deadline=None)
+def test_metrics_nonnegative(a, b):
+    if a.shape != b.shape:
+        return
+    assert rmse(a, b) >= 0.0
+    assert mae(a, b) >= 0.0
+
+
+@given(ARRAYS, ARRAYS)
+@settings(max_examples=50, deadline=None)
+def test_rmse_dominates_mae(a, b):
+    # RMSE >= MAE always (Jensen).
+    if a.shape != b.shape:
+        return
+    assert rmse(a, b) >= mae(a, b) - 1e-12
+
+
+@given(ARRAYS, ARRAYS)
+@settings(max_examples=50, deadline=None)
+def test_metrics_symmetric(a, b):
+    if a.shape != b.shape:
+        return
+    assert rmse(a, b) == rmse(b, a)
+    assert mae(a, b) == mae(b, a)
+
+
+@given(ARRAYS, st.floats(0.1, 10.0))
+@settings(max_examples=50, deadline=None)
+def test_rmse_scale_equivariant(a, scale):
+    b = a + 1.0
+    np.testing.assert_allclose(rmse(a * scale, b * scale), scale * rmse(a, b),
+                               rtol=1e-9)
+
+
+@given(ARRAYS, st.floats(0.5, 5.0))
+@settings(max_examples=50, deadline=None)
+def test_mape_scale_invariant(a, scale):
+    # Percentages don't change under unit changes.
+    target = np.abs(a) + 2.0  # clear of the mask threshold
+    prediction = target * 1.1
+    np.testing.assert_allclose(
+        mape(prediction * scale, target * scale), mape(prediction, target),
+        rtol=1e-9,
+    )
+
+
+@given(
+    hnp.arrays(np.float64, st.tuples(st.integers(1, 4), st.just(2),
+                                     st.integers(2, 3), st.integers(2, 3)),
+               elements=st.floats(0, 50, allow_nan=False))
+)
+@settings(max_examples=40, deadline=None)
+def test_evaluate_flows_consistent_with_channel_metrics(target):
+    prediction = target + 1.0
+    report = evaluate_flows(prediction, target)
+    np.testing.assert_allclose(report.outflow_rmse,
+                               rmse(prediction[:, 0], target[:, 0]))
+    np.testing.assert_allclose(report.inflow_mae,
+                               mae(prediction[:, 1], target[:, 1]))

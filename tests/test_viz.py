@@ -1,0 +1,89 @@
+"""Tests for the terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import heatmap, histogram, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        out = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert out == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_nan_renders_space(self):
+        out = sparkline([1.0, float("nan"), 2.0])
+        assert out[1] == " "
+
+    def test_pinned_scale(self):
+        # With the scale pinned to [0, 100], small values stay low.
+        out = sparkline([2, 2], low=0, high=100)
+        assert set(out) == {"▁"}
+
+    def test_length_matches_input(self):
+        assert len(sparkline(np.arange(17))) == 17
+
+
+class TestLineChart:
+    def test_contains_extremes_and_legend(self):
+        chart = line_chart({"a": [0.0, 5.0, 10.0]}, height=5)
+        assert "10.00" in chart
+        assert "0.00" in chart
+        assert "a" in chart
+
+    def test_accepts_plain_array(self):
+        chart = line_chart(np.array([1.0, 2.0, 3.0]))
+        assert "series" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = line_chart({"up": [0, 1, 2], "down": [2, 1, 0]}, height=4)
+        assert "•" in chart
+        assert "x" in chart
+
+    def test_width_resamples(self):
+        chart = line_chart({"long": np.arange(500)}, height=4, width=40)
+        longest = max(len(line) for line in chart.splitlines())
+        assert longest < 70
+
+    def test_empty_dict(self):
+        assert line_chart({}) == "(no data)"
+
+
+class TestHeatmap:
+    def test_extremes_use_extreme_shades(self):
+        out = heatmap(np.array([[0.0, 1.0]]))
+        assert "█" in out
+        assert " " in out
+
+    def test_row_labels(self):
+        out = heatmap(np.eye(2), row_labels=["rowA", "rowB"])
+        assert "rowA" in out
+
+    def test_accepts_1d(self):
+        assert len(heatmap(np.array([1.0, 2.0])).splitlines()) == 1
+
+    def test_constant_matrix(self):
+        out = heatmap(np.ones((2, 2)))
+        assert set("".join(out.splitlines())) <= {" "}
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        values = np.random.default_rng(0).standard_normal(100)
+        out = histogram(values, bins=5)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in out.splitlines()]
+        assert sum(counts) == 100
+
+    def test_bin_count(self):
+        out = histogram(np.arange(10), bins=4)
+        assert len(out.splitlines()) == 4
+
+    def test_empty_bins_have_no_bar(self):
+        out = histogram(np.array([0.0, 0.0, 10.0]), bins=10)
+        assert any("█" not in line for line in out.splitlines())
