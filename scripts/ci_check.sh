@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests plus a smoke-mode profiling-overhead benchmark,
+# so every run produces a fresh perf snapshot (BENCH_profiling.json).
+#
+#   scripts/ci_check.sh            # from anywhere inside the repo
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== profiling-overhead bench (smoke) =="
+python benchmarks/bench_profile_overhead.py --smoke --out BENCH_profiling.json
+
+echo "ci_check: OK"

@@ -10,6 +10,8 @@ Forecasting* (ICDE 2024) on a from-scratch numpy substrate:
 - :mod:`repro.baselines` — the 11 comparison methods from the paper.
 - :mod:`repro.metrics` / :mod:`repro.analysis` — evaluation and the
   paper's interpretability analyses.
+- :mod:`repro.profiling` — op profiler and tape-memory accounting for
+  the autodiff runtime.
 - :mod:`repro.experiments` — one runner per paper table/figure.
 """
 

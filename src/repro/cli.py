@@ -79,10 +79,13 @@ def _cmd_simulate(args):
 
 def _cmd_train(args):
     data = prepare(args.dataset, args.profile, horizon=args.horizon)
+    profile_ops = getattr(args, "profile_ops", False)
     if args.method == "MUSE-Net":
-        trainer = train_muse(data, args.profile, seed=args.seed)
+        trainer = train_muse(data, args.profile, seed=args.seed,
+                             profile_ops=profile_ops)
     elif args.method in BASELINE_NAMES:
-        trainer = train_baseline(args.method, data, args.profile, seed=args.seed)
+        trainer = train_baseline(args.method, data, args.profile, seed=args.seed,
+                                 profile_ops=profile_ops)
     else:
         print(f"unknown method {args.method!r}; choose MUSE-Net or one of "
               f"{', '.join(BASELINE_NAMES)}", file=sys.stderr)
@@ -90,6 +93,13 @@ def _cmd_train(args):
     report = trainer.evaluate(data)
     print(f"{args.method} on {args.dataset} [{args.profile}] horizon {args.horizon}")
     print(report)
+    history = trainer.history
+    if history is not None:
+        print(history.telemetry_summary())
+        if history.op_profile:
+            from repro.profiling import format_op_summary
+
+            print(format_op_summary(history.op_profile))
     return 0
 
 
@@ -141,6 +151,8 @@ def build_parser():
     p.add_argument("--profile", default="ci", choices=tuple(PROFILES))
     p.add_argument("--horizon", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile-ops", action="store_true",
+                   help="collect and print a per-op runtime profile")
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("experiment", help="regenerate one paper table/figure")

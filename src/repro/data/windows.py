@@ -84,10 +84,18 @@ def chronological_split(num_intervals, periodicity, test_intervals, val_fraction
             f"got {num_intervals} total"
         )
     all_indices = np.arange(first, last)
+    if test_intervals < 0:
+        raise ValueError(f"test_intervals must be >= 0; got {test_intervals}")
     if test_intervals >= len(all_indices):
         raise ValueError("test window swallows the whole usable range")
-    test = all_indices[-test_intervals:]
-    fit = all_indices[:-test_intervals]
+    if test_intervals == 0:
+        # Explicit: `all_indices[-0:]` would return the *whole* range.
+        # A zero-length test window is valid (train/val-only splits).
+        test = all_indices[:0]
+        fit = all_indices
+    else:
+        test = all_indices[-test_intervals:]
+        fit = all_indices[:-test_intervals]
     num_val = max(1, int(round(len(fit) * val_fraction)))
     val = fit[-num_val:]
     train = fit[:-num_val]
@@ -96,12 +104,23 @@ def chronological_split(num_intervals, periodicity, test_intervals, val_fraction
     return train, val, test
 
 
+# Shared fallback rng for callers that don't pass one.  It lives at
+# module level so its state advances across calls: seeding inside
+# iterate_batches would hand every epoch the identical shuffle order.
+_DEFAULT_RNG = np.random.default_rng(0)
+
+
 def iterate_batches(batch: SampleBatch, batch_size, rng=None, shuffle=True):
-    """Yield mini-batches; shuffles with ``rng`` when requested."""
+    """Yield mini-batches; shuffles with ``rng`` when requested.
+
+    Pass the training loop's ``rng`` for reproducible runs; when ``rng``
+    is ``None`` a process-wide default generator is used, so successive
+    epochs still see different shuffle orders.
+    """
     order = np.arange(len(batch))
     if shuffle:
         if rng is None:
-            rng = np.random.default_rng(0)
+            rng = _DEFAULT_RNG
         rng.shuffle(order)
     for start in range(0, len(order), batch_size):
         yield batch.take(order[start:start + batch_size])

@@ -98,10 +98,10 @@ def prepare(dataset_name, profile, horizon=1, seed=None):
     )
 
 
-def _train_config(profile, seed):
+def _train_config(profile, seed, profile_ops=False):
     return TrainConfig(
         epochs=profile.epochs, batch_size=profile.batch_size, lr=profile.lr,
-        patience=profile.patience, seed=seed,
+        patience=profile.patience, seed=seed, profile_ops=profile_ops,
     )
 
 
@@ -122,11 +122,11 @@ def muse_config(data, profile, seed=0, **overrides):
     return MuseConfig.for_data(data, **defaults)
 
 
-def train_muse(data, profile, seed=0, **config_overrides):
+def train_muse(data, profile, seed=0, profile_ops=False, **config_overrides):
     """Train MUSE-Net on prepared data; returns the fitted Trainer."""
     profile = get_profile(profile)
     model = MUSENet(muse_config(data, profile, seed=seed, **config_overrides))
-    trainer = Trainer(model, _train_config(profile, seed))
+    trainer = Trainer(model, _train_config(profile, seed, profile_ops=profile_ops))
     trainer.fit(data)
     return trainer
 
@@ -141,12 +141,12 @@ def train_variant(variant_name, data, profile, seed=0, **config_overrides):
     return trainer
 
 
-def train_baseline(name, data, profile, seed=0):
+def train_baseline(name, data, profile, seed=0, profile_ops=False):
     """Train one of the 11 baselines."""
     profile = get_profile(profile)
     config = BaselineConfig.for_data(data, hidden=profile.hidden, seed=seed)
     model = make_baseline(name, config)
-    trainer = Trainer(model, _train_config(profile, seed))
+    trainer = Trainer(model, _train_config(profile, seed, profile_ops=profile_ops))
     trainer.fit(data)
     return trainer
 

@@ -1,0 +1,21 @@
+"""Instrumentation for the autodiff runtime.
+
+- :func:`profile` / :class:`OpProfiler` — per-op forward/backward wall
+  time, call counts, output bytes, and tape-memory accounting, hooked
+  into the engine's two choke points (``Tensor._from_op`` and
+  ``Tensor.backward``).  Zero cost when no profiler is installed.
+- :func:`format_op_summary` — render a collected profile as a table.
+
+See the "Profiling & telemetry" section of ``docs/api.md``.
+"""
+
+from repro.profiling.op_profiler import (
+    OpProfiler,
+    OpStats,
+    format_op_summary,
+    get_active_profiler,
+    profile,
+)
+
+__all__ = ["OpProfiler", "OpStats", "profile", "get_active_profiler",
+           "format_op_summary"]

@@ -20,6 +20,7 @@ implemented in the sibling modules (:mod:`repro.tensor.ops`,
 from __future__ import annotations
 
 import contextlib
+from time import perf_counter
 
 import numpy as np
 
@@ -34,6 +35,23 @@ __all__ = [
 
 _GRAD_ENABLED = True
 _DEFAULT_DTYPE = np.float64
+
+# Active op profiler (see repro.profiling).  Kept here, not in the
+# profiling package, so the hot-path hooks below stay a single global
+# load + ``None`` check and tensor.py gains no new imports.
+_PROFILER = None
+
+
+def _set_profiler(profiler):
+    """Install ``profiler`` as the active op profiler; returns the previous.
+
+    ``None`` disables profiling.  Use :func:`repro.profiling.profile`
+    rather than calling this directly.
+    """
+    global _PROFILER
+    previous = _PROFILER
+    _PROFILER = profiler
+    return previous
 
 
 def set_default_dtype(dtype):
@@ -89,7 +107,8 @@ class Tensor:
         Optional label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_freed", "name")
 
     def __init__(self, data, requires_grad=False, name=None):
         if isinstance(data, Tensor):
@@ -102,6 +121,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward = None
         self._parents = ()
+        self._freed = False
         self.name = name
 
     # ------------------------------------------------------------------
@@ -148,10 +168,14 @@ class Tensor:
         requires them, the result is a detached leaf.
         """
         out = cls(data, name=name)
+        on_tape = False
         if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward
+            on_tape = True
+        if _PROFILER is not None:
+            _PROFILER._record_forward(name or "op", out.data.nbytes, on_tape)
         return out
 
     def _accumulate_grad(self, grad):
@@ -172,7 +196,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # Backward pass
     # ------------------------------------------------------------------
-    def backward(self, grad=None):
+    def backward(self, grad=None, retain_graph=False):
         """Backpropagate from this tensor through the recorded graph.
 
         Parameters
@@ -180,9 +204,23 @@ class Tensor:
         grad:
             Upstream gradient with the same shape as ``self``.  May be
             omitted for scalar tensors, in which case it defaults to 1.
+        retain_graph:
+            By default the tape is *freed* once gradients have been
+            deposited: every visited node drops its backward closure and
+            parent links, releasing the intermediate buffers those
+            closures capture (conv/pool window views, padded inputs,
+            activation caches) without waiting for the whole graph to
+            fall out of scope.  Pass ``True`` to keep the graph alive,
+            e.g. to call ``backward()`` again or to extend the graph
+            from intermediate nodes afterwards.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
+        if self._freed:
+            raise RuntimeError(
+                "backward() through a freed graph; pass retain_graph=True "
+                "to the first backward() call if you need the tape again"
+            )
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError(
@@ -192,10 +230,30 @@ class Tensor:
             grad = np.ones_like(self.data)
         self._accumulate_grad(np.broadcast_to(np.asarray(grad), self.data.shape))
 
-        for node in reversed(self._topological_order()):
+        profiler = _PROFILER
+        order = self._topological_order()
+        for node in reversed(order):
             if node._backward is None or node.grad is None:
                 continue
-            node._backward(node.grad)
+            if profiler is not None:
+                start = perf_counter()
+                node._backward(node.grad)
+                profiler._record_backward(node.name or "op", perf_counter() - start)
+            else:
+                node._backward(node.grad)
+
+        if not retain_graph:
+            for node in order:
+                if node._backward is not None:
+                    if profiler is not None:
+                        profiler._record_tape_free(node.data.nbytes)
+                    node._backward = None
+                    node._parents = ()
+                    node._freed = True
+        if profiler is not None:
+            # Don't let backward time leak into the next forward op's
+            # interval attribution.
+            profiler.mark()
 
     def _topological_order(self):
         """Return graph nodes reachable from ``self`` in topological order."""

@@ -37,6 +37,9 @@ def save_checkpoint(path, model, optimizer, history=None, epoch=None):
         "lr": np.array(optimizer.lr),
         "step_count": np.array(optimizer._step_count),
         "epoch": np.array(-1 if epoch is None else epoch),
+        # Lets load_checkpoint detect archives that don't cover the
+        # target optimizer's parameter list.
+        "opt/num_states": np.array(len(optimizer._state)),
     }
     for name, value in model.state_dict().items():
         payload[f"model/{name}"] = value
@@ -48,6 +51,9 @@ def save_checkpoint(path, model, optimizer, history=None, epoch=None):
         payload["history/train_reg"] = np.array(history.train_reg)
         payload["history/val_rmse"] = np.array(history.val_rmse)
         payload["history/best"] = np.array([history.best_epoch, history.best_val_rmse])
+        payload["history/stopped_early"] = np.array(history.stopped_early)
+        payload["history/epoch_time"] = np.array(history.epoch_time)
+        payload["history/batches_per_sec"] = np.array(history.batches_per_sec)
     np.savez_compressed(path, **payload)
 
 
@@ -65,8 +71,40 @@ def load_checkpoint(path, model, optimizer):
             for key in archive.files if key.startswith("model/")
         })
         optimizer.lr = float(archive["lr"])
-        optimizer._step_count = int(archive["step_count"])
-        for index in range(len(optimizer._state)):
+        step_count = int(archive["step_count"])
+
+        # Guard against archives that don't cover this optimizer's
+        # parameter list: blindly installing empty per-parameter dicts
+        # would silently reset Adam moments and corrupt the resume.
+        saved_indices = {
+            int(key.split("/", 2)[1])
+            for key in archive.files
+            if key.startswith("opt/") and key.count("/") >= 2
+        }
+        num_states = len(optimizer._state)
+        if "opt/num_states" in archive.files:
+            saved_states = int(archive["opt/num_states"])
+            if saved_states != num_states:
+                raise ValueError(
+                    f"checkpoint stores optimizer state for {saved_states} "
+                    f"parameter(s) but the optimizer tracks {num_states}; "
+                    "rebuild the optimizer to match the checkpointed model"
+                )
+        elif step_count > 0 and not saved_indices:
+            # Legacy archive (no opt/num_states): a stepped optimizer
+            # must have saved slot variables for at least one parameter.
+            raise ValueError(
+                "checkpoint has step_count > 0 but no optimizer state "
+                "entries; refusing to resume with reset moments"
+            )
+        if saved_indices and max(saved_indices) >= num_states:
+            raise ValueError(
+                f"checkpoint stores optimizer state for parameter index "
+                f"{max(saved_indices)} but the optimizer tracks only "
+                f"{num_states} parameter(s)"
+            )
+        optimizer._step_count = step_count
+        for index in range(num_states):
             prefix = f"opt/{index}/"
             state = {}
             for key in archive.files:
@@ -88,5 +126,13 @@ def load_checkpoint(path, model, optimizer):
             best_epoch, best_rmse = archive["history/best"]
             history.best_epoch = int(best_epoch)
             history.best_val_rmse = float(best_rmse)
+            if "history/stopped_early" in archive.files:
+                history.stopped_early = bool(archive["history/stopped_early"])
+            if "history/epoch_time" in archive.files:
+                history.epoch_time = [float(v) for v in archive["history/epoch_time"]]
+            if "history/batches_per_sec" in archive.files:
+                history.batches_per_sec = [
+                    float(v) for v in archive["history/batches_per_sec"]
+                ]
         epoch = int(archive["epoch"])
         return history, (None if epoch < 0 else epoch)

@@ -9,14 +9,26 @@ __all__ = ["History"]
 
 @dataclass
 class History:
-    """Per-epoch curves collected by the trainer."""
+    """Per-epoch curves and run telemetry collected by the trainer.
+
+    Besides the loss/validation curves, the trainer records wall-clock
+    telemetry: ``epoch_time`` (seconds per epoch, including validation)
+    and ``batches_per_sec`` (training-section throughput).  When op
+    profiling is enabled (``TrainConfig.profile_ops``), ``op_profile``
+    holds the :meth:`repro.profiling.OpProfiler.as_dict` snapshot for
+    the whole fit and ``peak_tape_bytes`` the tape's high-water mark.
+    """
 
     train_loss: list = field(default_factory=list)
     train_reg: list = field(default_factory=list)
     val_rmse: list = field(default_factory=list)
+    epoch_time: list = field(default_factory=list)
+    batches_per_sec: list = field(default_factory=list)
     best_epoch: int = -1
     best_val_rmse: float = float("inf")
     stopped_early: bool = False
+    peak_tape_bytes: int = 0
+    op_profile: dict = None
 
     @property
     def epochs_run(self):
@@ -37,3 +49,27 @@ class History:
             self.best_epoch = len(self.val_rmse) - 1
             return True
         return False
+
+    def record_telemetry(self, epoch_seconds, batches_per_sec):
+        """Append one epoch's wall-clock telemetry."""
+        self.epoch_time.append(float(epoch_seconds))
+        self.batches_per_sec.append(float(batches_per_sec))
+
+    @property
+    def total_time(self):
+        """Total training wall time in seconds."""
+        return float(sum(self.epoch_time))
+
+    def telemetry_summary(self):
+        """One-line human-readable run telemetry."""
+        if not self.epoch_time:
+            return "telemetry: none recorded"
+        mean_bps = sum(self.batches_per_sec) / len(self.batches_per_sec)
+        line = (f"telemetry: {self.epochs_run} epochs in {self.total_time:.2f}s "
+                f"(mean {mean_bps:.1f} batches/s")
+        if self.peak_tape_bytes:
+            line += f", peak tape {self.peak_tape_bytes / 2**20:.2f} MiB"
+        line += ")"
+        if self.stopped_early:
+            line += " [stopped early]"
+        return line

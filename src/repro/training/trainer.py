@@ -12,7 +12,9 @@ early stopping on validation RMSE and restoration of the best weights.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -20,6 +22,7 @@ from repro.data.pipeline import ForecastData
 from repro.data.windows import SampleBatch, iterate_batches
 from repro.metrics import evaluate_flows, rmse
 from repro.optim import Adam, clip_grad_norm
+from repro.profiling import OpProfiler, profile
 from repro.training.history import History
 
 __all__ = ["TrainConfig", "Trainer"]
@@ -33,11 +36,15 @@ class TrainConfig:
     batch_size: int = 8
     lr: float = 2e-4  # the paper's Adam learning rate
     clip_norm: float = 5.0
-    patience: int = None  # early stopping; None disables
-    min_delta: float = 0.0  # minimum val-RMSE improvement that resets patience
+    # Early stopping: stop after `patience` consecutive epochs without a
+    # val-RMSE improvement of at least `min_delta`; None disables (use
+    # patience >= 1).
+    patience: int | None = None
+    min_delta: float = 0.0
     seed: int = 0
     verbose: bool = False
     eval_batch_size: int = 64
+    profile_ops: bool = False  # collect a per-op profile during fit()
 
 
 class Trainer:
@@ -48,49 +55,77 @@ class Trainer:
         self.config = config if config is not None else TrainConfig()
         self.optimizer = Adam(model.parameters(), lr=self.config.lr)
         self._rng = np.random.default_rng(self.config.seed)
+        self.history = None  # set by fit()
 
     # ------------------------------------------------------------------
     def fit(self, data: ForecastData):
-        """Train with early stopping; restores the best-val weights."""
+        """Train with early stopping; restores the best-val weights.
+
+        Telemetry (per-epoch wall time, batches/sec) is always recorded
+        on the returned :class:`History`; with
+        ``TrainConfig.profile_ops`` the fit additionally runs under
+        :func:`repro.profiling.profile` and attaches the per-op
+        timing/tape snapshot as ``history.op_profile``.
+        """
         config = self.config
         history = History()
+        self.history = history
         best_state = None
         bad_epochs = 0
+        profiler = OpProfiler() if config.profile_ops else None
 
-        for epoch in range(config.epochs):
-            self.model.train()
-            epoch_losses = []
-            epoch_regs = []
-            for batch in iterate_batches(data.train, config.batch_size, rng=self._rng):
-                self.optimizer.zero_grad()
-                breakdown, _outputs = self.model.training_loss(batch, rng=self._rng)
-                breakdown.total.backward()
-                if config.clip_norm:
-                    clip_grad_norm(self.model.parameters(), config.clip_norm)
-                self.optimizer.step()
-                epoch_losses.append(breakdown.total.item())
-                epoch_regs.append(breakdown.reg.item())
+        with contextlib.ExitStack() as stack:
+            if profiler is not None:
+                stack.enter_context(profile(profiler))
+            for epoch in range(config.epochs):
+                self.model.train()
+                epoch_start = perf_counter()
+                num_batches = 0
+                epoch_losses = []
+                epoch_regs = []
+                for batch in iterate_batches(data.train, config.batch_size,
+                                             rng=self._rng):
+                    self.optimizer.zero_grad()
+                    if profiler is not None:
+                        profiler.mark()  # don't attribute batch prep to op 1
+                    breakdown, _outputs = self.model.training_loss(batch, rng=self._rng)
+                    breakdown.total.backward()
+                    if config.clip_norm:
+                        clip_grad_norm(self.model.parameters(), config.clip_norm)
+                    self.optimizer.step()
+                    epoch_losses.append(breakdown.total.item())
+                    epoch_regs.append(breakdown.reg.item())
+                    num_batches += 1
 
-            val_rmse = self._validation_rmse(data)
-            improved = history.record(
-                float(np.mean(epoch_losses)), float(np.mean(epoch_regs)), val_rmse,
-                min_delta=config.min_delta,
-            )
-            if improved:
-                best_state = self.model.state_dict()
-                bad_epochs = 0
-            else:
-                bad_epochs += 1
-            if config.verbose:
-                print(
-                    f"epoch {epoch + 1}/{config.epochs} "
-                    f"loss {history.train_loss[-1]:.4f} "
-                    f"reg {history.train_reg[-1]:.4f} val-rmse {val_rmse:.4f}"
+                train_seconds = perf_counter() - epoch_start
+                val_rmse = self._validation_rmse(data)
+                epoch_seconds = perf_counter() - epoch_start
+                history.record_telemetry(
+                    epoch_seconds, num_batches / max(train_seconds, 1e-9))
+                improved = history.record(
+                    float(np.mean(epoch_losses)), float(np.mean(epoch_regs)), val_rmse,
+                    min_delta=config.min_delta,
                 )
-            if config.patience is not None and bad_epochs > config.patience:
-                history.stopped_early = True
-                break
+                if improved:
+                    best_state = self.model.state_dict()
+                    bad_epochs = 0
+                else:
+                    bad_epochs += 1
+                if config.verbose:
+                    print(
+                        f"epoch {epoch + 1}/{config.epochs} "
+                        f"loss {history.train_loss[-1]:.4f} "
+                        f"reg {history.train_reg[-1]:.4f} val-rmse {val_rmse:.4f} "
+                        f"[{epoch_seconds:.2f}s, "
+                        f"{history.batches_per_sec[-1]:.1f} batches/s]"
+                    )
+                if config.patience is not None and bad_epochs >= config.patience:
+                    history.stopped_early = True
+                    break
 
+        if profiler is not None:
+            history.op_profile = profiler.as_dict()
+            history.peak_tape_bytes = profiler.peak_tape_bytes
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()

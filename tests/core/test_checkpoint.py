@@ -93,6 +93,53 @@ class TestRoundTrip:
         assert restored.best_val_rmse == 1.5
         assert restored.best_epoch == 1
 
+    def test_stopped_early_round_trip(self, tmp_path):
+        # Regression: stopped_early was dropped on restore, so a resumed
+        # run could not tell that early stopping had already triggered.
+        model = small_model()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        history = History()
+        history.record(1.0, 0.5, 2.0)
+        history.stopped_early = True
+        history.record_telemetry(1.5, 12.0)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, optimizer, history=history)
+        restored, _epoch = load_checkpoint(path, model, optimizer)
+        assert restored.stopped_early is True
+        assert restored.epoch_time == [1.5]
+        assert restored.batches_per_sec == [12.0]
+
+    def test_optimizer_param_count_mismatch_raises(self, tmp_path):
+        # Regression: an archive covering fewer parameters than the
+        # optimizer tracks silently installed empty state dicts,
+        # resetting Adam moments on resume.
+        model = small_model()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        take_steps(model, optimizer, 3)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, optimizer)
+
+        from repro.nn import Parameter
+
+        extra = Parameter(np.zeros(3))
+        bigger_opt = Adam(list(model.parameters()) + [extra], lr=1e-2)
+        with pytest.raises(ValueError, match="parameter"):
+            load_checkpoint(path, model, bigger_opt)
+
+    def test_stepped_archive_without_opt_state_raises(self, tmp_path):
+        # A legacy-style archive (no opt/num_states) whose opt/ entries
+        # are missing entirely must not silently reset the moments.
+        model = small_model()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        take_steps(model, optimizer, 3)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, optimizer)
+        data = {key: value for key, value in np.load(path).items()
+                if not key.startswith("opt/")}
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="optimizer state"):
+            load_checkpoint(path, model, optimizer)
+
     def test_version_mismatch(self, tmp_path):
         model = small_model()
         optimizer = Adam(model.parameters(), lr=1e-2)

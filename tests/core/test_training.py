@@ -97,6 +97,49 @@ class TestTrainer:
         assert history.stopped_early
         assert history.epochs_run < 50
 
+    def test_early_stopping_patience_is_exact(self, tiny_data, tiny_config):
+        # Regression: `bad_epochs > patience` tolerated patience + 1
+        # non-improving epochs.  With patience=1 the run must stop right
+        # after the first non-improving epoch: epoch 0 improves (first
+        # val-RMSE is always a new best), epoch 1 does not -> 2 epochs.
+        model = MUSENet(tiny_config)
+        trainer = Trainer(model, TrainConfig(epochs=50, lr=1e-9, patience=1,
+                                             min_delta=100.0, seed=0))
+        history = trainer.fit(tiny_data)
+        assert history.stopped_early
+        assert history.epochs_run == 2
+
+    def test_telemetry_recorded(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        trainer = Trainer(model, TrainConfig(epochs=2, lr=1e-3))
+        history = trainer.fit(tiny_data)
+        assert len(history.epoch_time) == history.epochs_run == 2
+        assert all(t > 0 for t in history.epoch_time)
+        assert all(b > 0 for b in history.batches_per_sec)
+        assert history.total_time == pytest.approx(sum(history.epoch_time))
+        assert "epochs in" in history.telemetry_summary()
+        assert trainer.history is history
+
+    def test_profile_ops_collects_op_profile(self, tiny_data, tiny_config):
+        from repro.profiling import get_active_profiler
+
+        model = MUSENet(tiny_config)
+        trainer = Trainer(model, TrainConfig(epochs=1, lr=1e-3, profile_ops=True))
+        history = trainer.fit(tiny_data)
+        assert history.op_profile is not None
+        ops = history.op_profile["ops"]
+        assert "conv2d" in ops
+        assert ops["conv2d"]["backward_calls"] > 0
+        assert history.peak_tape_bytes > 0
+        # The profiler must be uninstalled once fit() returns.
+        assert get_active_profiler() is None
+
+    def test_profile_ops_off_by_default(self, tiny_data, tiny_config):
+        model = MUSENet(tiny_config)
+        history = Trainer(model, TrainConfig(epochs=1, lr=1e-3)).fit(tiny_data)
+        assert history.op_profile is None
+        assert history.peak_tape_bytes == 0
+
     def test_evaluate_returns_report(self, tiny_data, tiny_config):
         model = MUSENet(tiny_config)
         trainer = Trainer(model, TrainConfig(epochs=1, lr=1e-3))

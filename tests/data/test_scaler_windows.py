@@ -129,6 +129,21 @@ class TestSplit:
         with pytest.raises(ValueError):
             chronological_split(800, mp, test_intervals=10_000)
 
+    def test_zero_test_intervals_gives_empty_test(self):
+        # Regression: `all_indices[-0:]` used to hand the *entire*
+        # usable range to the test split and empty the train split.
+        mp, _ = make_setup()
+        train, val, test = chronological_split(800, mp, test_intervals=0)
+        assert len(test) == 0
+        assert len(train) > 0
+        assert len(val) > 0
+        assert len(train) + len(val) == 800 - mp.min_index
+
+    def test_negative_test_intervals_raises(self):
+        mp, _ = make_setup()
+        with pytest.raises(ValueError):
+            chronological_split(800, mp, test_intervals=-1)
+
 
 class TestBatching:
     def test_batches_cover_everything_once(self):
@@ -157,6 +172,19 @@ class TestBatching:
         a = [p.indices.tolist() for p in iterate_batches(batch, 6, rng=np.random.default_rng(3))]
         b = [p.indices.tolist() for p in iterate_batches(batch, 6, rng=np.random.default_rng(3))]
         assert a == b
+
+    def test_default_rng_shuffles_differently_each_epoch(self):
+        # Regression: seeding a fresh rng inside every call gave each
+        # epoch the identical shuffle order for rng-less callers.
+        mp, flows = make_setup()
+        batch = build_samples(flows, mp, np.arange(mp.min_index, mp.min_index + 40))
+        epoch1 = [p.indices.tolist() for p in iterate_batches(batch, 8)]
+        epoch2 = [p.indices.tolist() for p in iterate_batches(batch, 8)]
+        assert epoch1 != epoch2
+        # Both epochs still cover every sample exactly once.
+        flat1 = sorted(i for piece in epoch1 for i in piece)
+        flat2 = sorted(i for piece in epoch2 for i in piece)
+        assert flat1 == flat2 == sorted(batch.indices.tolist())
 
 
 class TestMasks:

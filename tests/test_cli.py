@@ -26,6 +26,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "chicago"])
 
+    def test_train_profile_ops_flag(self):
+        args = build_parser().parse_args(["train", "MUSE-Net", "--profile-ops"])
+        assert args.profile_ops is True
+        assert build_parser().parse_args(["train", "MUSE-Net"]).profile_ops is False
+
     def test_experiment_profile_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "table2", "--profile", "gpu"])
