@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests plus a smoke-mode profiling-overhead benchmark,
-# so every run produces a fresh perf snapshot (BENCH_profiling.json).
+# CI gate: tier-1 tests plus smoke-mode perf benchmarks, so every run
+# produces fresh perf snapshots (BENCH_profiling.json,
+# BENCH_throughput.json).  The throughput bench doubles as a perf
+# regression gate: it fails unless the float32 + in-place-optimizer
+# path is faster than the float64 baseline.
 #
 #   scripts/ci_check.sh            # from anywhere inside the repo
 set -euo pipefail
@@ -13,5 +16,12 @@ python -m pytest -x -q
 
 echo "== profiling-overhead bench (smoke) =="
 python benchmarks/bench_profile_overhead.py --smoke --out BENCH_profiling.json
+
+echo "== train-throughput bench (smoke) =="
+# Smoke timings are noisy; the committed BENCH_throughput.json (full
+# mode) is where the >=1.5x claim lives.  The gate here only requires
+# the optimized path to actually beat the baseline.
+python benchmarks/bench_train_throughput.py --smoke --min-speedup 1.1 \
+    --out BENCH_throughput.json
 
 echo "ci_check: OK"

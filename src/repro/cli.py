@@ -80,12 +80,13 @@ def _cmd_simulate(args):
 def _cmd_train(args):
     data = prepare(args.dataset, args.profile, horizon=args.horizon)
     profile_ops = getattr(args, "profile_ops", False)
+    dtype = getattr(args, "dtype", None)
     if args.method == "MUSE-Net":
         trainer = train_muse(data, args.profile, seed=args.seed,
-                             profile_ops=profile_ops)
+                             profile_ops=profile_ops, dtype=dtype)
     elif args.method in BASELINE_NAMES:
         trainer = train_baseline(args.method, data, args.profile, seed=args.seed,
-                                 profile_ops=profile_ops)
+                                 profile_ops=profile_ops, dtype=dtype)
     else:
         print(f"unknown method {args.method!r}; choose MUSE-Net or one of "
               f"{', '.join(BASELINE_NAMES)}", file=sys.stderr)
@@ -153,6 +154,8 @@ def build_parser():
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--profile-ops", action="store_true",
                    help="collect and print a per-op runtime profile")
+    p.add_argument("--dtype", default=None, choices=("float32", "float64"),
+                   help="training compute precision (default: keep float64)")
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("experiment", help="regenerate one paper table/figure")

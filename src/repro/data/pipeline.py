@@ -44,6 +44,21 @@ class ForecastData:
         """Map model-space values back to flow units."""
         return self.scaler.inverse_transform(scaled)
 
+    def astype(self, dtype):
+        """Cast every split's float arrays to ``dtype``.
+
+        Shares the dataset and fitted scaler with the original (the
+        scaler holds python floats, so there is nothing to cast there).
+        """
+        return ForecastData(
+            dataset=self.dataset,
+            scaler=self.scaler,
+            train=self.train.astype(dtype),
+            val=self.val.astype(dtype),
+            test=self.test.astype(dtype),
+            horizon=self.horizon,
+        )
+
 
 def prepare_forecast_data(dataset: TrafficDataset, test_intervals=None,
                           val_fraction=0.1, horizon=1, max_train_samples=None,

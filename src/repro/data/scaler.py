@@ -3,11 +3,18 @@
 The paper's final activation is ``tanh``, so flows are scaled into
 ``[-1, 1]`` on the *training* split and predictions are re-scaled back
 before computing metrics.
+
+Outputs follow the tensor library's precision policy
+(:func:`repro.tensor.get_default_dtype`): under a float32 policy the
+scaled arrays — and therefore every window the model sees — are
+float32, keeping the training hot path in single precision end to end.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.tensor import get_default_dtype
 
 __all__ = ["MinMaxScaler"]
 
@@ -40,19 +47,27 @@ class MinMaxScaler:
         return self
 
     def transform(self, data):
-        """Map ``data`` into the feature range."""
+        """Map ``data`` into the feature range (policy dtype)."""
         self._require_fitted()
         unit = (np.asarray(data) - self.data_min) / (self.data_max - self.data_min)
-        return unit * (self.high - self.low) + self.low
+        scaled = unit * (self.high - self.low) + self.low
+        return scaled.astype(get_default_dtype(), copy=False)
 
     def fit_transform(self, data):
         """Fit then transform in one call."""
         return self.fit(data).transform(data)
 
     def inverse_transform(self, data):
-        """Map scaled values back to the original units."""
+        """Map scaled values back to the original units.
+
+        Keeps the input's floating dtype (a float32 prediction inverts
+        to float32); integer inputs are mapped through the policy dtype.
+        """
         self._require_fitted()
-        unit = (np.asarray(data) - self.low) / (self.high - self.low)
+        data = np.asarray(data)
+        if data.dtype.kind != "f":
+            data = data.astype(get_default_dtype())
+        unit = (data - self.low) / (self.high - self.low)
         return unit * (self.data_max - self.data_min) + self.data_min
 
     def _require_fitted(self):

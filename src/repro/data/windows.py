@@ -40,6 +40,21 @@ class SampleBatch:
             indices=self.indices[positions],
         )
 
+    def astype(self, dtype):
+        """Cast the float arrays to ``dtype``; ``indices`` stay integer.
+
+        No-copy when already in ``dtype``, so calling this defensively
+        is free in the common case.
+        """
+        dtype = np.dtype(dtype)
+        return SampleBatch(
+            closeness=self.closeness.astype(dtype, copy=False),
+            period=self.period.astype(dtype, copy=False),
+            trend=self.trend.astype(dtype, copy=False),
+            target=self.target.astype(dtype, copy=False),
+            indices=self.indices,
+        )
+
 
 def build_samples(flows, periodicity: MultiPeriodicity, indices, horizon=1):
     """Assemble a :class:`SampleBatch` for the given target indices.

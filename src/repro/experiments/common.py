@@ -98,10 +98,11 @@ def prepare(dataset_name, profile, horizon=1, seed=None):
     )
 
 
-def _train_config(profile, seed, profile_ops=False):
+def _train_config(profile, seed, profile_ops=False, dtype=None):
     return TrainConfig(
         epochs=profile.epochs, batch_size=profile.batch_size, lr=profile.lr,
         patience=profile.patience, seed=seed, profile_ops=profile_ops,
+        dtype=dtype,
     )
 
 
@@ -122,31 +123,35 @@ def muse_config(data, profile, seed=0, **overrides):
     return MuseConfig.for_data(data, **defaults)
 
 
-def train_muse(data, profile, seed=0, profile_ops=False, **config_overrides):
+def train_muse(data, profile, seed=0, profile_ops=False, dtype=None,
+               **config_overrides):
     """Train MUSE-Net on prepared data; returns the fitted Trainer."""
     profile = get_profile(profile)
     model = MUSENet(muse_config(data, profile, seed=seed, **config_overrides))
-    trainer = Trainer(model, _train_config(profile, seed, profile_ops=profile_ops))
+    trainer = Trainer(model, _train_config(profile, seed, profile_ops=profile_ops,
+                                           dtype=dtype))
     trainer.fit(data)
     return trainer
 
 
-def train_variant(variant_name, data, profile, seed=0, **config_overrides):
+def train_variant(variant_name, data, profile, seed=0, dtype=None,
+                  **config_overrides):
     """Train a Table VI ablation variant."""
     profile = get_profile(profile)
     model = make_variant(variant_name,
                          muse_config(data, profile, seed=seed, **config_overrides))
-    trainer = Trainer(model, _train_config(profile, seed))
+    trainer = Trainer(model, _train_config(profile, seed, dtype=dtype))
     trainer.fit(data)
     return trainer
 
 
-def train_baseline(name, data, profile, seed=0, profile_ops=False):
+def train_baseline(name, data, profile, seed=0, profile_ops=False, dtype=None):
     """Train one of the 11 baselines."""
     profile = get_profile(profile)
     config = BaselineConfig.for_data(data, hidden=profile.hidden, seed=seed)
     model = make_baseline(name, config)
-    trainer = Trainer(model, _train_config(profile, seed, profile_ops=profile_ops))
+    trainer = Trainer(model, _train_config(profile, seed, profile_ops=profile_ops,
+                                           dtype=dtype))
     trainer.fit(data)
     return trainer
 

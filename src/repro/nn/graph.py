@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
-from repro.tensor import Tensor, matmul
+from repro.tensor import Tensor, get_default_dtype, matmul
 
 __all__ = [
     "grid_adjacency",
@@ -40,8 +40,8 @@ def grid_adjacency(height, width, diagonal=False):
 
 
 def normalize_adjacency(adjacency, add_self_loops=True):
-    """Symmetric normalization D^-1/2 (A + I) D^-1/2."""
-    adjacency = np.asarray(adjacency, dtype=float)
+    """Symmetric normalization D^-1/2 (A + I) D^-1/2 (policy dtype)."""
+    adjacency = np.asarray(adjacency, dtype=get_default_dtype())
     if add_self_loops:
         adjacency = adjacency + np.eye(adjacency.shape[0])
     degree = adjacency.sum(axis=1)
@@ -59,7 +59,7 @@ class GraphConv(Module):
     def __init__(self, in_features, out_features, adjacency, rng=None):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng(0)
-        self.adjacency = Tensor(np.asarray(adjacency, dtype=float))
+        self.adjacency = Tensor(np.asarray(adjacency, dtype=get_default_dtype()))
         self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng))
         self.bias = Parameter(init.zeros((out_features,)))
 
@@ -78,7 +78,10 @@ class ChebConv(Module):
     def __init__(self, in_features, out_features, adjacency, order=3, rng=None):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng(0)
-        adjacency = np.asarray(adjacency, dtype=float)
+        # The spectral pieces (eigvalsh, polynomial recurrence) stay in
+        # float64 for accuracy; only the cached operator tensors follow
+        # the precision policy.
+        adjacency = np.asarray(adjacency, dtype=np.float64)
         degree = np.diag(adjacency.sum(axis=1))
         laplacian = degree - adjacency
         eigs = np.linalg.eigvalsh(laplacian)
@@ -88,7 +91,8 @@ class ChebConv(Module):
         self._cheb = [np.eye(adjacency.shape[0]), scaled]
         for _ in range(2, order):
             self._cheb.append(2.0 * scaled @ self._cheb[-1] - self._cheb[-2])
-        self._cheb = [Tensor(t) for t in self._cheb[:order]]
+        self._cheb = [Tensor(t.astype(get_default_dtype(), copy=False))
+                      for t in self._cheb[:order]]
         self.weights = Parameter(
             init.glorot_uniform((order, in_features, out_features), rng)
         )

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.tensor import Tensor
@@ -27,8 +25,8 @@ class BatchNorm2d(Module):
         self.momentum = momentum
         self.weight = Parameter(init.ones((num_features,)), name="weight")
         self.bias = Parameter(init.zeros((num_features,)), name="bias")
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.running_mean = init.zeros((num_features,))
+        self.running_var = init.ones((num_features,))
 
     def forward(self, x):
         if x.ndim != 4:
@@ -40,8 +38,13 @@ class BatchNorm2d(Module):
             self.running_mean = (1 - m) * self.running_mean + m * mu.data.reshape(-1)
             self.running_var = (1 - m) * self.running_var + m * sigma2.data.reshape(-1)
         else:
-            mu = Tensor(self.running_mean.reshape(1, -1, 1, 1))
-            sigma2 = Tensor(self.running_var.reshape(1, -1, 1, 1))
+            # Buffers may predate a dtype cast (e.g. a float64 checkpoint
+            # restored into a float32 run); follow the input's dtype so
+            # eval stays in one precision.
+            mu = Tensor(self.running_mean.reshape(1, -1, 1, 1)
+                        .astype(x.dtype, copy=False))
+            sigma2 = Tensor(self.running_var.reshape(1, -1, 1, 1)
+                            .astype(x.dtype, copy=False))
         normalized = (x - mu) / sqrt(sigma2 + self.eps)
         scale = self.weight.reshape((1, -1, 1, 1))
         shift = self.bias.reshape((1, -1, 1, 1))

@@ -13,9 +13,18 @@ from repro.optim.schedules import (
     WarmupCosine,
 )
 from repro.optim.clip import clip_grad_norm, clip_grad_value
+from repro.optim.reference import (
+    ReferenceAdagrad,
+    ReferenceAdam,
+    ReferenceAdamW,
+    ReferenceRMSProp,
+    ReferenceSGD,
+)
 
 __all__ = [
     "Optimizer", "SGD", "Adam", "AdamW", "Adagrad", "RMSProp",
+    "ReferenceSGD", "ReferenceAdam", "ReferenceAdamW", "ReferenceAdagrad",
+    "ReferenceRMSProp",
     "StepDecay", "ExponentialDecay", "CosineDecay", "WarmupCosine",
     "clip_grad_norm", "clip_grad_value",
 ]

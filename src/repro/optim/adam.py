@@ -10,7 +10,15 @@ __all__ = ["Adam"]
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba, 2015) with bias-corrected moments."""
+    """Adam (Kingma & Ba, 2015) with bias-corrected moments.
+
+    The update kernel is written with ``out=`` numpy calls against the
+    persistent moment arrays and the step's two scratch buffers, so a
+    steady-state step allocates nothing.  The arithmetic follows the
+    reference formulation operation-for-operation (same products, same
+    evaluation order), so results match the textbook implementation in
+    :mod:`repro.optim.reference` to rounding noise.
+    """
 
     def __init__(self, parameters, lr=2e-4, betas=(0.9, 0.999), eps=1e-8,
                  weight_decay=0.0):
@@ -19,18 +27,39 @@ class Adam(Optimizer):
         self.eps = eps
         self.weight_decay = weight_decay
 
-    def _update(self, param, grad, state):
-        if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
+    def _update(self, param, grad, state, buffers):
+        buf1, buf2 = buffers
         m = state.get("m")
-        v = state.get("v")
-        t = state.get("t", 0) + 1
         if m is None:
-            m = np.zeros_like(param.data)
-            v = np.zeros_like(param.data)
-        m = self.beta1 * m + (1.0 - self.beta1) * grad
-        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
-        state["m"], state["v"], state["t"] = m, v, t
-        m_hat = m / (1.0 - self.beta1 ** t)
-        v_hat = v / (1.0 - self.beta2 ** t)
-        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            m = state["m"] = np.zeros_like(param.data)
+            v = state["v"] = np.zeros_like(param.data)
+            self._note_alloc(m.nbytes + v.nbytes)
+        else:
+            v = state["v"]
+        t = state.get("t", 0) + 1
+        state["t"] = t
+        beta1, beta2 = self.beta1, self.beta2
+
+        if self.weight_decay:
+            np.multiply(param.data, self.weight_decay, out=buf1)
+            buf1 += grad
+            grad = buf1
+
+        # m <- beta1*m + (1-beta1)*g
+        m *= beta1
+        np.multiply(grad, 1.0 - beta1, out=buf2)
+        m += buf2
+        # v <- beta2*v + (1-beta2)*g*g
+        v *= beta2
+        np.multiply(grad, 1.0 - beta2, out=buf2)
+        buf2 *= grad
+        v += buf2
+        # buf1 <- sqrt(v_hat) + eps   (grad alias is dead from here on)
+        np.divide(v, 1.0 - beta2 ** t, out=buf1)
+        np.sqrt(buf1, out=buf1)
+        buf1 += self.eps
+        # param -= lr * m_hat / buf1
+        np.divide(m, 1.0 - beta1 ** t, out=buf2)
+        buf2 *= self.lr
+        buf2 /= buf1
+        param.data -= buf2

@@ -14,7 +14,8 @@ class AdamW(Optimizer):
 
     Unlike L2-regularized Adam, the decay is applied directly to the
     weights rather than folded into the gradient, which keeps the decay
-    strength independent of the adaptive step size.
+    strength independent of the adaptive step size.  The kernel is
+    allocation-free in steady state (see :class:`repro.optim.Optimizer`).
     """
 
     def __init__(self, parameters, lr=1e-3, betas=(0.9, 0.999), eps=1e-8,
@@ -24,17 +25,36 @@ class AdamW(Optimizer):
         self.eps = eps
         self.weight_decay = weight_decay
 
-    def _update(self, param, grad, state):
+    def _update(self, param, grad, state, buffers):
+        buf1, buf2 = buffers
         m = state.get("m")
-        v = state.get("v")
-        t = state.get("t", 0) + 1
         if m is None:
-            m = np.zeros_like(param.data)
-            v = np.zeros_like(param.data)
-        m = self.beta1 * m + (1.0 - self.beta1) * grad
-        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
-        state["m"], state["v"], state["t"] = m, v, t
-        m_hat = m / (1.0 - self.beta1 ** t)
-        v_hat = v / (1.0 - self.beta2 ** t)
-        param.data -= self.lr * (m_hat / (np.sqrt(v_hat) + self.eps)
-                                 + self.weight_decay * param.data)
+            m = state["m"] = np.zeros_like(param.data)
+            v = state["v"] = np.zeros_like(param.data)
+            self._note_alloc(m.nbytes + v.nbytes)
+        else:
+            v = state["v"]
+        t = state.get("t", 0) + 1
+        state["t"] = t
+        beta1, beta2 = self.beta1, self.beta2
+
+        # m <- beta1*m + (1-beta1)*g ; v <- beta2*v + (1-beta2)*g*g
+        m *= beta1
+        np.multiply(grad, 1.0 - beta1, out=buf2)
+        m += buf2
+        v *= beta2
+        np.multiply(grad, 1.0 - beta2, out=buf2)
+        buf2 *= grad
+        v += buf2
+        # buf1 <- sqrt(v_hat) + eps
+        np.divide(v, 1.0 - beta2 ** t, out=buf1)
+        np.sqrt(buf1, out=buf1)
+        buf1 += self.eps
+        # buf2 <- m_hat / buf1, then add the decoupled decay term
+        np.divide(m, 1.0 - beta1 ** t, out=buf2)
+        buf2 /= buf1
+        if self.weight_decay:
+            np.multiply(param.data, self.weight_decay, out=buf1)
+            buf2 += buf1
+        buf2 *= self.lr
+        param.data -= buf2

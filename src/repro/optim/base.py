@@ -1,6 +1,10 @@
-"""Optimizer base class."""
+"""Optimizer base class with an allocation-lean step fast path."""
 
 from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import tensor as _tensor_core
 
 __all__ = ["Optimizer"]
 
@@ -9,7 +13,22 @@ class Optimizer:
     """Base class: holds the parameter list and the update contract.
 
     Subclasses implement :meth:`_update` for a single parameter given
-    its gradient and a per-parameter state dict.
+    its gradient, a per-parameter state dict, and a pair of preallocated
+    scratch buffers shaped/typed like the parameter.  The contract for
+    update kernels is *allocation-free steady state*: moment/velocity
+    arrays live in the state dict and are updated with ``out=`` numpy
+    calls, temporaries go through the scratch buffers, and any array a
+    kernel does allocate (state init, a resized parameter) is reported
+    via :meth:`_note_alloc` so the op profiler's allocation counters
+    stay truthful.
+
+    :meth:`step` is the hot path: it hoists every per-step attribute
+    lookup out of the loop, reuses the scratch buffers across steps, and
+    skips parameters with no gradient (so models with conditional
+    branches train).  Scratch buffers are revalidated against the
+    parameter's dtype/shape each step, which makes a mid-training
+    precision cast (``Trainer(dtype=...)``, checkpoint restore into a
+    different dtype) self-healing rather than corrupting.
     """
 
     def __init__(self, parameters, lr):
@@ -21,12 +40,22 @@ class Optimizer:
         self.parameters = parameters
         self.lr = lr
         self._state = [dict() for _ in parameters]
+        self._scratch = [None] * len(parameters)
         self._step_count = 0
+        # Allocation accounting (bytes): total since construction, and
+        # the portion attributable to the most recent step().
+        self.alloc_bytes_total = 0
+        self.last_step_alloc_bytes = 0
 
     def zero_grad(self):
         """Clear gradients on every tracked parameter."""
         for param in self.parameters:
             param.zero_grad()
+
+    def _note_alloc(self, nbytes):
+        """Record that the current step allocated ``nbytes`` of arrays."""
+        self.alloc_bytes_total += nbytes
+        self.last_step_alloc_bytes += nbytes
 
     def step(self):
         """Apply one update using the currently accumulated gradients.
@@ -35,10 +64,27 @@ class Optimizer:
         skipped, which lets models with conditional branches train.
         """
         self._step_count += 1
-        for param, state in zip(self.parameters, self._state):
-            if param.grad is None:
+        self.last_step_alloc_bytes = 0
+        update = self._update
+        states = self._state
+        scratch = self._scratch
+        for index, param in enumerate(self.parameters):
+            grad = param.grad
+            if grad is None:
                 continue
-            self._update(param, param.grad, state)
+            data = param.data
+            buffers = scratch[index]
+            if (buffers is None or buffers[0].shape != data.shape
+                    or buffers[0].dtype != data.dtype):
+                buffers = (np.empty_like(data), np.empty_like(data))
+                scratch[index] = buffers
+                self._note_alloc(2 * data.nbytes)
+            update(param, grad, states[index], buffers)
+        profiler = _tensor_core._PROFILER
+        if profiler is not None:
+            profiler._record_optimizer_step(self.last_step_alloc_bytes)
+            # Keep optimizer time out of the next forward op's interval.
+            profiler.mark()
 
-    def _update(self, param, grad, state):
+    def _update(self, param, grad, state, buffers):
         raise NotImplementedError

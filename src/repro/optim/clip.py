@@ -11,13 +11,18 @@ def clip_grad_norm(parameters, max_norm):
     """Scale all gradients so their global L2 norm is at most ``max_norm``.
 
     Returns the pre-clip norm (useful for logging exploding gradients).
+
+    Allocation-free: each per-parameter sum of squares comes from
+    ``np.vdot`` (a BLAS dot of the gradient with itself — no ``g * g``
+    temporary), and the rescale runs in place, preserving each
+    gradient's dtype.
     """
-    parameters = [p for p in parameters if p.grad is not None]
-    total = np.sqrt(sum(float(np.sum(p.grad * p.grad)) for p in parameters))
+    grads = [p.grad for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float(np.vdot(g, g)) for g in grads)))
     if total > max_norm and total > 0:
         scale = max_norm / total
-        for param in parameters:
-            param.grad *= scale
+        for grad in grads:
+            np.multiply(grad, scale, out=grad)
     return total
 
 

@@ -10,17 +10,31 @@ __all__ = ["RMSProp"]
 
 
 class RMSProp(Optimizer):
-    """RMSProp with exponentially decaying squared-gradient average."""
+    """RMSProp with exponentially decaying squared-gradient average.
+
+    The kernel is allocation-free in steady state (see
+    :class:`repro.optim.Optimizer`).
+    """
 
     def __init__(self, parameters, lr=1e-3, alpha=0.99, eps=1e-8):
         super().__init__(parameters, lr)
         self.alpha = alpha
         self.eps = eps
 
-    def _update(self, param, grad, state):
+    def _update(self, param, grad, state, buffers):
+        buf1, buf2 = buffers
         avg = state.get("square_avg")
         if avg is None:
-            avg = np.zeros_like(param.data)
-        avg = self.alpha * avg + (1.0 - self.alpha) * grad * grad
-        state["square_avg"] = avg
-        param.data -= self.lr * grad / (np.sqrt(avg) + self.eps)
+            avg = state["square_avg"] = np.zeros_like(param.data)
+            self._note_alloc(avg.nbytes)
+        # avg <- alpha*avg + (1-alpha)*g*g
+        avg *= self.alpha
+        np.multiply(grad, 1.0 - self.alpha, out=buf1)
+        buf1 *= grad
+        avg += buf1
+        # param -= lr*g / (sqrt(avg) + eps)
+        np.sqrt(avg, out=buf1)
+        buf1 += self.eps
+        np.multiply(grad, self.lr, out=buf2)
+        buf2 /= buf1
+        param.data -= buf2

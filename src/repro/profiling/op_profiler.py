@@ -39,7 +39,7 @@ class OpStats:
     """Accumulated statistics for one op name."""
 
     __slots__ = ("calls", "forward_s", "backward_calls", "backward_s",
-                 "output_bytes")
+                 "output_bytes", "grad_bytes")
 
     def __init__(self):
         self.calls = 0
@@ -47,6 +47,7 @@ class OpStats:
         self.backward_calls = 0
         self.backward_s = 0.0
         self.output_bytes = 0
+        self.grad_bytes = 0
 
     def as_dict(self):
         """Plain-dict view (JSON-serialisable)."""
@@ -56,13 +57,15 @@ class OpStats:
             "backward_calls": self.backward_calls,
             "backward_s": self.backward_s,
             "output_bytes": self.output_bytes,
+            "grad_bytes": self.grad_bytes,
         }
 
     def __repr__(self):
         return (f"OpStats(calls={self.calls}, forward_s={self.forward_s:.6f}, "
                 f"backward_calls={self.backward_calls}, "
                 f"backward_s={self.backward_s:.6f}, "
-                f"output_bytes={self.output_bytes})")
+                f"output_bytes={self.output_bytes}, "
+                f"grad_bytes={self.grad_bytes})")
 
 
 class OpProfiler:
@@ -76,6 +79,14 @@ class OpProfiler:
         self.stats = {}
         self.tape_bytes = 0
         self.peak_tape_bytes = 0
+        # Allocation accounting: gradient buffers allocated during
+        # backward (attributed per op below), and bytes the optimizer
+        # reports allocating inside step() — zero per steady-state step
+        # for the in-place kernels, ~a dozen temporaries per parameter
+        # for the reference kernels.
+        self.grad_alloc_bytes = 0
+        self.optimizer_alloc_bytes = 0
+        self.optimizer_steps = 0
         self._last = time.perf_counter()
 
     # -- hooks called by the tensor core ------------------------------
@@ -107,6 +118,19 @@ class OpProfiler:
     def _record_tape_free(self, nbytes):
         self.tape_bytes = max(0, self.tape_bytes - nbytes)
 
+    def _record_grad_alloc(self, name, nbytes):
+        """A gradient buffer of ``nbytes`` was allocated for op ``name``."""
+        entry = self.stats.get(name)
+        if entry is None:
+            entry = self.stats[name] = OpStats()
+        entry.grad_bytes += nbytes
+        self.grad_alloc_bytes += nbytes
+
+    def _record_optimizer_step(self, alloc_bytes):
+        """One optimizer step completed, having allocated ``alloc_bytes``."""
+        self.optimizer_steps += 1
+        self.optimizer_alloc_bytes += alloc_bytes
+
     # -- reading results ----------------------------------------------
     @property
     def total_forward_s(self):
@@ -123,6 +147,9 @@ class OpProfiler:
         self.stats = {}
         self.tape_bytes = 0
         self.peak_tape_bytes = 0
+        self.grad_alloc_bytes = 0
+        self.optimizer_alloc_bytes = 0
+        self.optimizer_steps = 0
         self.mark()
 
     def as_dict(self):
@@ -132,6 +159,9 @@ class OpProfiler:
             "total_forward_s": self.total_forward_s,
             "total_backward_s": self.total_backward_s,
             "peak_tape_bytes": self.peak_tape_bytes,
+            "grad_alloc_bytes": self.grad_alloc_bytes,
+            "optimizer_alloc_bytes": self.optimizer_alloc_bytes,
+            "optimizer_steps": self.optimizer_steps,
         }
 
     def summary(self, limit=12):
@@ -154,13 +184,14 @@ def format_op_summary(op_profile, limit=12):
         dropped = len(rows) - limit
         rows = rows[:limit]
     header = (f"{'op':<16} {'calls':>8} {'fwd ms':>10} {'bwd calls':>10} "
-              f"{'bwd ms':>10} {'out MiB':>9}")
+              f"{'bwd ms':>10} {'out MiB':>9} {'grad MiB':>9}")
     lines = [header, "-" * len(header)]
     for name, s in rows:
         lines.append(
             f"{name:<16} {s['calls']:>8} {s['forward_s'] * 1e3:>10.2f} "
             f"{s['backward_calls']:>10} {s['backward_s'] * 1e3:>10.2f} "
-            f"{s['output_bytes'] / 2**20:>9.2f}"
+            f"{s['output_bytes'] / 2**20:>9.2f} "
+            f"{s.get('grad_bytes', 0) / 2**20:>9.2f}"
         )
     if dropped:
         lines.append(f"... {dropped} more op(s) omitted")
@@ -169,6 +200,13 @@ def format_op_summary(op_profile, limit=12):
         f"backward {op_profile.get('total_backward_s', 0.0) * 1e3:.2f} ms, "
         f"peak tape {op_profile.get('peak_tape_bytes', 0) / 2**20:.2f} MiB"
     )
+    steps = op_profile.get("optimizer_steps", 0)
+    if steps:
+        opt_bytes = op_profile.get("optimizer_alloc_bytes", 0)
+        lines.append(
+            f"optimizer: {steps} step(s), {opt_bytes / 2**20:.2f} MiB "
+            f"allocated ({opt_bytes / steps / 2**10:.1f} KiB/step)"
+        )
     return "\n".join(lines)
 
 

@@ -12,6 +12,7 @@ Public surface:
 from repro.tensor.tensor import (
     Tensor,
     as_tensor,
+    default_dtype,
     get_default_dtype,
     is_grad_enabled,
     no_grad,
@@ -116,6 +117,7 @@ __all__ = [
     "is_grad_enabled",
     "set_default_dtype",
     "get_default_dtype",
+    "default_dtype",
     # ops
     "add", "sub", "mul", "div", "neg", "pow_", "exp", "log", "sqrt", "abs_",
     "tanh", "sigmoid", "relu", "leaky_relu", "softplus", "clip", "maximum",

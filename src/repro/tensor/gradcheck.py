@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, default_dtype
 
 __all__ = ["numerical_gradient", "check_gradients"]
 
@@ -19,20 +19,21 @@ def numerical_gradient(fn, inputs, index, eps=1e-6):
     ``fn`` maps a list of :class:`Tensor` inputs to a scalar
     :class:`Tensor`.  Returns an array shaped like the chosen input.
     """
-    base = [Tensor(t.data.copy()) for t in inputs]
-    target = base[index]
-    grad = np.zeros_like(target.data, dtype=np.float64)
-    flat = target.data.reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + eps
-        plus = fn(base).item()
-        flat[i] = original - eps
-        minus = fn(base).item()
-        flat[i] = original
-        grad_flat[i] = (plus - minus) / (2.0 * eps)
-    return grad
+    with default_dtype(np.float64):
+        base = [Tensor(t.data.astype(np.float64)) for t in inputs]
+        target = base[index]
+        grad = np.zeros_like(target.data, dtype=np.float64)
+        flat = target.data.reshape(-1)
+        grad_flat = grad.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = fn(base).item()
+            flat[i] = original - eps
+            minus = fn(base).item()
+            flat[i] = original
+            grad_flat[i] = (plus - minus) / (2.0 * eps)
+        return grad
 
 
 def check_gradients(fn, inputs, atol=1e-5, rtol=1e-4, eps=1e-6):
@@ -47,9 +48,11 @@ def check_gradients(fn, inputs, atol=1e-5, rtol=1e-4, eps=1e-6):
 
     Raises ``AssertionError`` with a diagnostic message on mismatch.
     """
-    tracked = [Tensor(t.data.astype(np.float64), requires_grad=True) for t in inputs]
-    out = fn(tracked)
-    out.backward()
+    with default_dtype(np.float64):
+        tracked = [Tensor(t.data.astype(np.float64), requires_grad=True)
+                   for t in inputs]
+        out = fn(tracked)
+        out.backward()
     for i, tensor in enumerate(tracked):
         analytic = tensor.grad
         if analytic is None:

@@ -56,6 +56,22 @@ def unbroadcast(grad, shape):
     return grad.reshape(shape)
 
 
+def _coerce_operands(a, b):
+    """Wrap a binary op's operands, keeping constants in the graph dtype.
+
+    A weakly-typed operand (python scalar, list — anything that is not
+    already a tensor or an explicit numpy array) adopts the other
+    operand's floating dtype, so ``loss * 0.5`` on a float32 graph stays
+    float32 instead of silently upcasting through a float64 constant.
+    """
+    if isinstance(a, Tensor):
+        return a, as_tensor(b, dtype=a.dtype)
+    if isinstance(b, Tensor):
+        return as_tensor(a, dtype=b.dtype), b
+    a = as_tensor(a)
+    return a, as_tensor(b, dtype=a.dtype)
+
+
 def _binary(a, b, forward, grad_a, grad_b, name):
     """Build a broadcasting binary op.
 
@@ -63,8 +79,7 @@ def _binary(a, b, forward, grad_a, grad_b, name):
     broadcast-shaped) gradient of each input; unbroadcasting to the
     input shapes happens here so individual ops don't repeat it.
     """
-    a = as_tensor(a)
-    b = as_tensor(b)
+    a, b = _coerce_operands(a, b)
     data = forward(a.data, b.data)
 
     def backward(grad):
@@ -88,15 +103,13 @@ def sub(a, b):
 
 def mul(a, b):
     """Elementwise ``a * b`` with broadcasting."""
-    a = as_tensor(a)
-    b = as_tensor(b)
+    a, b = _coerce_operands(a, b)
     return _binary(a, b, np.multiply, lambda g: g * b.data, lambda g: g * a.data, "mul")
 
 
 def div(a, b):
     """Elementwise ``a / b`` with broadcasting."""
-    a = as_tensor(a)
-    b = as_tensor(b)
+    a, b = _coerce_operands(a, b)
     return _binary(
         a,
         b,
@@ -114,8 +127,7 @@ def maximum(a, b):
     choice of the first argument), keeping the op's gradient well
     defined under gradient checking.
     """
-    a = as_tensor(a)
-    b = as_tensor(b)
+    a, b = _coerce_operands(a, b)
     mask = a.data >= b.data
     return _binary(
         a, b, np.maximum, lambda g: g * mask, lambda g: g * (~mask), "maximum"
@@ -124,8 +136,7 @@ def maximum(a, b):
 
 def minimum(a, b):
     """Elementwise minimum; gradient flows to the smaller input."""
-    a = as_tensor(a)
-    b = as_tensor(b)
+    a, b = _coerce_operands(a, b)
     mask = a.data <= b.data
     return _binary(
         a, b, np.minimum, lambda g: g * mask, lambda g: g * (~mask), "minimum"
@@ -235,8 +246,7 @@ def where(condition, a, b):
     """
     cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
     cond = cond.astype(bool)
-    a = as_tensor(a)
-    b = as_tensor(b)
+    a, b = _coerce_operands(a, b)
     data = np.where(cond, a.data, b.data)
 
     def backward(grad):

@@ -30,6 +30,7 @@ __all__ = [
     "is_grad_enabled",
     "set_default_dtype",
     "get_default_dtype",
+    "default_dtype",
     "as_tensor",
 ]
 
@@ -58,15 +59,37 @@ def set_default_dtype(dtype):
     """Set the dtype used when constructing tensors from Python data.
 
     ``float64`` (the default) is what the gradient-checking tests use;
-    models switch to ``float32`` for speed.
+    models switch to ``float32`` for speed.  Only floating dtypes are
+    valid — the policy governs *compute* precision, not index arrays.
     """
     global _DEFAULT_DTYPE
-    _DEFAULT_DTYPE = np.dtype(dtype).type
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise ValueError(f"default dtype must be floating point; got {resolved}")
+    _DEFAULT_DTYPE = resolved.type
 
 
 def get_default_dtype():
     """Return the dtype currently used for new tensors."""
     return _DEFAULT_DTYPE
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Scope the tensor-construction dtype policy to a block.
+
+    The trainer runs its fit loop under ``default_dtype(np.float32)``
+    when single precision is requested, while gradient checking pins
+    ``float64`` the same way — the policy composes by nesting and always
+    restores the previous dtype on exit.
+    """
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        _DEFAULT_DTYPE = previous
 
 
 def is_grad_enabled():
@@ -113,9 +136,18 @@ class Tensor:
     def __init__(self, data, requires_grad=False, name=None):
         if isinstance(data, Tensor):
             data = data.data
-        array = np.asarray(data)
-        if array.dtype.kind not in "fc":
-            array = array.astype(_DEFAULT_DTYPE)
+        if isinstance(data, (np.ndarray, np.generic)):
+            # Explicit numpy data keeps its floating dtype (a float32
+            # array stays float32 regardless of the policy).
+            array = np.asarray(data)
+            if array.dtype.kind not in "fc":
+                array = array.astype(_DEFAULT_DTYPE)
+        else:
+            # Python scalars and (nested) sequences follow the policy
+            # dtype, so `Tensor(0.5)` is float32 under a float32 policy.
+            array = np.asarray(data)
+            if array.dtype.kind != "c" and array.dtype != _DEFAULT_DTYPE:
+                array = array.astype(_DEFAULT_DTYPE)
         self.data = array
         self.grad = None
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
@@ -179,7 +211,13 @@ class Tensor:
         return out
 
     def _accumulate_grad(self, grad):
-        """Add ``grad`` into ``self.grad``, allocating on first use."""
+        """Add ``grad`` into ``self.grad``, allocating on first use.
+
+        The buffer is always created in — and accumulation stays in —
+        this tensor's own dtype: a float64 upstream gradient deposited
+        into a float32 parameter is cast at the boundary rather than
+        silently widening the gradient buffer.
+        """
         if not self.requires_grad:
             return
         grad = np.asarray(grad)
@@ -190,8 +228,13 @@ class Tensor:
             )
         if self.grad is None:
             self.grad = grad.astype(self.data.dtype, copy=True)
+            if _PROFILER is not None:
+                _PROFILER._record_grad_alloc(self.name or "tensor",
+                                             self.grad.nbytes)
         else:
-            self.grad += grad
+            # In-place add keeps the buffer's dtype; "unsafe" permits
+            # the float64 -> float32 narrowing the buffer policy implies.
+            np.add(self.grad, grad, out=self.grad, casting="unsafe")
 
     # ------------------------------------------------------------------
     # Backward pass
@@ -301,12 +344,26 @@ class Tensor:
         return self.data.item()
 
     def astype(self, dtype):
-        """Return a detached copy cast to ``dtype``."""
-        return Tensor(self.data.astype(dtype))
+        """Return a detached copy cast to ``dtype`` (keeps ``name``)."""
+        return Tensor(self.data.astype(dtype), name=self.name)
 
 
-def as_tensor(value, name=None):
-    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+def as_tensor(value, name=None, dtype=None):
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one).
+
+    ``dtype`` is a *weak* hint used by the op layer: python scalars and
+    sequences are cast to it so a constant like ``0.5`` adopts the other
+    operand's dtype instead of upcasting a float32 graph to float64.
+    Explicit ``numpy`` arrays keep their own dtype — writing
+    ``Tensor(np.float64(...))`` remains a deliberate precision choice.
+    """
     if isinstance(value, Tensor):
         return value
-    return Tensor(value, name=name)
+    out = Tensor(value, name=name)
+    if (dtype is not None
+            and not isinstance(value, (np.ndarray, np.generic))
+            and out.data.dtype.kind == "f"
+            and np.dtype(dtype).kind == "f"
+            and out.data.dtype != dtype):
+        out.data = out.data.astype(dtype)
+    return out

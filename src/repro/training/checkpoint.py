@@ -32,6 +32,7 @@ def save_checkpoint(path, model, optimizer, history=None, epoch=None):
     epoch:
         Optional epoch counter stored for bookkeeping.
     """
+    parameters = model.parameters()
     payload = {
         "format_version": np.array(_FORMAT_VERSION),
         "lr": np.array(optimizer.lr),
@@ -41,6 +42,11 @@ def save_checkpoint(path, model, optimizer, history=None, epoch=None):
         # target optimizer's parameter list.
         "opt/num_states": np.array(len(optimizer._state)),
     }
+    if parameters:
+        # Records the training precision so a resume restores the same
+        # compute dtype (the weight arrays themselves carry it, but the
+        # explicit entry survives any future re-encoding of them).
+        payload["model_dtype"] = np.array(str(parameters[0].data.dtype))
     for name, value in model.state_dict().items():
         payload[f"model/{name}"] = value
     for index, state in enumerate(optimizer._state):
@@ -66,6 +72,17 @@ def load_checkpoint(path, model, optimizer):
         version = int(archive["format_version"])
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported checkpoint version {version}")
+        if "model_dtype" in archive.files:
+            # Restore the checkpointed compute precision: in-place
+            # loading (`param.data[...] = value`) keeps the *current*
+            # dtype, so recast any drifted parameter first.  Archives
+            # from before this entry existed just skip the cast.
+            saved_dtype = np.dtype(str(archive["model_dtype"]))
+            for param in model.parameters():
+                if (param.data.dtype.kind == "f"
+                        and param.data.dtype != saved_dtype):
+                    param.data = param.data.astype(saved_dtype)
+                    param.grad = None
         model.load_state_dict({
             key[len("model/"):]: archive[key]
             for key in archive.files if key.startswith("model/")

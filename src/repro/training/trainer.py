@@ -23,9 +23,37 @@ from repro.data.windows import SampleBatch, iterate_batches
 from repro.metrics import evaluate_flows, rmse
 from repro.optim import Adam, clip_grad_norm
 from repro.profiling import OpProfiler, profile
+from repro.tensor import Tensor, default_dtype
 from repro.training.history import History
 
 __all__ = ["TrainConfig", "Trainer"]
+
+
+def _cast_model(model, dtype):
+    """Cast a module tree's floating state to ``dtype`` in place.
+
+    Covers registered parameters, plain ndarray buffers (BatchNorm
+    running statistics), constant tensors (graph adjacencies), and
+    lists/tuples of constant tensors (Chebyshev operator stacks).
+    """
+    for module in model.modules():
+        for attr, value in vars(module).items():
+            if attr in ("_parameters", "_modules"):
+                continue
+            if isinstance(value, Tensor):
+                if value.data.dtype.kind == "f" and value.data.dtype != dtype:
+                    value.data = value.data.astype(dtype)
+                    value.grad = None
+            elif isinstance(value, np.ndarray):
+                if value.dtype.kind == "f" and value.dtype != dtype:
+                    setattr(module, attr, value.astype(dtype))
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if (isinstance(item, Tensor)
+                            and item.data.dtype.kind == "f"
+                            and item.data.dtype != dtype):
+                        item.data = item.data.astype(dtype)
+                        item.grad = None
 
 
 @dataclass
@@ -45,14 +73,27 @@ class TrainConfig:
     verbose: bool = False
     eval_batch_size: int = 64
     profile_ops: bool = False  # collect a per-op profile during fit()
+    # Compute precision: "float32", "float64", or None to keep whatever
+    # the model/data already use.  float32 halves the tape footprint
+    # and speeds up the hot path (see docs/performance.md).
+    dtype: str | None = None
 
 
 class Trainer:
     """Fit a forecasting model on prepared :class:`ForecastData`."""
 
-    def __init__(self, model, config: TrainConfig = None):
+    def __init__(self, model, config: TrainConfig = None, dtype=None):
         self.model = model
         self.config = config if config is not None else TrainConfig()
+        if dtype is None:
+            dtype = self.config.dtype
+        self.dtype = None if dtype is None else np.dtype(dtype)
+        if self.dtype is not None and self.dtype.kind != "f":
+            raise ValueError(f"dtype must be floating; got {self.dtype}")
+        if self.dtype is not None:
+            _cast_model(model, self.dtype)
+        # Build the optimizer *after* the cast so its state and scratch
+        # buffers are allocated in the target dtype from step one.
         self.optimizer = Adam(model.parameters(), lr=self.config.lr)
         self._rng = np.random.default_rng(self.config.seed)
         self.history = None  # set by fit()
@@ -75,6 +116,12 @@ class Trainer:
         profiler = OpProfiler() if config.profile_ops else None
 
         with contextlib.ExitStack() as stack:
+            if self.dtype is not None:
+                # Scope the precision policy to the fit: python scalars
+                # and fresh arrays created inside the loop follow the
+                # training dtype, and the splits are cast once up front.
+                stack.enter_context(default_dtype(self.dtype))
+                data = data.astype(self.dtype)
             if profiler is not None:
                 stack.enter_context(profile(profiler))
             for epoch in range(config.epochs):
@@ -135,6 +182,8 @@ class Trainer:
     def predict_scaled(self, batch: SampleBatch):
         """Model predictions in scaled ([-1, 1]) space, chunked."""
         self.model.eval()
+        if self.dtype is not None and batch.target.dtype != self.dtype:
+            batch = batch.astype(self.dtype)
         pieces = []
         size = self.config.eval_batch_size
         for start in range(0, len(batch), size):

@@ -214,3 +214,33 @@ class TestMasks:
         saturday_start = GridSpec(2, 2, interval_minutes=60, start_weekday=5)
         assert weekend_mask(saturday_start, [0])[0]
         assert not weekend_mask(saturday_start, [2 * 24])[0]
+
+
+class TestDtypePolicy:
+    def test_transform_follows_policy(self):
+        from repro.tensor import default_dtype
+
+        data = np.random.default_rng(0).uniform(0, 5, size=(10, 4))
+        scaler = MinMaxScaler().fit(data)
+        assert scaler.transform(data).dtype == np.float64
+        with default_dtype(np.float32):
+            assert scaler.transform(data).dtype == np.float32
+
+    def test_inverse_transform_keeps_float_dtype(self):
+        data = np.random.default_rng(0).uniform(0, 5, size=(10, 4))
+        scaler = MinMaxScaler().fit(data)
+        scaled32 = scaler.transform(data).astype(np.float32)
+        assert scaler.inverse_transform(scaled32).dtype == np.float32
+        assert scaler.inverse_transform(scaled32.astype(np.float64)).dtype == np.float64
+
+    def test_sample_batch_astype(self):
+        mp, flows = make_setup()
+        batch = build_samples(flows, mp, np.arange(mp.min_index, mp.min_index + 12))
+        cast = batch.astype(np.float32)
+        for field in ("closeness", "period", "trend", "target"):
+            assert getattr(cast, field).dtype == np.float32
+            np.testing.assert_allclose(getattr(cast, field),
+                                       getattr(batch, field), rtol=1e-6)
+        # Indices stay integer, and a no-op cast shares memory.
+        assert cast.indices.dtype == batch.indices.dtype
+        assert cast.astype(np.float32).closeness is cast.closeness

@@ -1,0 +1,115 @@
+"""Tests for the compute-precision policy (set/default_dtype wiring)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d
+from repro.nn import init
+from repro.nn.losses import mse_loss
+from repro.tensor import (
+    Tensor,
+    as_tensor,
+    default_dtype,
+    get_default_dtype,
+    set_default_dtype,
+    tanh,
+)
+from repro.tensor.gradcheck import check_gradients
+
+
+class TestPolicyScoping:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.float64
+
+    def test_scoped_policy_applies_and_restores(self):
+        with default_dtype(np.float32):
+            assert get_default_dtype() == np.float32
+            assert Tensor([1.0, 2.0]).data.dtype == np.float32
+        assert get_default_dtype() == np.float64
+        assert Tensor([1.0, 2.0]).data.dtype == np.float64
+
+    def test_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with default_dtype(np.float32):
+                raise RuntimeError("boom")
+        assert get_default_dtype() == np.float64
+
+    def test_set_default_dtype_rejects_non_float(self):
+        with pytest.raises((TypeError, ValueError)):
+            set_default_dtype(np.int64)
+
+    def test_explicit_ndarray_dtype_wins_over_policy(self):
+        # An ndarray already carries a precision decision; the policy
+        # only governs data that doesn't.
+        with default_dtype(np.float32):
+            t = Tensor(np.ones(3, dtype=np.float64))
+            assert t.data.dtype == np.float64
+
+    def test_policy_dtype_parameters_from_init(self):
+        with default_dtype(np.float32):
+            rng = np.random.default_rng(0)
+            assert init.zeros((4,)).dtype == np.float32
+            assert init.glorot_uniform((3, 3), rng).dtype == np.float32
+
+
+class TestScalarCoercion:
+    def test_python_scalar_follows_operand_dtype(self):
+        x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        for result in (x * 0.5, 0.5 * x, x + 1.0, x / 2.0, x - 0.25):
+            assert result.data.dtype == np.float32, result.data.dtype
+
+    def test_as_tensor_hint_only_applies_to_scalars(self):
+        assert as_tensor(0.5, dtype=np.float32).data.dtype == np.float32
+        # ndarrays keep their own dtype regardless of the hint.
+        arr = np.ones(2, dtype=np.float64)
+        assert as_tensor(arr, dtype=np.float32).data.dtype == np.float64
+
+    def test_scalar_coercion_backward_keeps_dtype(self):
+        x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        loss = ((x * 0.5 + 1.0) ** 2).sum()
+        loss.backward()
+        assert x.grad.dtype == np.float32
+
+
+class TestFloat32EndToEnd:
+    def test_conv_losses_forward_backward_stay_float32(self):
+        rng = np.random.default_rng(0)
+        with default_dtype(np.float32):
+            conv = Conv2d(2, 4, kernel_size=3, padding=1, rng=rng)
+            x = Tensor(rng.standard_normal((2, 2, 6, 6)).astype(np.float32),
+                       requires_grad=True)
+            target = Tensor(rng.standard_normal((2, 4, 6, 6)).astype(np.float32))
+            out = tanh(conv(x))
+            assert out.data.dtype == np.float32
+            loss = mse_loss(out, target) * 0.5 + 1.0 - 1.0
+            assert loss.data.dtype == np.float32
+            loss.backward()
+        assert x.grad.dtype == np.float32
+        for p in conv.parameters():
+            assert p.grad.dtype == np.float32
+
+    def test_grad_buffer_downcasts_float64_upstream(self):
+        # A float64 upstream gradient must not silently widen a float32
+        # parameter's accumulated gradient.
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        y = x.sum()
+        y.backward(np.float64(1.0))
+        assert x.grad.dtype == np.float32
+
+
+class TestAstype:
+    def test_astype_keeps_name(self):
+        t = Tensor(np.ones(2), name="weights")
+        assert t.astype(np.float32).name == "weights"
+        assert t.astype(np.float32).data.dtype == np.float32
+
+
+class TestGradcheckPinned:
+    def test_gradcheck_is_float64_even_under_float32_policy(self):
+        # Finite differences need float64; check_gradients must pin its
+        # own precision regardless of the ambient policy.
+        rng = np.random.default_rng(0)
+        with default_dtype(np.float32):
+            x = Tensor(list(rng.standard_normal(5)), requires_grad=True, name="x")
+            assert x.data.dtype == np.float32
+            assert check_gradients(lambda ts: (ts[0] * ts[0]).sum(), [x])
