@@ -16,12 +16,21 @@ Each arm builds its model/data under a scoped
 loss-tensor lifetime to read peak tape bytes and the optimizer's
 allocation counters.
 
+On top of the three precision arms, a *guarded* measurement re-times
+the optimized path with the fault-tolerance machinery on — the
+divergence sentinel checking every step, plus an atomic checksummed
+checkpoint amortized at an every-``CHECKPOINT_EVERY_STEPS``-steps
+cadence — and reports the per-step overhead percentage
+(``sentinel_overhead_pct``), which docs/robustness.md bounds at 3%.
+
 Emits a JSON snapshot (default ``BENCH_throughput.json``)::
 
     PYTHONPATH=src python benchmarks/bench_train_throughput.py --smoke
 
 ``--min-speedup X`` makes the exit code a CI gate: nonzero unless
 ``float32-inplace`` is at least ``X`` times the baseline's steps/sec.
+``--max-overhead-pct Y`` additionally fails the run when the guarded
+path's per-step overhead exceeds ``Y`` percent.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ import argparse
 import json
 import statistics
 import sys
+import tempfile
 from time import perf_counter
 
 import numpy as np
@@ -39,8 +49,17 @@ from repro.data import load_dataset, prepare_forecast_data
 from repro.optim import Adam, ReferenceAdam, clip_grad_norm
 from repro.profiling import OpProfiler, profile
 from repro.tensor import default_dtype
+from repro.training.checkpoint import CheckpointManager
+from repro.training.sentinel import DivergenceSentinel
 
 ARMS = ("float64-baseline", "float32", "float32-inplace")
+
+# Amortization cadence for the guarded arm's checkpoint cost: one
+# atomic save per this many steps.  A paper-profile epoch is several
+# hundred optimizer steps, and periodic checkpointing defaults to an
+# every-epoch cadence, so 100 steps/save is the conservative end of
+# real long-run usage (short ci runs barely checkpoint at all).
+CHECKPOINT_EVERY_STEPS = 100
 
 
 def arm_spec(arm):
@@ -99,6 +118,59 @@ def time_arm(arm, steps):
     return 1.0 / statistics.median(times)
 
 
+def time_guarded(steps):
+    """Overhead of the fault-tolerant path on the optimized arm.
+
+    Interleaves plain and guarded steps on one model so machine-load
+    drift hits both sides equally: each iteration times a plain
+    float32-inplace step, then the trainer's exact guarded sequence
+    (sentinel scan before the update, its grad norm reused by the
+    clip).  An atomic checksummed checkpoint save is measured
+    separately and amortized at the :data:`CHECKPOINT_EVERY_STEPS`
+    cadence.  Returns a dict with the guarded steps/sec, the paired
+    overhead percentage, and the ingredients.
+    """
+    dtype, optimizer_cls = arm_spec("float32-inplace")
+    model, optimizer, batch = build_setup(dtype, optimizer_cls)
+    sentinel = DivergenceSentinel(policy="raise")
+    parameters = model.parameters()
+    rng = np.random.default_rng(0)
+    with default_dtype(dtype):
+        training_step(model, optimizer, batch, rng)  # warm-up (lazy state)
+        plain_times, guarded_times = [], []
+        for step in range(steps):
+            start = perf_counter()
+            training_step(model, optimizer, batch, rng)
+            plain_times.append(perf_counter() - start)
+
+            start = perf_counter()
+            optimizer.zero_grad()
+            breakdown, _ = model.training_loss(batch, rng=rng)
+            breakdown.total.backward()
+            sentinel.check(breakdown.total.item(), parameters, step, 0)
+            clip_grad_norm(parameters, 5.0, norm=sentinel.last_norm)
+            optimizer.step()
+            guarded_times.append(perf_counter() - start)
+    with tempfile.TemporaryDirectory() as tmp:
+        manager = CheckpointManager(tmp, keep_last=2)
+        manager.save(model, optimizer, epoch=0)  # warm-up (dir, page cache)
+        save_times = []
+        for epoch in range(1, 6):  # rotation included: the real cadence cost
+            start = perf_counter()
+            manager.save(model, optimizer, epoch=epoch)
+            save_times.append(perf_counter() - start)
+        save_seconds = statistics.median(save_times)
+    plain_step = statistics.median(plain_times)
+    guarded_step = (statistics.median(guarded_times)
+                    + save_seconds / CHECKPOINT_EVERY_STEPS)
+    return {
+        "steps_per_sec": 1.0 / guarded_step,
+        "overhead_pct": 100.0 * (guarded_step / plain_step - 1.0),
+        "checkpoint_save_seconds": save_seconds,
+        "checkpoint_every_steps": CHECKPOINT_EVERY_STEPS,
+    }
+
+
 def measure_arm(arm):
     """Peak tape bytes + optimizer allocation counters over 2 steps.
 
@@ -135,6 +207,9 @@ def main(argv=None):
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="fail (exit 1) unless float32-inplace reaches "
                              "this steps/sec multiple of the baseline")
+    parser.add_argument("--max-overhead-pct", type=float, default=None,
+                        help="fail (exit 1) when the sentinel + periodic-"
+                             "checkpoint overhead exceeds this percentage")
     args = parser.parse_args(argv)
     steps = args.steps if args.steps is not None else (3 if args.smoke else 15)
 
@@ -145,17 +220,21 @@ def main(argv=None):
 
     baseline = results["float64-baseline"]
     optimized = results["float32-inplace"]
+    guarded = time_guarded(steps)
     speedup = optimized["steps_per_sec"] / baseline["steps_per_sec"]
     tape_reduction_pct = 100.0 * (
         1.0 - optimized["peak_tape_bytes"] / baseline["peak_tape_bytes"])
+    overhead_pct = guarded["overhead_pct"]
 
     snapshot = {
         "bench": "train_throughput",
         "mode": "smoke" if args.smoke else "full",
         "steps_timed": steps,
         "arms": results,
+        "guarded": guarded,
         "speedup_float32_inplace_vs_float64": speedup,
         "peak_tape_reduction_pct": tape_reduction_pct,
+        "sentinel_overhead_pct": overhead_pct,
     }
     with open(args.out, "w") as fh:
         json.dump(snapshot, fh, indent=2, sort_keys=True)
@@ -167,13 +246,22 @@ def main(argv=None):
               f"opt alloc/step {r['optimizer_alloc_bytes_per_step'] / 2**10:8.1f} KiB")
     print(f"speedup (float32-inplace vs float64-baseline): {speedup:.2f}x, "
           f"peak tape {tape_reduction_pct:.1f}% lower")
+    print(f"guarded (sentinel + ckpt/{guarded['checkpoint_every_steps']} steps): "
+          f"{guarded['steps_per_sec']:.2f} steps/s, "
+          f"overhead {overhead_pct:.2f}% "
+          f"(one save: {guarded['checkpoint_save_seconds'] * 1e3:.1f} ms)")
     print(f"wrote {args.out}")
 
+    failed = False
     if speedup < args.min_speedup:
         print(f"FAIL: speedup {speedup:.2f}x below required "
               f"{args.min_speedup:.2f}x", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if args.max_overhead_pct is not None and overhead_pct > args.max_overhead_pct:
+        print(f"FAIL: fault-tolerance overhead {overhead_pct:.2f}% above "
+              f"allowed {args.max_overhead_pct:.2f}%", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -5,13 +5,20 @@ Everything the experiment runners can do, from the shell:
     python -m repro info
     python -m repro simulate nyc-bike --scale tiny --out bike.npz
     python -m repro train MUSE-Net --dataset nyc-bike --profile ci
+    python -m repro train MUSE-Net --checkpoint-dir runs/bike --resume
+    python -m repro evaluate MUSE-Net --checkpoint runs/bike
     python -m repro experiment table2 --profile ci
     python -m repro complexity
+
+Operational failures (missing or corrupt checkpoints, invalid config
+values, diverged training) exit non-zero with a one-line actionable
+message on stderr rather than a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import __version__
@@ -19,6 +26,11 @@ from repro.baselines import BASELINE_NAMES
 from repro.core import VARIANT_NAMES
 from repro.data import DATASET_NAMES, load_dataset
 from repro.data.io import save_dataset
+from repro.training import (
+    CheckpointCorruptError,
+    DivergenceError,
+    find_latest_checkpoint,
+)
 from repro.experiments import (
     PROFILES,
     prepare,
@@ -77,16 +89,35 @@ def _cmd_simulate(args):
     return 0
 
 
+def _train_overrides(args):
+    """TrainConfig overrides from the robustness CLI flags."""
+    overrides = {}
+    if getattr(args, "sentinel", None) is not None:
+        overrides["sentinel"] = None if args.sentinel == "off" else args.sentinel
+    if getattr(args, "checkpoint_dir", None):
+        overrides["checkpoint_dir"] = args.checkpoint_dir
+    if getattr(args, "checkpoint_every", None) is not None:
+        overrides["checkpoint_every"] = args.checkpoint_every
+    if getattr(args, "resume", False):
+        overrides["resume"] = True
+    if getattr(args, "detect_anomaly", False):
+        overrides["detect_anomaly"] = True
+    return overrides or None
+
+
 def _cmd_train(args):
     data = prepare(args.dataset, args.profile, horizon=args.horizon)
     profile_ops = getattr(args, "profile_ops", False)
     dtype = getattr(args, "dtype", None)
+    overrides = _train_overrides(args)
     if args.method == "MUSE-Net":
         trainer = train_muse(data, args.profile, seed=args.seed,
-                             profile_ops=profile_ops, dtype=dtype)
+                             profile_ops=profile_ops, dtype=dtype,
+                             train_overrides=overrides)
     elif args.method in BASELINE_NAMES:
         trainer = train_baseline(args.method, data, args.profile, seed=args.seed,
-                                 profile_ops=profile_ops, dtype=dtype)
+                                 profile_ops=profile_ops, dtype=dtype,
+                                 train_overrides=overrides)
     else:
         print(f"unknown method {args.method!r}; choose MUSE-Net or one of "
               f"{', '.join(BASELINE_NAMES)}", file=sys.stderr)
@@ -97,10 +128,54 @@ def _cmd_train(args):
     history = trainer.history
     if history is not None:
         print(history.telemetry_summary())
+        if history.sentinel and history.sentinel.get("counts"):
+            counts = ", ".join(f"{kind}: {n}" for kind, n
+                               in sorted(history.sentinel["counts"].items()))
+            print(f"sentinel [{history.sentinel['policy']}] triggered — {counts}")
+        if history.interrupted:
+            print("run interrupted; resume with --resume and the same "
+                  "--checkpoint-dir")
         if history.op_profile:
             from repro.profiling import format_op_summary
 
             print(format_op_summary(history.op_profile))
+    return 0
+
+
+def _cmd_evaluate(args):
+    from repro.core import MUSENet
+    from repro.baselines import BaselineConfig, make_baseline
+    from repro.experiments.common import get_profile, muse_config
+    from repro.training import Trainer, load_checkpoint
+
+    data = prepare(args.dataset, args.profile, horizon=args.horizon)
+    profile = get_profile(args.profile)
+    if args.method == "MUSE-Net":
+        model = MUSENet(muse_config(data, profile, seed=args.seed))
+    elif args.method in BASELINE_NAMES:
+        config = BaselineConfig.for_data(data, hidden=profile.hidden,
+                                         seed=args.seed)
+        model = make_baseline(args.method, config)
+    else:
+        print(f"unknown method {args.method!r}; choose MUSE-Net or one of "
+              f"{', '.join(BASELINE_NAMES)}", file=sys.stderr)
+        return 2
+
+    path = args.checkpoint
+    if os.path.isdir(path):
+        found = find_latest_checkpoint(path)
+        if found is None:
+            print(f"error: no valid checkpoint found in {path!r} (corrupt "
+                  "archives are skipped); train with --checkpoint-dir first",
+                  file=sys.stderr)
+            return 1
+        path = found
+    trainer = Trainer(model)
+    load_checkpoint(path, model, trainer.optimizer)
+    report = trainer.evaluate(data)
+    print(f"{args.method} on {args.dataset} [{args.profile}] horizon "
+          f"{args.horizon} (checkpoint {path})")
+    print(report)
     return 0
 
 
@@ -156,7 +231,32 @@ def build_parser():
                    help="collect and print a per-op runtime profile")
     p.add_argument("--dtype", default=None, choices=("float32", "float64"),
                    help="training compute precision (default: keep float64)")
+    p.add_argument("--sentinel", default=None,
+                   choices=("off", "raise", "skip_batch", "rollback"),
+                   help="divergence sentinel policy (default: raise)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="write rotating periodic checkpoints here")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   help="checkpoint cadence in epochs (needs --checkpoint-dir)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the newest valid checkpoint in "
+                        "--checkpoint-dir (corrupt archives are skipped)")
+    p.add_argument("--detect-anomaly", action="store_true",
+                   help="run under detect_anomaly() to pinpoint the op "
+                        "introducing a NaN/Inf (slow; debugging only)")
     p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("evaluate",
+                       help="evaluate a saved checkpoint on the test split")
+    p.add_argument("method", help="MUSE-Net or a baseline name")
+    p.add_argument("--checkpoint", required=True,
+                   help="checkpoint file, or a directory to pick the newest "
+                        "valid archive from")
+    p.add_argument("--dataset", default="nyc-bike", choices=DATASET_NAMES)
+    p.add_argument("--profile", default="ci", choices=tuple(PROFILES))
+    p.add_argument("--horizon", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("experiment", help="regenerate one paper table/figure")
     p.add_argument("name", help=f"one of: {', '.join(EXPERIMENTS)}")
@@ -175,10 +275,34 @@ def build_parser():
 
 
 def main(argv=None):
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Operational failures surface as one-line ``error:`` messages on
+    stderr with a non-zero exit code — never a traceback: corrupt or
+    missing checkpoints exit 1, invalid configuration values exit 2,
+    diverged training exits 3, interruption exits 130.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CheckpointCorruptError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except DivergenceError as exc:
+        print(f"error: {exc}\nhint: retry with --sentinel skip_batch or "
+              "--sentinel rollback, or localise the op with --detect-anomaly",
+              file=sys.stderr)
+        return 3
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -37,8 +37,24 @@ class MinMaxScaler:
         return self.data_min is not None
 
     def fit(self, data):
-        """Record the global min/max of ``data`` (train split only)."""
+        """Record the global min/max of ``data`` (train split only).
+
+        Raises ``ValueError`` when ``data`` contains NaN/Inf: non-finite
+        bounds would silently poison every transformed window (NaN
+        propagates through min/max), so the pipeline fails loudly at
+        the source instead.
+        """
         data = np.asarray(data)
+        if data.size == 0:
+            raise ValueError("MinMaxScaler.fit received an empty array")
+        if not np.isfinite(data).all():
+            nans = int(np.isnan(data).sum())
+            infs = int(np.isinf(data).sum())
+            raise ValueError(
+                f"MinMaxScaler.fit: data contains non-finite values "
+                f"({nans} NaN, {infs} Inf of {data.size}); clean or mask "
+                "the flows before scaling"
+            )
         self.data_min = float(data.min())
         self.data_max = float(data.max())
         if self.data_max == self.data_min:

@@ -98,11 +98,15 @@ def prepare(dataset_name, profile, horizon=1, seed=None):
     )
 
 
-def _train_config(profile, seed, profile_ops=False, dtype=None):
+def _train_config(profile, seed, profile_ops=False, dtype=None,
+                  train_overrides=None):
+    """Profile-sized TrainConfig; ``train_overrides`` maps onto extra
+    TrainConfig fields (sentinel policy, checkpoint_dir, resume, ...)."""
     return TrainConfig(
         epochs=profile.epochs, batch_size=profile.batch_size, lr=profile.lr,
         patience=profile.patience, seed=seed, profile_ops=profile_ops,
         dtype=dtype,
+        **(train_overrides or {}),
     )
 
 
@@ -124,12 +128,13 @@ def muse_config(data, profile, seed=0, **overrides):
 
 
 def train_muse(data, profile, seed=0, profile_ops=False, dtype=None,
-               **config_overrides):
+               train_overrides=None, **config_overrides):
     """Train MUSE-Net on prepared data; returns the fitted Trainer."""
     profile = get_profile(profile)
     model = MUSENet(muse_config(data, profile, seed=seed, **config_overrides))
     trainer = Trainer(model, _train_config(profile, seed, profile_ops=profile_ops,
-                                           dtype=dtype))
+                                           dtype=dtype,
+                                           train_overrides=train_overrides))
     trainer.fit(data)
     return trainer
 
@@ -145,13 +150,15 @@ def train_variant(variant_name, data, profile, seed=0, dtype=None,
     return trainer
 
 
-def train_baseline(name, data, profile, seed=0, profile_ops=False, dtype=None):
+def train_baseline(name, data, profile, seed=0, profile_ops=False, dtype=None,
+                   train_overrides=None):
     """Train one of the 11 baselines."""
     profile = get_profile(profile)
     config = BaselineConfig.for_data(data, hidden=profile.hidden, seed=seed)
     model = make_baseline(name, config)
     trainer = Trainer(model, _train_config(profile, seed, profile_ops=profile_ops,
-                                           dtype=dtype))
+                                           dtype=dtype,
+                                           train_overrides=train_overrides))
     trainer.fit(data)
     return trainer
 

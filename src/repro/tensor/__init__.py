@@ -67,6 +67,7 @@ from repro.tensor.matmul import dot, matmul, outer
 from repro.tensor.conv import avg_pool2d, conv2d, global_avg_pool2d, max_pool2d
 from repro.tensor.random import make_rng, normal_like, reparameterize_noise, spawn
 from repro.tensor.gradcheck import check_gradients, numerical_gradient
+from repro.tensor.anomaly import AnomalyError, detect_anomaly, is_anomaly_enabled
 
 # ---------------------------------------------------------------------------
 # Attach operators and convenience methods to Tensor.  Doing it here (one
@@ -134,4 +135,6 @@ __all__ = [
     # random / gradcheck
     "make_rng", "spawn", "normal_like", "reparameterize_noise",
     "check_gradients", "numerical_gradient",
+    # anomaly detection
+    "AnomalyError", "detect_anomaly", "is_anomaly_enabled",
 ]

@@ -42,6 +42,11 @@ _DEFAULT_DTYPE = np.float64
 # load + ``None`` check and tensor.py gains no new imports.
 _PROFILER = None
 
+# Active anomaly checker (see repro.tensor.anomaly).  Same pattern as
+# the profiler: a callable ``(phase, name, array, parents)`` installed
+# by ``detect_anomaly()``, or ``None`` when anomaly mode is off.
+_ANOMALY_HOOK = None
+
 
 def _set_profiler(profiler):
     """Install ``profiler`` as the active op profiler; returns the previous.
@@ -52,6 +57,19 @@ def _set_profiler(profiler):
     global _PROFILER
     previous = _PROFILER
     _PROFILER = profiler
+    return previous
+
+
+def _set_anomaly_hook(hook):
+    """Install ``hook`` as the anomaly checker; returns the previous.
+
+    ``None`` disables anomaly mode.  Use
+    :func:`repro.tensor.detect_anomaly` rather than calling this
+    directly.
+    """
+    global _ANOMALY_HOOK
+    previous = _ANOMALY_HOOK
+    _ANOMALY_HOOK = hook
     return previous
 
 
@@ -208,6 +226,8 @@ class Tensor:
             on_tape = True
         if _PROFILER is not None:
             _PROFILER._record_forward(name or "op", out.data.nbytes, on_tape)
+        if _ANOMALY_HOOK is not None:
+            _ANOMALY_HOOK("forward", name or "op", out.data, parents)
         return out
 
     def _accumulate_grad(self, grad):
@@ -274,6 +294,7 @@ class Tensor:
         self._accumulate_grad(np.broadcast_to(np.asarray(grad), self.data.shape))
 
         profiler = _PROFILER
+        anomaly_hook = _ANOMALY_HOOK
         order = self._topological_order()
         for node in reversed(order):
             if node._backward is None or node.grad is None:
@@ -284,6 +305,9 @@ class Tensor:
                 profiler._record_backward(node.name or "op", perf_counter() - start)
             else:
                 node._backward(node.grad)
+            if anomaly_hook is not None:
+                anomaly_hook("backward", node.name or "op", node.grad,
+                             node._parents)
 
         if not retain_graph:
             for node in order:

@@ -1,4 +1,4 @@
-"""Training harness: trainer, history, seeding."""
+"""Training harness: trainer, history, checkpoints, fault tolerance."""
 
 from repro.training.history import History
 from repro.training.trainer import TrainConfig, Trainer
@@ -7,12 +7,22 @@ from repro.training.uncertainty import (
     ensemble_predict,
     interval_coverage,
 )
-from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointManager,
+    find_latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
+from repro.training.sentinel import DivergenceError, DivergenceSentinel, SentinelEvent
 from repro.training.rollout import direct_vs_recursive_rmse, recursive_forecast
 
 __all__ = [
     "History", "TrainConfig", "Trainer",
     "ConformalForecaster", "ensemble_predict", "interval_coverage",
-    "save_checkpoint", "load_checkpoint",
+    "save_checkpoint", "load_checkpoint", "verify_checkpoint",
+    "CheckpointCorruptError", "CheckpointManager", "find_latest_checkpoint",
+    "DivergenceError", "DivergenceSentinel", "SentinelEvent",
     "recursive_forecast", "direct_vs_recursive_rmse",
 ]

@@ -17,6 +17,12 @@ class History:
     profiling is enabled (``TrainConfig.profile_ops``), ``op_profile``
     holds the :meth:`repro.profiling.OpProfiler.as_dict` snapshot for
     the whole fit and ``peak_tape_bytes`` the tape's high-water mark.
+
+    Robustness bookkeeping: ``interrupted`` is set when a fit was
+    stopped by SIGINT/SIGTERM (the run is resumable from its final
+    checkpoint), and ``sentinel`` holds the divergence sentinel's
+    JSON-able report — policy, thresholds, and the anomalous steps it
+    acted on (see :mod:`repro.training.sentinel`).
     """
 
     train_loss: list = field(default_factory=list)
@@ -27,8 +33,10 @@ class History:
     best_epoch: int = -1
     best_val_rmse: float = float("inf")
     stopped_early: bool = False
+    interrupted: bool = False
     peak_tape_bytes: int = 0
     op_profile: dict = None
+    sentinel: dict = None
 
     @property
     def epochs_run(self):
@@ -72,4 +80,8 @@ class History:
         line += ")"
         if self.stopped_early:
             line += " [stopped early]"
+        if self.interrupted:
+            line += " [interrupted]"
+        if self.sentinel and self.sentinel.get("events"):
+            line += f" [{len(self.sentinel['events'])} sentinel event(s)]"
         return line

@@ -8,11 +8,21 @@ Every model follows the same protocol:
 
 The trainer mirrors the paper's setup — Adam, batch size 8 — with
 early stopping on validation RMSE and restoration of the best weights.
+
+Fault tolerance (see ``docs/robustness.md``): a per-step divergence
+sentinel guards against NaN/Inf losses and gradients and grad-norm
+spikes (``TrainConfig.sentinel``), periodic checkpoints go to
+``TrainConfig.checkpoint_dir`` with rotation and best-pinning, SIGINT/
+SIGTERM finish the current step and write a resumable final snapshot,
+and ``fit(resume_from=...)`` / ``TrainConfig.resume`` continue a run
+from the newest valid checkpoint.
 """
 
 from __future__ import annotations
 
 import contextlib
+import signal
+import threading
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -23,8 +33,11 @@ from repro.data.windows import SampleBatch, iterate_batches
 from repro.metrics import evaluate_flows, rmse
 from repro.optim import Adam, clip_grad_norm
 from repro.profiling import OpProfiler, profile
-from repro.tensor import Tensor, default_dtype
+from repro.tensor import Tensor, default_dtype, detect_anomaly
+from repro.training.checkpoint import CheckpointManager, find_latest_checkpoint, \
+    load_checkpoint
 from repro.training.history import History
+from repro.training.sentinel import POLICIES, DivergenceSentinel
 
 __all__ = ["TrainConfig", "Trainer"]
 
@@ -77,6 +90,44 @@ class TrainConfig:
     # the model/data already use.  float32 halves the tape footprint
     # and speeds up the hot path (see docs/performance.md).
     dtype: str | None = None
+    # Divergence sentinel: per-step non-finite/spike guard applied
+    # before each optimizer step.  One of "raise", "skip_batch",
+    # "rollback", or None/"off" to disable (docs/robustness.md).
+    sentinel: str | None = "raise"
+    sentinel_spike_factor: float = 1e3  # grad-norm spike threshold (x EMA)
+    sentinel_warmup: int = 10           # healthy steps before spike arming
+    rollback_lr_factor: float = 0.5     # lr multiplier per rollback
+    max_rollbacks: int = 3              # rollback budget before raising
+    # Pinpoint the op introducing a NaN/Inf by running the whole fit
+    # under repro.tensor.detect_anomaly() (slow; debugging only).
+    detect_anomaly: bool = False
+    # Periodic durable checkpoints: every `checkpoint_every` epochs into
+    # `checkpoint_dir`, keeping the newest `keep_last` plus a pinned
+    # best snapshot.  `resume=True` restarts fit() from the newest
+    # valid checkpoint in `checkpoint_dir` (corrupt files skipped).
+    checkpoint_dir: str | None = None
+    checkpoint_every: int | None = None
+    keep_last: int = 3
+    resume: bool = False
+
+    def __post_init__(self):
+        if self.sentinel in ("off", "none"):
+            self.sentinel = None
+        if self.sentinel is not None and self.sentinel not in POLICIES:
+            raise ValueError(
+                f"unknown sentinel policy {self.sentinel!r}; choose from "
+                f"{POLICIES} or None")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1; got {self.checkpoint_every}")
+        if self.keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1; got {self.keep_last}")
+        if self.checkpoint_every is not None and self.checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError(
+                "resume=True requires checkpoint_dir to discover the "
+                "newest checkpoint in")
 
 
 class Trainer:
@@ -97,9 +148,65 @@ class Trainer:
         self.optimizer = Adam(model.parameters(), lr=self.config.lr)
         self._rng = np.random.default_rng(self.config.seed)
         self.history = None  # set by fit()
+        self._interrupt_requested = False
 
     # ------------------------------------------------------------------
-    def fit(self, data: ForecastData):
+    # Rollback snapshots (in-memory, weights + optimizer slots)
+    # ------------------------------------------------------------------
+    def _take_snapshot(self):
+        """Deep-copy the model weights and optimizer state."""
+        return {
+            "model": self.model.state_dict(),  # state_dict copies
+            "opt_state": [
+                {key: value.copy() if isinstance(value, np.ndarray) else value
+                 for key, value in state.items()}
+                for state in self.optimizer._state
+            ],
+            "step_count": self.optimizer._step_count,
+        }
+
+    def _restore_snapshot(self, snapshot):
+        """Reinstall a :meth:`_take_snapshot` copy (keeps the current lr).
+
+        Installs *copies* of the optimizer slot arrays so the in-place
+        update kernels cannot mutate the snapshot itself — rolling back
+        twice to the same snapshot must restore the same state.
+        """
+        self.model.load_state_dict(snapshot["model"])
+        self.optimizer._state = [
+            {key: value.copy() if isinstance(value, np.ndarray) else value
+             for key, value in state.items()}
+            for state in snapshot["opt_state"]
+        ]
+        self.optimizer._step_count = snapshot["step_count"]
+        for param in self.optimizer.parameters:
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Graceful interruption
+    # ------------------------------------------------------------------
+    def _install_signal_handlers(self):
+        """Trap SIGINT/SIGTERM (main thread only); returns the old handlers."""
+        if threading.current_thread() is not threading.main_thread():
+            return []
+
+        def request_interrupt(signum, frame):
+            if self._interrupt_requested:
+                # Second signal: the user really means it.
+                raise KeyboardInterrupt
+            self._interrupt_requested = True
+
+        installed = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                installed.append((signum, signal.signal(signum,
+                                                        request_interrupt)))
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+        return installed
+
+    # ------------------------------------------------------------------
+    def fit(self, data: ForecastData, resume_from=None):
         """Train with early stopping; restores the best-val weights.
 
         Telemetry (per-epoch wall time, batches/sec) is always recorded
@@ -107,76 +214,185 @@ class Trainer:
         ``TrainConfig.profile_ops`` the fit additionally runs under
         :func:`repro.profiling.profile` and attaches the per-op
         timing/tape snapshot as ``history.op_profile``.
+
+        ``resume_from`` restores a checkpoint (path, or implicitly the
+        newest valid archive in ``config.checkpoint_dir`` when
+        ``config.resume`` is set) before training continues from the
+        epoch after the snapshot.  On SIGINT/SIGTERM the current step
+        finishes, a final checkpoint is written (when a checkpoint
+        directory is configured), ``history.interrupted`` is set, and
+        fit returns with the *current* (not best) weights so the
+        in-memory model matches the resumable snapshot.
         """
         config = self.config
         history = History()
+        start_epoch = 0
+        if resume_from is None and config.resume:
+            resume_from = find_latest_checkpoint(config.checkpoint_dir)
+        if resume_from is not None:
+            restored, ckpt_epoch = load_checkpoint(resume_from, self.model,
+                                                   self.optimizer)
+            if restored is not None:
+                history = restored
+                history.interrupted = False  # this attempt starts clean
+                start_epoch = history.epochs_run
+            elif ckpt_epoch is not None:
+                start_epoch = ckpt_epoch + 1
         self.history = history
         best_state = None
         bad_epochs = 0
         profiler = OpProfiler() if config.profile_ops else None
+        sentinel = None
+        if config.sentinel is not None:
+            sentinel = DivergenceSentinel(
+                policy=config.sentinel,
+                spike_factor=config.sentinel_spike_factor,
+                warmup=config.sentinel_warmup,
+                lr_backoff=config.rollback_lr_factor,
+                max_rollbacks=config.max_rollbacks,
+            )
+        manager = None
+        if config.checkpoint_dir is not None:
+            manager = CheckpointManager(config.checkpoint_dir,
+                                        keep_last=config.keep_last)
+        parameters = self.optimizer.parameters
+        global_step = self.optimizer._step_count
+        snapshot = None
+        self._interrupt_requested = False
+        old_handlers = self._install_signal_handlers()
 
-        with contextlib.ExitStack() as stack:
-            if self.dtype is not None:
-                # Scope the precision policy to the fit: python scalars
-                # and fresh arrays created inside the loop follow the
-                # training dtype, and the splits are cast once up front.
-                stack.enter_context(default_dtype(self.dtype))
-                data = data.astype(self.dtype)
-            if profiler is not None:
-                stack.enter_context(profile(profiler))
-            for epoch in range(config.epochs):
-                self.model.train()
-                epoch_start = perf_counter()
-                num_batches = 0
-                epoch_losses = []
-                epoch_regs = []
-                for batch in iterate_batches(data.train, config.batch_size,
-                                             rng=self._rng):
-                    self.optimizer.zero_grad()
-                    if profiler is not None:
-                        profiler.mark()  # don't attribute batch prep to op 1
-                    breakdown, _outputs = self.model.training_loss(batch, rng=self._rng)
-                    breakdown.total.backward()
-                    if config.clip_norm:
-                        clip_grad_norm(self.model.parameters(), config.clip_norm)
-                    self.optimizer.step()
-                    epoch_losses.append(breakdown.total.item())
-                    epoch_regs.append(breakdown.reg.item())
-                    num_batches += 1
+        try:
+            with contextlib.ExitStack() as stack:
+                if self.dtype is not None:
+                    # Scope the precision policy to the fit: python scalars
+                    # and fresh arrays created inside the loop follow the
+                    # training dtype, and the splits are cast once up front.
+                    stack.enter_context(default_dtype(self.dtype))
+                    data = data.astype(self.dtype)
+                if profiler is not None:
+                    stack.enter_context(profile(profiler))
+                if config.detect_anomaly:
+                    stack.enter_context(detect_anomaly())
+                for epoch in range(start_epoch, config.epochs):
+                    self.model.train()
+                    if sentinel is not None and sentinel.policy == "rollback":
+                        snapshot = self._take_snapshot()
+                    epoch_start = perf_counter()
+                    num_batches = 0
+                    epoch_losses = []
+                    epoch_regs = []
+                    mid_epoch_stop = False
+                    for batch in iterate_batches(data.train, config.batch_size,
+                                                 rng=self._rng):
+                        self.optimizer.zero_grad()
+                        if profiler is not None:
+                            profiler.mark()  # don't attribute batch prep to op 1
+                        breakdown, _outputs = self.model.training_loss(
+                            batch, rng=self._rng)
+                        breakdown.total.backward()
+                        loss_value = breakdown.total.item()
+                        reg_value = breakdown.reg.item()
+                        if sentinel is not None:
+                            event = sentinel.check(loss_value, parameters,
+                                                   global_step, epoch)
+                            if event is not None:
+                                global_step += 1
+                                self._handle_divergence(sentinel, event,
+                                                        snapshot)
+                                if self._interrupt_requested:
+                                    mid_epoch_stop = True
+                                    break
+                                continue  # drop this batch's update
+                        if config.clip_norm:
+                            # Reuse the sentinel's norm (bit-identical
+                            # ordered vdot sum) instead of recomputing.
+                            clip_grad_norm(
+                                parameters, config.clip_norm,
+                                norm=None if sentinel is None
+                                else sentinel.last_norm)
+                        self.optimizer.step()
+                        global_step += 1
+                        epoch_losses.append(loss_value)
+                        epoch_regs.append(reg_value)
+                        num_batches += 1
+                        if self._interrupt_requested:
+                            mid_epoch_stop = True
+                            break
 
-                train_seconds = perf_counter() - epoch_start
-                val_rmse = self._validation_rmse(data)
-                epoch_seconds = perf_counter() - epoch_start
-                history.record_telemetry(
-                    epoch_seconds, num_batches / max(train_seconds, 1e-9))
-                improved = history.record(
-                    float(np.mean(epoch_losses)), float(np.mean(epoch_regs)), val_rmse,
-                    min_delta=config.min_delta,
-                )
-                if improved:
-                    best_state = self.model.state_dict()
-                    bad_epochs = 0
-                else:
-                    bad_epochs += 1
-                if config.verbose:
-                    print(
-                        f"epoch {epoch + 1}/{config.epochs} "
-                        f"loss {history.train_loss[-1]:.4f} "
-                        f"reg {history.train_reg[-1]:.4f} val-rmse {val_rmse:.4f} "
-                        f"[{epoch_seconds:.2f}s, "
-                        f"{history.batches_per_sec[-1]:.1f} batches/s]"
+                    if mid_epoch_stop:
+                        # Don't record a partial epoch; the resumable
+                        # state is "epochs_run epochs completed".
+                        break
+                    train_seconds = perf_counter() - epoch_start
+                    val_rmse = self._validation_rmse(data)
+                    epoch_seconds = perf_counter() - epoch_start
+                    history.record_telemetry(
+                        epoch_seconds, num_batches / max(train_seconds, 1e-9))
+                    improved = history.record(
+                        float(np.mean(epoch_losses)) if epoch_losses
+                        else float("nan"),
+                        float(np.mean(epoch_regs)) if epoch_regs
+                        else float("nan"),
+                        val_rmse,
+                        min_delta=config.min_delta,
                     )
-                if config.patience is not None and bad_epochs >= config.patience:
-                    history.stopped_early = True
-                    break
+                    if improved:
+                        best_state = self.model.state_dict()
+                        bad_epochs = 0
+                    else:
+                        bad_epochs += 1
+                    if config.verbose:
+                        print(
+                            f"epoch {epoch + 1}/{config.epochs} "
+                            f"loss {history.train_loss[-1]:.4f} "
+                            f"reg {history.train_reg[-1]:.4f} val-rmse {val_rmse:.4f} "
+                            f"[{epoch_seconds:.2f}s, "
+                            f"{history.batches_per_sec[-1]:.1f} batches/s]"
+                        )
+                    if (manager is not None and config.checkpoint_every
+                            and (epoch + 1) % config.checkpoint_every == 0):
+                        if sentinel is not None:
+                            history.sentinel = sentinel.report()
+                        manager.save(self.model, self.optimizer,
+                                     history=history, epoch=epoch,
+                                     is_best=history.best_epoch == epoch)
+                    if config.patience is not None and bad_epochs >= config.patience:
+                        history.stopped_early = True
+                        break
+                    if self._interrupt_requested:
+                        break
+        finally:
+            for signum, old in old_handlers:
+                signal.signal(signum, old)
 
+        if sentinel is not None:
+            history.sentinel = sentinel.report()
         if profiler is not None:
             history.op_profile = profiler.as_dict()
             history.peak_tape_bytes = profiler.peak_tape_bytes
-        if best_state is not None:
+        if self._interrupt_requested:
+            history.interrupted = True
+            if manager is not None:
+                # Final resumable snapshot with the *current* weights.
+                manager.save(self.model, self.optimizer, history=history,
+                             tag="final")
+        elif best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()
         return history
+
+    def _handle_divergence(self, sentinel, event, snapshot):
+        """Apply the sentinel's policy to a flagged step."""
+        if sentinel.policy == "raise":
+            sentinel.raise_(event)
+        if sentinel.policy == "rollback":
+            sentinel.note_rollback()  # raises past the budget
+            if snapshot is not None:
+                self._restore_snapshot(snapshot)
+            self.optimizer.lr *= sentinel.lr_backoff
+        if self.config.verbose:
+            print(f"sentinel[{sentinel.policy}] step {event.step}: "
+                  f"{event.kind} — {event.detail}")
 
     # ------------------------------------------------------------------
     def predict_scaled(self, batch: SampleBatch):

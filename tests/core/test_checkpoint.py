@@ -8,6 +8,22 @@ from repro.nn import Linear, Parameter, Sequential, ReLU
 from repro.optim import Adam
 from repro.tensor import Tensor
 from repro.training import History, load_checkpoint, save_checkpoint
+from repro.training.checkpoint import _CHECKSUM_KEY, _payload_digest
+
+
+def rewrite_archive(path, mutate):
+    """Tamper with an archive *semantically*: edit entries, fix checksum.
+
+    ``mutate`` receives and returns the ``{key: array}`` dict.  The
+    payload checksum is recomputed so the rewritten file passes
+    integrity verification and exercises the loader's semantic checks
+    (byte-level corruption is covered in tests/robustness/).
+    """
+    with np.load(path) as archive:
+        data = {key: archive[key] for key in archive.files}
+    data = mutate(data)
+    data[_CHECKSUM_KEY] = np.array(_payload_digest(data))
+    np.savez(path, **data)
 
 
 def small_model():
@@ -134,9 +150,10 @@ class TestRoundTrip:
         take_steps(model, optimizer, 3)
         path = tmp_path / "ckpt.npz"
         save_checkpoint(path, model, optimizer)
-        data = {key: value for key, value in np.load(path).items()
-                if not key.startswith("opt/")}
-        np.savez(path, **data)
+        rewrite_archive(path, lambda data: {
+            key: value for key, value in data.items()
+            if not key.startswith("opt/")
+        })
         with pytest.raises(ValueError, match="optimizer state"):
             load_checkpoint(path, model, optimizer)
 
@@ -145,11 +162,53 @@ class TestRoundTrip:
         optimizer = Adam(model.parameters(), lr=1e-2)
         path = tmp_path / "ckpt.npz"
         save_checkpoint(path, model, optimizer)
-        data = dict(np.load(path))
-        data["format_version"] = np.array(42)
-        np.savez(path, **data)
+
+        def bump(data):
+            data["format_version"] = np.array(42)
+            return data
+
+        rewrite_archive(path, bump)
         with pytest.raises(ValueError):
             load_checkpoint(path, model, optimizer)
+
+    def test_suffixless_path_round_trip(self, tmp_path):
+        # Regression: np.savez_compressed("ckpt") silently writes
+        # "ckpt.npz" but load_checkpoint("ckpt") then failed to find it.
+        model = small_model()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        take_steps(model, optimizer, 2)
+        written = save_checkpoint(tmp_path / "ckpt", model, optimizer, epoch=2)
+        assert str(written).endswith("ckpt.npz")
+        assert (tmp_path / "ckpt.npz").exists()
+
+        fresh = small_model()
+        fresh_opt = Adam(fresh.parameters(), lr=1e-2)
+        _history, epoch = load_checkpoint(tmp_path / "ckpt", fresh, fresh_opt)
+        assert epoch == 2
+        for a, b in zip(model.parameters(), fresh.parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_missing_file_message_names_path(self, tmp_path):
+        model = small_model()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        with pytest.raises(FileNotFoundError, match="nothing-here"):
+            load_checkpoint(tmp_path / "nothing-here", model, optimizer)
+
+    def test_state_dict_isolated_from_inplace_updates(self):
+        # The trainer keeps `best_state = model.state_dict()` across
+        # later epochs; the in-place optimizer kernels (`out=` ufuncs)
+        # must not be able to mutate that snapshot through aliasing.
+        model = small_model()
+        optimizer = Adam(model.parameters(), lr=1e-1)
+        snapshot = model.state_dict()
+        before = {name: value.copy() for name, value in snapshot.items()}
+        take_steps(model, optimizer, 5)
+        for name, value in snapshot.items():
+            np.testing.assert_array_equal(value, before[name])
+        # And the live parameters really did move.
+        after = model.state_dict()
+        assert any(not np.array_equal(after[name], before[name])
+                   for name in before)
 
     def test_works_with_musenet(self, tmp_path, tiny_data, tiny_config):
         model = MUSENet(tiny_config)

@@ -52,6 +52,25 @@ class TestScaler:
         scaler = MinMaxScaler().fit(np.array([0.0, 10.0]))
         assert scaler.transform(np.array([20.0]))[0] > 1.0
 
+    def test_fit_rejects_nan_with_census(self):
+        data = np.array([1.0, float("nan"), 3.0, float("nan")])
+        with pytest.raises(ValueError, match=r"2 NaN, 0 Inf of 4"):
+            MinMaxScaler().fit(data)
+
+    def test_fit_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            MinMaxScaler().fit(np.array([1.0, float("inf")]))
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            MinMaxScaler().fit(np.array([]))
+
+    def test_failed_fit_leaves_scaler_unfitted(self):
+        scaler = MinMaxScaler()
+        with pytest.raises(ValueError):
+            scaler.fit(np.array([float("nan")]))
+        assert not scaler.fitted
+
     @given(
         hnp.arrays(np.float64, st.integers(2, 50),
                    elements=st.floats(-100, 100, allow_nan=False))

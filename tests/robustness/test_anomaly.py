@@ -1,0 +1,101 @@
+"""detect_anomaly() pinpoints the exact op that introduced a NaN/Inf."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    AnomalyError,
+    Tensor,
+    detect_anomaly,
+    is_anomaly_enabled,
+)
+from repro.training import TrainConfig, Trainer
+
+from tests.robustness.injectors import FaultInjector, ToyForecaster
+
+
+class TestForwardDetection:
+    def test_log_of_negative_names_log(self):
+        x = Tensor(np.array([1.0, -1.0]))
+        with detect_anomaly(), pytest.raises(AnomalyError) as excinfo:
+            with np.errstate(invalid="ignore"):
+                x.log()
+        assert excinfo.value.op == "log"
+        assert excinfo.value.phase == "forward"
+        assert "this op is the origin" in str(excinfo.value)
+
+    def test_tainted_input_is_attributed_to_the_input(self):
+        # The NaN pre-dates the op: the message must say so instead of
+        # blaming the op's arithmetic.
+        x = Tensor(np.array([float("nan"), 1.0]))
+        with detect_anomaly(), pytest.raises(AnomalyError) as excinfo:
+            x * 2.0
+        assert excinfo.value.op == "mul"
+        assert "entered through this op's input" in str(excinfo.value)
+
+    def test_message_carries_shapes_and_census(self):
+        x = Tensor(np.full((2, 3), -1.0))
+        with detect_anomaly(), pytest.raises(AnomalyError) as excinfo:
+            with np.errstate(invalid="ignore"):
+                x.log()
+        message = str(excinfo.value)
+        assert "shape=(2, 3)" in message
+        assert "6 NaN" in message
+
+
+class TestBackwardDetection:
+    def test_sqrt_at_zero_names_sqrt_backward(self):
+        # Forward sqrt(0) = 0 is finite; the backward 0.5/0 is not.
+        x = Tensor(np.array([0.0, 4.0]), requires_grad=True)
+        with detect_anomaly():
+            loss = x.sqrt().sum()
+            with pytest.raises(AnomalyError) as excinfo, \
+                    np.errstate(divide="ignore"):
+                loss.backward()
+        assert excinfo.value.op == "sqrt"
+        assert excinfo.value.phase == "backward"
+        assert "deposited a non-finite gradient" in str(excinfo.value)
+
+
+class TestModeScoping:
+    def test_off_by_default_and_restored_on_exit(self):
+        assert not is_anomaly_enabled()
+        with detect_anomaly():
+            assert is_anomaly_enabled()
+            with detect_anomaly():
+                assert is_anomaly_enabled()
+            assert is_anomaly_enabled()
+        assert not is_anomaly_enabled()
+
+    def test_no_check_outside_the_context(self):
+        x = Tensor(np.array([-1.0]))
+        with np.errstate(invalid="ignore"):
+            y = x.log()  # silently NaN, as before this feature
+        assert np.isnan(y.data).all()
+
+    def test_restored_after_raise(self):
+        x = Tensor(np.array([-1.0]))
+        with pytest.raises(AnomalyError):
+            with detect_anomaly(), np.errstate(invalid="ignore"):
+                x.log()
+        assert not is_anomaly_enabled()
+
+
+class TestTrainerIntegration:
+    def test_fit_under_detect_anomaly_names_the_poisoning_op(self, tiny_data):
+        model = FaultInjector(ToyForecaster(tiny_data), nan_loss_steps={0})
+        trainer = Trainer(model, TrainConfig(
+            epochs=1, batch_size=8, seed=0, detect_anomaly=True))
+        # The injector multiplies the loss by NaN: anomaly mode points
+        # straight at that 'mul', not at a downstream symptom.
+        with pytest.raises(AnomalyError) as excinfo:
+            trainer.fit(tiny_data)
+        assert excinfo.value.op == "mul"
+        assert excinfo.value.phase == "forward"
+
+    def test_clean_fit_under_detect_anomaly_passes(self, tiny_data):
+        model = ToyForecaster(tiny_data)
+        trainer = Trainer(model, TrainConfig(
+            epochs=1, batch_size=8, seed=0, detect_anomaly=True))
+        history = trainer.fit(tiny_data)
+        assert history.epochs_run == 1

@@ -1,0 +1,158 @@
+"""On-disk fault injection: truncation, bit flips, and mid-write kills."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.optim import Adam
+from repro.training import (
+    CheckpointCorruptError,
+    CheckpointManager,
+    find_latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
+from repro.training import checkpoint as checkpoint_module
+
+from tests.robustness.injectors import ToyForecaster, flip_byte, truncate_file
+
+
+@pytest.fixture
+def model_and_opt(tiny_data):
+    model = ToyForecaster(tiny_data)
+    return model, Adam(model.parameters(), lr=1e-3)
+
+
+class TestCorruptionDetection:
+    def test_truncated_archive_rejected(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        path = save_checkpoint(tmp_path / "ckpt.npz", model, opt)
+        truncate_file(path, fraction=0.5)
+        with pytest.raises(CheckpointCorruptError, match="corrupt|checksum"):
+            load_checkpoint(path, model, opt)
+
+    def test_empty_file_rejected(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        path = save_checkpoint(tmp_path / "ckpt.npz", model, opt)
+        truncate_file(path, fraction=0.0)
+        with pytest.raises(CheckpointCorruptError):
+            verify_checkpoint(path)
+
+    def test_bit_flip_rejected(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        path = save_checkpoint(tmp_path / "ckpt.npz", model, opt)
+        flip_byte(path)
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path, model, opt)
+
+    def test_corrupt_load_leaves_error_not_garbage(self, tmp_path,
+                                                  model_and_opt):
+        # The checksum is verified *before* any state is installed, so
+        # a rejected archive cannot have half-restored the model.
+        model, opt = model_and_opt
+        path = save_checkpoint(tmp_path / "ckpt.npz", model, opt)
+        before = {name: value.copy()
+                  for name, value in model.state_dict().items()}
+        flip_byte(path)
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path, model, opt)
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, before[name])
+
+
+class TestLatestDiscovery:
+    def test_falls_back_past_corrupt_newest(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        older = save_checkpoint(tmp_path / "older.npz", model, opt)
+        newer = save_checkpoint(tmp_path / "newer.npz", model, opt)
+        os.utime(older, ns=(1_000_000_000, 1_000_000_000))
+        os.utime(newer, ns=(2_000_000_000, 2_000_000_000))
+        truncate_file(newer)
+        assert find_latest_checkpoint(tmp_path) == older
+
+    def test_none_when_everything_is_corrupt(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        path = save_checkpoint(tmp_path / "only.npz", model, opt)
+        flip_byte(path)
+        assert find_latest_checkpoint(tmp_path) is None
+
+    def test_none_for_empty_or_missing_directory(self, tmp_path):
+        assert find_latest_checkpoint(tmp_path) is None
+        assert find_latest_checkpoint(tmp_path / "never-made") is None
+
+    def test_ignores_stray_tmp_files(self, tmp_path, model_and_opt):
+        # A crash can leave a half-written temp file behind; the ".tmp"
+        # suffix keeps it out of the "*.npz" candidate scan entirely.
+        model, opt = model_and_opt
+        good = save_checkpoint(tmp_path / "good.npz", model, opt)
+        (tmp_path / "good.npz.abc123.tmp").write_bytes(b"partial write")
+        assert find_latest_checkpoint(tmp_path) == good
+
+
+class TestMidWriteKill:
+    def test_kill_during_write_preserves_old_checkpoint(
+            self, tmp_path, model_and_opt, monkeypatch):
+        model, opt = model_and_opt
+        path = save_checkpoint(tmp_path / "ckpt.npz", model, opt)
+
+        def killed_savez(stream, **payload):
+            stream.write(b"some bytes, then the power goes out")
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(checkpoint_module.np, "savez", killed_savez)
+        opt.lr = 9.9  # make the doomed snapshot differ from the first
+        with pytest.raises(KeyboardInterrupt):
+            save_checkpoint(tmp_path / "ckpt.npz", model, opt)
+        monkeypatch.undo()
+        # The published archive is still the first, fully-valid one.
+        assert verify_checkpoint(path)["format_version"] >= 2
+        opt.lr = 0.0
+        load_checkpoint(path, model, opt)
+        assert opt.lr == pytest.approx(1e-3)
+        assert [f for f in os.listdir(tmp_path) if f.endswith(".tmp")] == []
+
+    def test_kill_during_publish_preserves_old_checkpoint(
+            self, tmp_path, model_and_opt, monkeypatch):
+        model, opt = model_and_opt
+        path = save_checkpoint(tmp_path / "ckpt.npz", model, opt)
+
+        def killed_replace(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(checkpoint_module.os, "replace", killed_replace)
+        with pytest.raises(KeyboardInterrupt):
+            save_checkpoint(tmp_path / "ckpt.npz", model, opt)
+        monkeypatch.undo()
+        verify_checkpoint(path)  # old archive untouched and valid
+
+
+class TestCheckpointManager:
+    def test_rotation_keeps_newest(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        manager = CheckpointManager(tmp_path, keep_last=2)
+        for epoch in range(5):
+            manager.save(model, opt, epoch=epoch)
+        kept = [os.path.basename(p) for p in manager.epoch_checkpoints()]
+        assert kept == ["ckpt-epoch000003.npz", "ckpt-epoch000004.npz"]
+
+    def test_best_pin_survives_rotation(self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        manager = CheckpointManager(tmp_path, keep_last=1)
+        manager.save(model, opt, epoch=0, is_best=True)
+        for epoch in range(1, 4):
+            manager.save(model, opt, epoch=epoch)
+        assert os.path.exists(manager.best_path)
+        assert verify_checkpoint(manager.best_path)["epoch"] == 0
+
+    def test_latest_skips_a_corrupted_rotation_member(
+            self, tmp_path, model_and_opt):
+        model, opt = model_and_opt
+        manager = CheckpointManager(tmp_path, keep_last=3)
+        for epoch in range(2):
+            path = manager.save(model, opt, epoch=epoch)
+            os.utime(path, ns=((epoch + 1) * 10**9,) * 2)
+        flip_byte(manager._epoch_path(1))
+        latest = manager.latest()
+        assert latest == manager._epoch_path(0)

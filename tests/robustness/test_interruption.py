@@ -1,0 +1,117 @@
+"""Graceful interruption: SIGINT/SIGTERM mid-step, resumable snapshots."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.training import TrainConfig, Trainer, verify_checkpoint
+
+from tests.robustness.injectors import FaultInjector, ToyForecaster
+
+
+def make_trainer(model, **overrides):
+    defaults = dict(epochs=3, batch_size=8, lr=1e-2, seed=0)
+    defaults.update(overrides)
+    return Trainer(model, TrainConfig(**defaults))
+
+
+class TestSignalHandling:
+    def test_sigint_finishes_the_step_and_writes_final(self, tiny_data,
+                                                       tmp_path):
+        # The signal lands *during* step 1's forward pass; the trainer
+        # must complete that step, then stop and write ckpt-final.npz.
+        model = FaultInjector(ToyForecaster(tiny_data), signal_steps={1})
+        trainer = make_trainer(model, checkpoint_dir=str(tmp_path))
+        history = trainer.fit(tiny_data)
+        assert history.interrupted
+        assert trainer.optimizer._step_count == 2  # steps 0 and 1 both ran
+        assert history.epochs_run == 0  # partial epoch not recorded
+        final = tmp_path / "ckpt-final.npz"
+        assert final.exists()
+        assert verify_checkpoint(final)["epoch"] is None
+
+    def test_sigterm_is_equivalent(self, tiny_data, tmp_path):
+        model = FaultInjector(ToyForecaster(tiny_data), signal_steps={0},
+                              signum=signal.SIGTERM)
+        trainer = make_trainer(model, checkpoint_dir=str(tmp_path))
+        history = trainer.fit(tiny_data)
+        assert history.interrupted
+        assert (tmp_path / "ckpt-final.npz").exists()
+
+    def test_interrupt_without_checkpoint_dir_just_stops(self, tiny_data):
+        model = FaultInjector(ToyForecaster(tiny_data), signal_steps={0})
+        trainer = make_trainer(model)
+        history = trainer.fit(tiny_data)
+        assert history.interrupted
+
+    def test_handlers_restored_after_fit(self, tiny_data):
+        before = signal.getsignal(signal.SIGINT)
+        model = FaultInjector(ToyForecaster(tiny_data), signal_steps={0})
+        make_trainer(model).fit(tiny_data)
+        assert signal.getsignal(signal.SIGINT) is before
+
+    def test_second_signal_raises_keyboard_interrupt(self, tiny_data):
+        trainer = make_trainer(ToyForecaster(tiny_data))
+        installed = trainer._install_signal_handlers()
+        try:
+            os.kill(os.getpid(), signal.SIGINT)
+            time.sleep(0.01)  # let the handler run
+            assert trainer._interrupt_requested
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGINT)
+                time.sleep(0.05)
+        finally:
+            for signum, old in installed:
+                signal.signal(signum, old)
+
+
+class TestResume:
+    def test_resume_completes_an_interrupted_run(self, tiny_data, tmp_path):
+        model = FaultInjector(ToyForecaster(tiny_data),
+                              signal_steps={3})  # mid-epoch 1
+        trainer = make_trainer(model, checkpoint_dir=str(tmp_path),
+                               checkpoint_every=1)
+        first = trainer.fit(tiny_data)
+        assert first.interrupted
+        assert first.epochs_run == 1  # epoch 0 checkpointed, epoch 1 partial
+
+        fresh = ToyForecaster(tiny_data, seed=99)  # different init
+        resumed_trainer = make_trainer(fresh, checkpoint_dir=str(tmp_path),
+                                       resume=True)
+        history = resumed_trainer.fit(tiny_data)
+        assert not history.interrupted  # the clean finish clears the flag
+        assert history.epochs_run == 3
+        # Epoch 0's loss comes from the restored history, not a re-run.
+        assert history.train_loss[0] == pytest.approx(first.train_loss[0])
+
+    def test_resume_with_empty_directory_starts_fresh(self, tiny_data,
+                                                      tmp_path):
+        trainer = make_trainer(ToyForecaster(tiny_data),
+                               checkpoint_dir=str(tmp_path), resume=True)
+        history = trainer.fit(tiny_data)
+        assert history.epochs_run == 3
+        assert not history.interrupted
+
+    def test_resume_from_explicit_path(self, tiny_data, tmp_path):
+        model = ToyForecaster(tiny_data)
+        trainer = make_trainer(model, epochs=2, checkpoint_dir=str(tmp_path),
+                               checkpoint_every=1)
+        trainer.fit(tiny_data)
+
+        again = make_trainer(ToyForecaster(tiny_data), epochs=4)
+        history = again.fit(tiny_data,
+                            resume_from=str(tmp_path / "ckpt-epoch000001"))
+        assert history.epochs_run == 4  # 2 restored + 2 new
+
+    def test_completed_run_resumes_to_a_noop(self, tiny_data, tmp_path):
+        trainer = make_trainer(ToyForecaster(tiny_data), epochs=2,
+                               checkpoint_dir=str(tmp_path),
+                               checkpoint_every=1)
+        first = trainer.fit(tiny_data)
+        resumed = make_trainer(ToyForecaster(tiny_data), epochs=2,
+                               checkpoint_dir=str(tmp_path), resume=True)
+        history = resumed.fit(tiny_data)
+        assert history.epochs_run == 2
+        assert history.train_loss == pytest.approx(first.train_loss)

@@ -35,6 +35,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "table2", "--profile", "gpu"])
 
+    def test_train_sentinel_choices(self):
+        args = build_parser().parse_args(
+            ["train", "MUSE-Net", "--sentinel", "rollback"])
+        assert args.sentinel == "rollback"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "MUSE-Net", "--sentinel", "explode"])
+
+    def test_train_resume_and_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["train", "MUSE-Net", "--checkpoint-dir", "runs/x",
+             "--checkpoint-every", "2", "--resume"])
+        assert args.checkpoint_dir == "runs/x"
+        assert args.checkpoint_every == 2
+        assert args.resume is True
+
+    def test_evaluate_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "MUSE-Net"])
+
     def test_all_experiments_registered(self):
         expected = ({f"table{i}" for i in range(1, 7)}
                     | {f"fig{i}" for i in range(4, 10)}
@@ -66,6 +86,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "MUSE-Net" in out
         assert "GMAN" in out
+
+
+class TestOperationalErrors:
+    """Operational failures exit non-zero with one-line messages."""
+
+    def test_evaluate_missing_checkpoint_exits_1(self, capsys):
+        assert main(["evaluate", "MUSE-Net",
+                     "--checkpoint", "does-not-exist.npz"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "does-not-exist" in err
+        assert "Traceback" not in err
+
+    def test_evaluate_corrupt_checkpoint_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"this is not a zip archive")
+        assert main(["evaluate", "MUSE-Net", "--checkpoint", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "corrupt" in err
+        assert "Traceback" not in err
+
+    def test_evaluate_empty_directory_exits_1(self, tmp_path, capsys):
+        assert main(["evaluate", "MUSE-Net", "--checkpoint",
+                     str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "train with --checkpoint-dir" in err
+
+    def test_invalid_config_value_exits_2(self, capsys):
+        # checkpoint cadence without a directory is a config error.
+        assert main(["train", "MUSE-Net", "--checkpoint-every", "2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "checkpoint_dir" in err
+        assert "Traceback" not in err
+
+    def test_resume_without_dir_exits_2(self, capsys):
+        assert main(["train", "MUSE-Net", "--resume"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_invalid_dtype_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "MUSE-Net", "--dtype", "float16"])
 
 
 class TestDatasetIO:
