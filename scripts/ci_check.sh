@@ -11,6 +11,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== static analysis =="
+# AST lint (dtype-policy, gradcheck-coverage, optimizer-out,
+# mutable-default; config in [tool.repro.lint]) and the abstract-
+# interpretation model checker over MUSE-Net at paper shapes.  Both
+# exit 2 on findings, failing the gate (docs/static_analysis.md).
+python -m repro lint
+python -m repro check-model MUSE-Net
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 

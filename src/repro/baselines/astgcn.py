@@ -7,6 +7,8 @@ convolution over regions; the branch outputs are summed.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.baselines.base import BaselineConfig, BaselineForecaster
@@ -39,7 +41,9 @@ class _Branch:
         pooled = series.mean(axis=2)  # (N, L, 2)
         query = self.attn_query(pooled)
         key = self.attn_key(pooled)
-        scores = matmul(query, swapaxes(key, -1, -2)) * (1.0 / np.sqrt(query.shape[-1]))
+        # math.sqrt, not np.sqrt: a float64 scalar here upcasts the
+        # whole float32 attention graph (dtype-upcast finding).
+        scores = matmul(query, swapaxes(key, -1, -2)) * (1.0 / math.sqrt(query.shape[-1]))
         weights = softmax(scores.mean(axis=1), axis=-1)  # (N, L)
         weighted = series * weights.reshape((n, length, 1, 1))
         stacked = swapaxes(weighted, 1, 2).reshape((n, m, -1))  # (N, M, L*2)

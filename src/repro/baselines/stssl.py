@@ -46,7 +46,10 @@ class STSSLBaseline(BaselineForecaster):
     def _augment(self, stacked, rng):
         noise = rng.normal(0.0, 0.05, size=stacked.shape)
         drop = (rng.random((stacked.shape[0], stacked.shape[1], 1, 1)) > 0.1)
-        return stacked * Tensor(drop.astype(stacked.dtype)) + Tensor(noise)
+        # rng.normal yields float64; cast before wrapping or the noise
+        # add upcasts a float32 graph (dtype-upcast finding).
+        return (stacked * Tensor(drop.astype(stacked.dtype))
+                + Tensor(noise.astype(stacked.dtype)))
 
     def auxiliary_loss(self, batch, prediction, rng):
         """InfoNCE between two augmented views of each sample."""

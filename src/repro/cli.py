@@ -202,6 +202,64 @@ def _cmd_report(args):
     return 0
 
 
+def _repo_root():
+    """Repo root for lint paths: the directory holding pyproject.toml."""
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    if os.path.isfile(os.path.join(package_root, "pyproject.toml")):
+        return package_root
+    return os.getcwd()
+
+
+def _cmd_check_model(args):
+    import json
+
+    import numpy as np
+
+    from repro.inspect import check_method
+
+    dtype = np.float32 if args.dtype == "float32" else np.float64
+    methods = args.method or ["MUSE-Net"]
+    reports = []
+    try:
+        for method in methods:
+            reports.append(check_method(method, dtype=dtype))
+    except ValueError:
+        raise  # bad method/config -> exit 2 via main()
+    except Exception as exc:  # internal checker failure -> exit 1
+        print(f"error: check-model failed on {method!r}: "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        print("\n".join(r.format_text() for r in reports))
+    return 0 if all(r.ok for r in reports) else 2
+
+
+def _cmd_lint(args):
+    import json
+
+    from repro.inspect import lint_paths, load_config
+
+    root = _repo_root()
+    paths = args.path or [os.path.join(root, "src", "repro")]
+    try:
+        config = load_config(root)
+        report = lint_paths(paths, root=root, config=config)
+    except ValueError:
+        raise  # bad [tool.repro.lint] config -> exit 2 via main()
+    except Exception as exc:  # internal linter failure -> exit 1
+        print(f"error: lint failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 2
+
+
 def build_parser():
     """Construct the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -270,6 +328,28 @@ def build_parser():
     p = sub.add_parser("report", help="diagnose a dataset's periodic structure")
     p.add_argument("dataset", choices=DATASET_NAMES)
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "check-model",
+        help="statically check a model graph (shapes, dtypes, gradient "
+             "reachability, numeric hazards) before training")
+    p.add_argument("method", nargs="*",
+                   help="MUSE-Net (default) and/or baseline names")
+    p.add_argument("--dtype", default="float32",
+                   choices=("float32", "float64"),
+                   help="build the model under this precision policy "
+                        "(default: float32, the training configuration)")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.set_defaults(func=_cmd_check_model)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the repo lint rules (dtype policy, gradcheck coverage, "
+             "optimizer out= contract, mutable defaults)")
+    p.add_argument("path", nargs="*",
+                   help="files or directories (default: src/repro)")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

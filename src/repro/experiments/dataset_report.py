@@ -75,7 +75,7 @@ def build_dataset_report(dataset, peak_hours=((7, 9), (17, 19))):
 
     daily_profile = np.array([
         citywide[indices % f == phase].mean() for phase in range(f)
-    ])
+    ], dtype=np.float64)
     off_peak = ~peak & ~weekend
     peak_ratio = citywide[peak].mean() / max(citywide[off_peak].mean(), 1e-9)
     weekend_ratio = citywide[weekend].mean() / max(citywide[~weekend].mean(), 1e-9)

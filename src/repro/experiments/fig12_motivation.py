@@ -149,7 +149,8 @@ def run_fig2(dataset_days=28, window=12, num_slots=24, seed=0, **_ignored):
     start = 7 * f + window  # need a week of history
     slots = np.arange(start, start + num_slots)
     lags = {"c": window, "p": f, "t": 7 * f}
-    correlations = {key: np.zeros(num_slots) for key in lags}
+    correlations = {key: np.zeros(num_slots, dtype=np.float64)
+                    for key in lags}
     for i, t in enumerate(slots):
         future = series[t:t + window]
         for key, lag in lags.items():

@@ -47,10 +47,10 @@ class Table2Result:
     def improvement(self, dataset):
         """Paper-style improvement of MUSE-Net over the best baseline."""
         table = self.reports[dataset]
-        ours = np.array(table["MUSE-Net"].row())
+        ours = np.array(table["MUSE-Net"].row(), dtype=np.float64)
         baselines = np.array([
             report.row() for name, report in table.items() if name != "MUSE-Net"
-        ])
+        ], dtype=np.float64)
         best = baselines.min(axis=0)
         with np.errstate(divide="ignore", invalid="ignore"):
             return (best - ours) / best

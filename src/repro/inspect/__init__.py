@@ -1,0 +1,37 @@
+"""Static analysis: model graph checker + codebase linter.
+
+Two layers, surfaced as ``repro check-model`` and ``repro lint``:
+
+* :func:`check_model` / :func:`check_method` trace a model's
+  ``training_loss`` on abstract (shape-only) inputs through the real op
+  layer and prove shape, dtype-policy, gradient-reachability and
+  numeric-hazard properties before any real batch is spent;
+* :func:`lint_paths` runs repo-specific AST rules (dtype policy,
+  gradient-check coverage, optimizer ``out=`` contract, mutable
+  defaults) over the source tree.
+"""
+
+from repro.inspect.abstract import AbstractTensor, abstract_batch
+from repro.inspect.checker import (
+    Finding,
+    ModelReport,
+    check_method,
+    check_model,
+)
+from repro.inspect.gradcov import gradcheck_cases, registered_ops
+from repro.inspect.intervals import Interval
+from repro.inspect.lint import (
+    LintConfig,
+    LintFinding,
+    LintReport,
+    lint_paths,
+    load_config,
+)
+from repro.inspect.trace import GraphTracer, Trace, TraceEvent
+
+__all__ = [
+    "AbstractTensor", "abstract_batch", "Finding", "ModelReport",
+    "check_method", "check_model", "gradcheck_cases", "registered_ops",
+    "Interval", "LintConfig", "LintFinding", "LintReport", "lint_paths",
+    "load_config", "GraphTracer", "Trace", "TraceEvent",
+]

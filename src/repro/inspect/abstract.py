@@ -1,0 +1,74 @@
+"""Abstract tensors: shape + dtype + requires-grad, O(1) storage.
+
+The checker feeds models :class:`AbstractTensor` inputs instead of real
+batches.  An abstract tensor is backed by a zero-stride broadcast view
+of a single scalar, so a ``(1, 4, 2, 10, 20)`` trend window costs eight
+bytes of storage regardless of geometry.  Tracing then *executes* the
+real op layer on these views at batch size 1 — the abstract
+interpretation reuses the production kernels for shape/dtype/graph
+semantics (no risk of drifting from the real implementation) while the
+value lattice lives in :mod:`repro.inspect.intervals`, not in the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.windows import SampleBatch
+from repro.tensor import Tensor
+
+__all__ = ["AbstractTensor", "abstract_batch", "buffer_address"]
+
+
+def buffer_address(array):
+    """Return the memory address of an ndarray's backing buffer.
+
+    Views (slices, broadcasts, reshapes that alias) share the address of
+    their base buffer; copies do not.  The tracer uses this to recognise
+    leaf tensors the model built from abstract batch arrays: any tensor
+    aliasing an abstract input keeps the *unbounded* value range, while
+    genuine constants get ranges from their observed data.
+    """
+    return np.asarray(array).__array_interface__["data"][0]
+
+
+class AbstractTensor(Tensor):
+    """A tensor described by shape/dtype whose data carries no signal.
+
+    The backing array is a read-only broadcast view of one scalar
+    (``fill``), chosen away from special points (0, 1) so accidental
+    value-dependent branches in a model still take their generic path.
+    The checker treats the *value range* of an abstract input as
+    unbounded; the fill exists only so numpy kernels can run.
+    """
+
+    def __init__(self, shape, dtype=np.float64, fill=0.5, requires_grad=False,
+                 name=None):
+        scalar = np.asarray(fill, dtype=dtype)
+        view = np.broadcast_to(scalar, tuple(shape))
+        super().__init__(view, requires_grad=requires_grad, name=name)
+
+
+def abstract_batch(config, dtype=np.float64, batch_size=1):
+    """Build a :class:`SampleBatch` of abstract windows for ``config``.
+
+    ``config`` is any object with the shared geometry fields
+    (``len_closeness``/``len_period``/``len_trend``, ``height``,
+    ``width``, ``flow_channels``) — both ``MuseConfig`` and
+    ``BaselineConfig`` qualify.  ``batch_size=1`` keeps tracing cost
+    independent of the real training batch.
+    """
+    n = int(batch_size)
+    spatial = (int(config.flow_channels), int(config.height), int(config.width))
+
+    def window(length, name):
+        return AbstractTensor((n, int(length)) + spatial, dtype=dtype,
+                              name=name).data
+
+    return SampleBatch(
+        closeness=window(config.len_closeness, "closeness"),
+        period=window(config.len_period, "period"),
+        trend=window(config.len_trend, "trend"),
+        target=AbstractTensor((n,) + spatial, dtype=dtype, name="target").data,
+        indices=np.arange(n),
+    )

@@ -1,0 +1,289 @@
+"""AST-based codebase linter with repo-specific rules.
+
+Rules (see ``docs/static_analysis.md`` for the catalog):
+
+* ``dtype-policy`` — ``np.array``/``np.zeros``/``np.ones``/``np.empty``/
+  ``np.full``/``np.eye`` without an explicit ``dtype=`` in compute hot
+  paths.  Bare constructors default to float64 and silently break the
+  float32 policy (PR 2); the rule applies only under the configured
+  ``dtype-policy-paths`` prefixes so index/metadata code stays quiet.
+* ``gradcheck-coverage`` — ops registered in the tensor op modules with
+  no canonical gradcheck case in :mod:`repro.inspect.gradcov`.
+* ``optimizer-out`` — numpy arithmetic inside optimizer ``_update``
+  kernels without ``out=``: the in-place contract is what keeps the
+  step allocation-free.
+* ``mutable-default`` — mutable default arguments (list/dict/set
+  literals or constructor calls).
+
+Configuration lives in ``[tool.repro.lint]`` in ``pyproject.toml``;
+individual lines can be suppressed with a ``# lint: ignore[rule]``
+comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+try:
+    import tomllib
+except ImportError:  # Python 3.10: run with built-in defaults
+    tomllib = None
+
+__all__ = ["LintFinding", "LintConfig", "LintReport", "lint_paths",
+           "load_config", "ALL_RULES"]
+
+ALL_RULES = ("dtype-policy", "gradcheck-coverage", "optimizer-out",
+             "mutable-default")
+
+#: numpy constructors that allocate *new* float arrays with a float64
+#: default.  ``*_like``/``asarray`` variants inherit their input dtype
+#: and are deliberately not listed.
+_DTYPE_POLICY_FUNCS = frozenset(
+    {"array", "zeros", "ones", "empty", "full", "eye"})
+
+#: numpy arithmetic that optimizer kernels must call with ``out=``.
+_OUT_REQUIRED_FUNCS = frozenset(
+    {"add", "subtract", "multiply", "divide", "true_divide", "sqrt",
+     "square", "power", "abs", "absolute", "maximum", "minimum", "exp",
+     "log", "negative", "clip"})
+
+_DEFAULT_DTYPE_POLICY_PATHS = (
+    "src/repro/tensor", "src/repro/nn", "src/repro/core",
+    "src/repro/baselines", "src/repro/optim", "src/repro/training",
+    "src/repro/experiments", "src/repro/inspect",
+)
+
+
+@dataclass
+class LintFinding:
+    """One lint violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def to_dict(self):
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message}
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+@dataclass
+class LintConfig:
+    """Rule enable/disable state and per-path scoping."""
+
+    disabled: frozenset = frozenset()
+    dtype_policy_paths: tuple = _DEFAULT_DTYPE_POLICY_PATHS
+    per_path_ignores: dict = None
+
+    def __post_init__(self):
+        if self.per_path_ignores is None:
+            self.per_path_ignores = {}
+
+    def rule_applies(self, rule, rel_path):
+        if rule in self.disabled:
+            return False
+        for prefix, rules in self.per_path_ignores.items():
+            if rel_path.startswith(prefix) and rule in rules:
+                return False
+        if rule == "dtype-policy":
+            return any(rel_path.startswith(p)
+                       for p in self.dtype_policy_paths)
+        return True
+
+
+def load_config(root):
+    """Read ``[tool.repro.lint]`` from ``<root>/pyproject.toml``."""
+    pyproject = Path(root) / "pyproject.toml"
+    if tomllib is None or not pyproject.is_file():
+        return LintConfig()
+    with open(pyproject, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("repro", {}).get("lint", {})
+    unknown = set(table.get("disable", ())) - set(ALL_RULES)
+    if unknown:
+        raise ValueError(
+            f"[tool.repro.lint] disables unknown rules: {sorted(unknown)}")
+    return LintConfig(
+        disabled=frozenset(table.get("disable", ())),
+        dtype_policy_paths=tuple(
+            table.get("dtype-policy-paths", _DEFAULT_DTYPE_POLICY_PATHS)),
+        per_path_ignores={
+            prefix: frozenset(rules)
+            for prefix, rules in table.get("per-path-ignores", {}).items()},
+    )
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list
+    files_checked: int
+
+    @property
+    def ok(self):
+        return not self.findings
+
+    def to_dict(self):
+        return {"ok": self.ok, "files_checked": self.files_checked,
+                "findings": [f.to_dict() for f in self.findings]}
+
+    def format_text(self):
+        lines = [str(f) for f in self.findings]
+        lines.append(f"lint: {self.files_checked} files, "
+                     f"{len(self.findings)} finding(s)")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Per-file AST rules
+# ----------------------------------------------------------------------
+def _np_attr(node):
+    """Return ``'zeros'`` for a ``np.zeros``/``numpy.zeros`` call node."""
+    func = node.func
+    if (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")):
+        return func.attr
+    return None
+
+
+def _has_keyword(node, name):
+    return any(kw.arg == name for kw in node.keywords)
+
+
+class _FileLinter(ast.NodeVisitor):
+    def __init__(self, rel_path, source_lines, config):
+        self.rel_path = rel_path
+        self.source_lines = source_lines
+        self.config = config
+        self.findings = []
+        self._update_depth = 0
+
+    def _suppressed(self, line, rule):
+        if 1 <= line <= len(self.source_lines):
+            text = self.source_lines[line - 1]
+            if f"lint: ignore[{rule}]" in text:
+                return True
+        return False
+
+    def _emit(self, rule, node, message):
+        if not self.config.rule_applies(rule, self.rel_path):
+            return
+        if self._suppressed(node.lineno, rule):
+            return
+        self.findings.append(LintFinding(
+            rule=rule, path=self.rel_path, line=node.lineno,
+            message=message))
+
+    # -- dtype-policy / optimizer-out ----------------------------------
+    def visit_Call(self, node):
+        attr = _np_attr(node)
+        if attr in _DTYPE_POLICY_FUNCS and not _has_keyword(node, "dtype"):
+            self._emit(
+                "dtype-policy", node,
+                f"np.{attr} without an explicit dtype defaults to float64; "
+                "pass dtype=... (policy-aware: repro.tensor."
+                "get_default_dtype()) or an input-derived dtype")
+        if (self._update_depth > 0 and attr in _OUT_REQUIRED_FUNCS
+                and not _has_keyword(node, "out")):
+            self._emit(
+                "optimizer-out", node,
+                f"np.{attr} inside an optimizer _update kernel allocates a "
+                "fresh array; pass out=... to keep the step in-place")
+        self.generic_visit(node)
+
+    # -- mutable-default ----------------------------------------------
+    def _check_defaults(self, node):
+        args = node.args
+        for default in list(args.defaults) + list(args.kw_defaults):
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if (isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set")):
+                mutable = True
+            if mutable:
+                self._emit(
+                    "mutable-default", default,
+                    f"mutable default argument in {node.name}(); defaults "
+                    "are shared across calls — use None and create the "
+                    "object inside the function")
+
+    def visit_FunctionDef(self, node):
+        self._check_defaults(node)
+        if node.name == "_update":
+            self._update_depth += 1
+            self.generic_visit(node)
+            self._update_depth -= 1
+        else:
+            self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node):
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+def _lint_file(path, root, config):
+    resolved = Path(path).resolve()
+    try:
+        rel_path = str(resolved.relative_to(Path(root).resolve()))
+    except ValueError:
+        # Outside the root: keep the absolute path.  Path-scoped rules
+        # (dtype-policy, per-path-ignores) simply won't match it.
+        rel_path = str(resolved)
+    source = Path(path).read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [LintFinding(rule="parse-error", path=rel_path,
+                            line=exc.lineno or 0, message=str(exc.msg))]
+    linter = _FileLinter(rel_path, source.splitlines(), config)
+    linter.visit(tree)
+    return linter.findings
+
+
+def _coverage_findings(config):
+    if "gradcheck-coverage" in config.disabled:
+        return []
+    from .gradcov import registered_ops, uncovered_ops
+
+    registry = registered_ops()
+    return [
+        LintFinding(
+            rule="gradcheck-coverage",
+            path=registry[name].replace(".", "/") + ".py",
+            line=0,
+            message=(f"op '{name}' has no gradcheck case in "
+                     "repro.inspect.gradcov; add one so its gradient is "
+                     "verified in CI"))
+        for name in uncovered_ops()
+    ]
+
+
+def lint_paths(paths, root, config=None):
+    """Lint every ``.py`` file under ``paths``; returns a LintReport.
+
+    ``root`` anchors relative paths in findings and config prefixes.
+    """
+    config = config if config is not None else load_config(root)
+    files = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    findings = []
+    for path in files:
+        findings.extend(_lint_file(path, root, config))
+    findings.extend(_coverage_findings(config))
+    findings.sort(key=lambda f: (f.path, f.line))
+    return LintReport(findings=findings, files_checked=len(files))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.nn.activations import softmax
@@ -20,7 +22,10 @@ def scaled_dot_product_attention(query, key, value, mask=None):
     shape; ``False`` positions are excluded.
     """
     d = query.shape[-1]
-    scores = matmul(query, swapaxes(key, -1, -2)) * (1.0 / np.sqrt(d))
+    # math.sqrt keeps the scale a Python float: np.sqrt would make it a
+    # float64 scalar and silently upcast float32 scores (dtype-upcast
+    # finding from `repro check-model`).
+    scores = matmul(query, swapaxes(key, -1, -2)) * (1.0 / math.sqrt(d))
     if mask is not None:
         blocked = (~np.asarray(mask)).astype(scores.dtype) * -1e9
         scores = scores + Tensor(np.broadcast_to(blocked, scores.shape).copy())

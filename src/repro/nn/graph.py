@@ -43,7 +43,8 @@ def normalize_adjacency(adjacency, add_self_loops=True):
     """Symmetric normalization D^-1/2 (A + I) D^-1/2 (policy dtype)."""
     adjacency = np.asarray(adjacency, dtype=get_default_dtype())
     if add_self_loops:
-        adjacency = adjacency + np.eye(adjacency.shape[0])
+        adjacency = adjacency + np.eye(adjacency.shape[0],
+                                       dtype=adjacency.dtype)
     degree = adjacency.sum(axis=1)
     inv_sqrt = np.where(degree > 0, degree ** -0.5, 0.0)
     return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
@@ -86,9 +87,10 @@ class ChebConv(Module):
         laplacian = degree - adjacency
         eigs = np.linalg.eigvalsh(laplacian)
         lam_max = float(eigs[-1]) if eigs[-1] > 0 else 2.0
-        scaled = 2.0 * laplacian / lam_max - np.eye(adjacency.shape[0])
+        scaled = (2.0 * laplacian / lam_max
+                  - np.eye(adjacency.shape[0], dtype=np.float64))
         self.order = order
-        self._cheb = [np.eye(adjacency.shape[0]), scaled]
+        self._cheb = [np.eye(adjacency.shape[0], dtype=np.float64), scaled]
         for _ in range(2, order):
             self._cheb.append(2.0 * scaled @ self._cheb[-1] - self._cheb[-2])
         self._cheb = [Tensor(t.astype(get_default_dtype(), copy=False))

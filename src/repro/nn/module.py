@@ -10,6 +10,25 @@ from repro.tensor import Tensor
 
 __all__ = ["Parameter", "Module"]
 
+# Active module-call observer (see repro.inspect).  A callable
+# ``(module, forward, args, kwargs) -> result`` that wraps every
+# Module.__call__, used by the static checker to attribute graph ops to
+# the dotted module path that produced them.  ``None`` when off; the
+# common path costs a single global load.
+_FORWARD_HOOK = None
+
+
+def _set_forward_hook(hook):
+    """Install ``hook`` as the module-call observer; returns the previous.
+
+    ``None`` disables observation.  Use :func:`repro.inspect.check_model`
+    rather than calling this directly.
+    """
+    global _FORWARD_HOOK
+    previous = _FORWARD_HOOK
+    _FORWARD_HOOK = hook
+    return previous
+
 
 class Parameter(Tensor):
     """A tensor that is a trainable model weight.
@@ -51,6 +70,8 @@ class Module:
         raise NotImplementedError(f"{type(self).__name__} does not implement forward()")
 
     def __call__(self, *args, **kwargs):
+        if _FORWARD_HOOK is not None:
+            return _FORWARD_HOOK(self, self.forward, args, kwargs)
         return self.forward(*args, **kwargs)
 
     # ------------------------------------------------------------------
@@ -82,6 +103,17 @@ class Module:
         yield self
         for child in self._modules.values():
             yield from child.modules()
+
+    def named_modules(self, prefix=""):
+        """Yield ``(dotted_name, Module)`` pairs, depth first.
+
+        The root module itself is yielded with its ``prefix`` (empty
+        string by default), matching the torch contract.
+        """
+        yield (prefix, self)
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(prefix=child_prefix)
 
     def children(self):
         """Yield direct child modules."""

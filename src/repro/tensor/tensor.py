@@ -47,6 +47,12 @@ _PROFILER = None
 # by ``detect_anomaly()``, or ``None`` when anomaly mode is off.
 _ANOMALY_HOOK = None
 
+# Active graph tracer (see repro.inspect).  A callable
+# ``(name, out, parents)`` invoked for every op result, used by the
+# static model checker to record the abstract graph without touching
+# the op implementations.  ``None`` when tracing is off.
+_TRACE_HOOK = None
+
 
 def _set_profiler(profiler):
     """Install ``profiler`` as the active op profiler; returns the previous.
@@ -70,6 +76,18 @@ def _set_anomaly_hook(hook):
     global _ANOMALY_HOOK
     previous = _ANOMALY_HOOK
     _ANOMALY_HOOK = hook
+    return previous
+
+
+def _set_trace_hook(hook):
+    """Install ``hook`` as the graph tracer; returns the previous.
+
+    ``None`` disables tracing.  Use :func:`repro.inspect.check_model`
+    rather than calling this directly.
+    """
+    global _TRACE_HOOK
+    previous = _TRACE_HOOK
+    _TRACE_HOOK = hook
     return previous
 
 
@@ -218,6 +236,12 @@ class Tensor:
         requires them, the result is a detached leaf.
         """
         out = cls(data, name=name)
+        if _ANOMALY_HOOK is not None:
+            # Check *before* the result joins the tape or the profiler's
+            # accounting: when the hook raises, the failed op must leave
+            # no state behind — tape bytes recorded here would never be
+            # freed and would poison later clean runs.
+            _ANOMALY_HOOK("forward", name or "op", out.data, parents)
         on_tape = False
         if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
@@ -226,8 +250,8 @@ class Tensor:
             on_tape = True
         if _PROFILER is not None:
             _PROFILER._record_forward(name or "op", out.data.nbytes, on_tape)
-        if _ANOMALY_HOOK is not None:
-            _ANOMALY_HOOK("forward", name or "op", out.data, parents)
+        if _TRACE_HOOK is not None:
+            _TRACE_HOOK(name or "op", out, parents)
         return out
 
     def _accumulate_grad(self, grad):
@@ -296,31 +320,38 @@ class Tensor:
         profiler = _PROFILER
         anomaly_hook = _ANOMALY_HOOK
         order = self._topological_order()
-        for node in reversed(order):
-            if node._backward is None or node.grad is None:
-                continue
+        try:
+            for node in reversed(order):
+                if node._backward is None or node.grad is None:
+                    continue
+                if profiler is not None:
+                    start = perf_counter()
+                    node._backward(node.grad)
+                    profiler._record_backward(node.name or "op", perf_counter() - start)
+                else:
+                    node._backward(node.grad)
+                if anomaly_hook is not None:
+                    anomaly_hook("backward", node.name or "op", node.grad,
+                                 node._parents)
+        finally:
+            # Free the tape even when a backward closure or the anomaly
+            # hook raises mid-walk: a partially-backpropagated graph has
+            # already deposited gradients into some nodes, so retrying
+            # backward() on it would double-count.  Freeing turns the
+            # retry into an explicit freed-graph error and keeps the
+            # profiler's tape-byte accounting balanced.
+            if not retain_graph:
+                for node in order:
+                    if node._backward is not None:
+                        if profiler is not None:
+                            profiler._record_tape_free(node.data.nbytes)
+                        node._backward = None
+                        node._parents = ()
+                        node._freed = True
             if profiler is not None:
-                start = perf_counter()
-                node._backward(node.grad)
-                profiler._record_backward(node.name or "op", perf_counter() - start)
-            else:
-                node._backward(node.grad)
-            if anomaly_hook is not None:
-                anomaly_hook("backward", node.name or "op", node.grad,
-                             node._parents)
-
-        if not retain_graph:
-            for node in order:
-                if node._backward is not None:
-                    if profiler is not None:
-                        profiler._record_tape_free(node.data.nbytes)
-                    node._backward = None
-                    node._parents = ()
-                    node._freed = True
-        if profiler is not None:
-            # Don't let backward time leak into the next forward op's
-            # interval attribution.
-            profiler.mark()
+                # Don't let backward time leak into the next forward
+                # op's interval attribution.
+                profiler.mark()
 
     def _topological_order(self):
         """Return graph nodes reachable from ``self`` in topological order."""

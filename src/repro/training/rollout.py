@@ -39,7 +39,9 @@ def recursive_forecast(model, batch: SampleBatch, horizons):
     """
     if horizons < 1:
         raise ValueError("horizons must be >= 1")
-    closeness = np.array(batch.closeness, copy=True)
+    # asarray().copy() preserves the batch dtype; np.array would be
+    # flagged by the dtype-policy lint (and rightly so for list input).
+    closeness = np.asarray(batch.closeness).copy()
     outputs = []
     current = SampleBatch(
         closeness=closeness,

@@ -1,0 +1,220 @@
+"""Each checker rule fires on a fixture model built to trigger exactly it.
+
+Every fixture subclasses :class:`BaselineForecaster` at a tiny geometry
+so a full ``training_loss`` trace runs in milliseconds.  The companion
+assertion in each test is as important as the trigger: the *other*
+rules must stay quiet, and module attribution must name the offending
+submodule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import BaselineConfig, BaselineForecaster
+from repro.inspect import check_model
+from repro.nn import Linear
+from repro.tensor import Tensor, default_dtype, relu
+
+CONFIG = BaselineConfig(len_closeness=2, len_period=1, len_trend=1,
+                        height=2, width=3, hidden=4)
+FEATURES = CONFIG.frame_features  # 2 * 2 * 3 = 12
+
+
+class _TinyForecaster(BaselineForecaster):
+    """Clean single-Linear forecaster the fixtures perturb."""
+
+    def __init__(self, config=CONFIG):
+        super().__init__(config)
+        self.head = Linear(FEATURES, FEATURES)
+
+    def _pooled(self, closeness, period, trend):
+        frames = self._frames_flat((closeness, period, trend))
+        return frames.mean(axis=1)  # (N, features)
+
+    def forward(self, closeness, period, trend):
+        pred = self.head(self._pooled(closeness, period, trend))
+        return self._to_grid(pred.reshape((-1, self.config.num_regions,
+                                           self.config.flow_channels)))
+
+
+def _check(model_cls):
+    with default_dtype(np.float32):
+        model = model_cls()
+    return check_model(model, CONFIG)
+
+
+def _rules(report):
+    return sorted({f.rule for f in report.findings})
+
+
+class TestCleanBaseline:
+    def test_tiny_forecaster_is_clean(self):
+        report = _check(_TinyForecaster)
+        assert report.ok, [str(f) for f in report.findings]
+        assert report.num_ops > 0
+        assert report.total_params == FEATURES * FEATURES + FEATURES
+
+    def test_costs_cross_check_complexity_module(self):
+        report = _check(_TinyForecaster)
+        assert sum(c.params for c in report.costs) == report.total_params
+        assert report.total_flops > 0
+        assert report.total_tape_bytes > 0
+
+
+class TestShapeError:
+    class _BadShape(_TinyForecaster):
+        def __init__(self):
+            super().__init__()
+            self.bad = Linear(FEATURES + 1, FEATURES)
+
+        def forward(self, closeness, period, trend):
+            pred = self.bad(self._pooled(closeness, period, trend))
+            return self._to_grid(pred.reshape(
+                (-1, self.config.num_regions, self.config.flow_channels)))
+
+    def test_mismatched_linear_reports_shape_error(self):
+        report = _check(self._BadShape)
+        shape_findings = [f for f in report.findings
+                         if f.rule == "shape-error"]
+        assert len(shape_findings) == 1
+        assert shape_findings[0].module == "bad"
+
+    def test_no_graph_analyses_on_a_broken_trace(self):
+        report = _check(self._BadShape)
+        assert "numeric-hazard" not in _rules(report)
+        assert "dtype-upcast" not in _rules(report)
+
+
+class TestDtypeUpcast:
+    class _Upcast(_TinyForecaster):
+        def forward(self, closeness, period, trend):
+            pooled = self._pooled(closeness, period, trend)
+            # float64 constant in a float32 graph: the promotion origin.
+            pooled = pooled * Tensor(np.array([2.0], dtype=np.float64))
+            pred = self.head(pooled)
+            return self._to_grid(pred.reshape(
+                (-1, self.config.num_regions, self.config.flow_channels)))
+
+    def test_float64_constant_reports_exactly_one_origin(self):
+        report = _check(self._Upcast)
+        upcasts = [f for f in report.findings if f.rule == "dtype-upcast"]
+        # Taint tracking keeps downstream contagion (head matmul, loss
+        # subtraction, ...) from re-reporting the same promotion.
+        assert len(upcasts) == 1
+        assert upcasts[0].op == "mul"
+        assert "float64" in upcasts[0].message
+
+    def test_no_other_rules_fire(self):
+        report = _check(self._Upcast)
+        assert _rules(report) == ["dtype-upcast"]
+
+
+class TestDeadParameter:
+    class _Ghost(_TinyForecaster):
+        def __init__(self):
+            super().__init__()
+            self.ghost = Linear(FEATURES, FEATURES)  # never called
+
+    def test_unused_submodule_params_are_reported(self):
+        report = _check(self._Ghost)
+        dead = [f for f in report.findings if f.rule == "dead-parameter"]
+        assert len(dead) == 2  # ghost.weight, ghost.bias
+        assert all(f.module == "ghost" for f in dead)
+        assert _rules(report) == ["dead-parameter"]
+
+    def test_allow_unused_silences_the_rule(self):
+        with default_dtype(np.float32):
+            model = self._Ghost()
+        report = check_model(model, CONFIG, allow_unused=("ghost",))
+        assert report.ok, [str(f) for f in report.findings]
+
+
+class TestNumericHazards:
+    class _Log(_TinyForecaster):
+        def forward(self, closeness, period, trend):
+            # relu output is [0, inf) — not *strictly* positive, so the
+            # log has no proof against log(0).
+            pred = relu(self.head(self._pooled(closeness, period, trend)))
+            return self._to_grid(pred.log().reshape(
+                (-1, self.config.num_regions, self.config.flow_channels)))
+
+    class _Sqrt(_TinyForecaster):
+        def forward(self, closeness, period, trend):
+            pred = self.head(self._pooled(closeness, period, trend))
+            return self._to_grid(pred.sqrt().reshape(
+                (-1, self.config.num_regions, self.config.flow_channels)))
+
+    class _Div(_TinyForecaster):
+        def forward(self, closeness, period, trend):
+            pred = self.head(self._pooled(closeness, period, trend))
+            pred = pred / pred.mean()
+            return self._to_grid(pred.reshape(
+                (-1, self.config.num_regions, self.config.flow_channels)))
+
+    class _Softmax(_TinyForecaster):
+        def forward(self, closeness, period, trend):
+            logits = self.head(self._pooled(closeness, period, trend))
+            weights = logits.exp()
+            pred = weights / weights.sum()  # no max-subtraction
+            return self._to_grid(pred.reshape(
+                (-1, self.config.num_regions, self.config.flow_channels)))
+
+    @pytest.mark.parametrize("fixture, op", [
+        (_Log, "log"), (_Sqrt, "sqrt"), (_Div, "div"),
+        (_Softmax, "softmax"),
+    ])
+    def test_each_hazard_fires_its_rule_only(self, fixture, op):
+        report = _check(fixture)
+        hazards = [f for f in report.findings if f.rule == "numeric-hazard"]
+        assert len(hazards) == 1, [str(f) for f in report.findings]
+        assert hazards[0].op == op
+        assert _rules(report) == ["numeric-hazard"]
+
+    def test_eps_guard_discharges_the_log_hazard(self):
+        class _GuardedLog(_TinyForecaster):
+            def forward(self, closeness, period, trend):
+                pred = relu(self.head(self._pooled(closeness, period,
+                                                   trend)))
+                pred = (pred + Tensor(np.float32(1e-6))).log()
+                return self._to_grid(pred.reshape(
+                    (-1, self.config.num_regions,
+                     self.config.flow_channels)))
+
+        report = _check(_GuardedLog)
+        assert report.ok, [str(f) for f in report.findings]
+
+    def test_max_shifted_softmax_is_clean(self):
+        class _ShiftedSoftmax(_TinyForecaster):
+            def forward(self, closeness, period, trend):
+                logits = self.head(self._pooled(closeness, period, trend))
+                shifted = logits - logits.max(axis=-1, keepdims=True).detach()
+                weights = shifted.exp()
+                pred = weights / weights.sum()
+                return self._to_grid(pred.reshape(
+                    (-1, self.config.num_regions,
+                     self.config.flow_channels)))
+
+        report = _check(_ShiftedSoftmax)
+        assert report.ok, [str(f) for f in report.findings]
+
+
+class TestReportSurface:
+    def test_to_dict_round_trips_the_findings(self):
+        report = _check(TestDeadParameter._Ghost)
+        payload = report.to_dict()
+        assert payload["ok"] is False
+        assert payload["totals"]["params"] == report.total_params
+        assert {f["rule"] for f in payload["findings"]} == {"dead-parameter"}
+
+    def test_format_text_names_the_model_and_findings(self):
+        report = _check(TestDeadParameter._Ghost)
+        text = report.format_text()
+        assert "_Ghost" in text
+        assert "dead-parameter" in text
+
+    def test_train_eval_mode_is_preserved(self):
+        with default_dtype(np.float32):
+            model = _TinyForecaster()
+        model.eval()
+        check_model(model, CONFIG)
+        assert model.training is False

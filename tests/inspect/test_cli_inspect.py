@@ -1,0 +1,102 @@
+"""`repro check-model` / `repro lint` exit contract and output formats.
+
+Exit codes (shared with the rest of the CLI): 0 clean, 2 findings or a
+bad method/config, 1 internal error.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_check_model_defaults(self):
+        args = build_parser().parse_args(["check-model"])
+        assert args.method == []
+        assert args.dtype == "float32"
+        assert args.format == "text"
+
+    def test_check_model_accepts_methods_and_json(self):
+        args = build_parser().parse_args(
+            ["check-model", "MUSE-Net", "RNN", "--format", "json",
+             "--dtype", "float64"])
+        assert args.method == ["MUSE-Net", "RNN"]
+        assert args.dtype == "float64"
+
+    def test_lint_accepts_paths(self):
+        args = build_parser().parse_args(["lint", "src/repro/tensor"])
+        assert args.path == ["src/repro/tensor"]
+
+
+class TestCheckModelCommand:
+    def test_clean_method_exits_zero(self, capsys):
+        assert main(["check-model", "RNN"]) == 0
+        out = capsys.readouterr().out
+        assert "check-model: RNN" in out
+        assert "findings: none" in out
+
+    def test_unknown_method_exits_two(self, capsys):
+        assert main(["check-model", "ARIMA"]) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_json_format_is_machine_readable(self, capsys):
+        assert main(["check-model", "RNN", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        assert payload[0]["model"] == "RNN"
+        assert payload[0]["ok"] is True
+        assert payload[0]["totals"]["params"] > 0
+
+    def test_findings_exit_two(self, capsys, monkeypatch):
+        from repro.inspect.checker import Finding, ModelReport
+
+        def fake_check(method, dtype):
+            return ModelReport(model=method, findings=[Finding(
+                rule="dead-parameter", message="stub", module="m")])
+
+        monkeypatch.setattr("repro.inspect.check_method", fake_check)
+        assert main(["check-model", "RNN"]) == 2
+        assert "dead-parameter" in capsys.readouterr().out
+
+    def test_internal_error_exits_one(self, capsys, monkeypatch):
+        def boom(method, dtype):
+            raise RuntimeError("tracer exploded")
+
+        monkeypatch.setattr("repro.inspect.check_method", boom)
+        assert main(["check-model", "RNN"]) == 1
+        assert "tracer exploded" in capsys.readouterr().err
+
+
+class TestLintCommand:
+    def test_repo_default_paths_exit_zero(self, capsys):
+        # PR-head gate: the committed tree lints clean.
+        assert main(["lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_two(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "tensor"
+        bad.mkdir(parents=True)
+        target = bad / "dirty.py"
+        target.write_text("import numpy as np\nx = np.zeros(3)\n")
+        # Paths outside the repo root still lint; the dtype-policy rule
+        # keys off the *relative* path so this one is out of scope —
+        # use mutable-default, which applies everywhere.
+        target.write_text("def f(xs=[]):\n    return xs\n")
+        assert main(["lint", str(target)]) == 2
+        assert "mutable-default" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["files_checked"] > 100
+
+    def test_internal_error_exits_one(self, capsys, monkeypatch):
+        def boom(paths, root, config=None):
+            raise RuntimeError("walker exploded")
+
+        monkeypatch.setattr("repro.inspect.lint_paths", boom)
+        assert main(["lint"]) == 1
+        assert "walker exploded" in capsys.readouterr().err

@@ -1,0 +1,196 @@
+"""AST linter rules, config loading, and suppression syntax."""
+
+import textwrap
+
+import pytest
+
+from repro.inspect import LintConfig, lint_paths, load_config
+from repro.inspect.lint import ALL_RULES
+
+
+def _lint_source(tmp_path, source, rel="src/repro/tensor/mod.py",
+                 config=None):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    if config is None:
+        config = LintConfig(disabled=frozenset({"gradcheck-coverage"}))
+    return lint_paths([path], root=tmp_path, config=config)
+
+
+class TestDtypePolicy:
+    def test_bare_np_zeros_is_flagged(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import numpy as np
+            buf = np.zeros((3, 3))
+        """)
+        assert [f.rule for f in report.findings] == ["dtype-policy"]
+        assert report.findings[0].line == 3
+
+    def test_explicit_dtype_passes(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import numpy as np
+            buf = np.zeros((3, 3), dtype=np.float32)
+        """)
+        assert report.ok
+
+    def test_asarray_and_like_variants_are_exempt(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import numpy as np
+            a = np.asarray([1.0])
+            b = np.zeros_like(a)
+        """)
+        assert report.ok
+
+    def test_rule_only_applies_under_configured_paths(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import numpy as np
+            buf = np.zeros((3, 3))
+        """, rel="src/repro/viz/plot.py")
+        assert report.ok  # viz is not a dtype-policy path
+
+    def test_inline_suppression_comment(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import numpy as np
+            buf = np.zeros((3, 3))  # lint: ignore[dtype-policy]
+        """)
+        assert report.ok
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import numpy as np
+            buf = np.zeros((3, 3))  # lint: ignore[mutable-default]
+        """)
+        assert not report.ok  # wrong rule name does not silence it
+
+
+class TestOptimizerOut:
+    def test_allocation_inside_update_kernel_is_flagged(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import numpy as np
+
+            class SGD:
+                def _update(self, param, grad):
+                    step = np.multiply(grad, 0.1)
+                    param -= step
+        """, rel="src/repro/optim/sgd.py")
+        assert [f.rule for f in report.findings] == ["optimizer-out"]
+
+    def test_out_keyword_passes(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import numpy as np
+
+            class SGD:
+                def _update(self, param, grad, buf):
+                    np.multiply(grad, 0.1, out=buf)
+        """, rel="src/repro/optim/sgd.py")
+        assert report.ok
+
+    def test_rule_is_scoped_to_update_functions(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import numpy as np
+
+            def helper(grad):
+                return np.multiply(grad, 0.1)
+        """, rel="src/repro/optim/sgd.py")
+        assert report.ok
+
+
+class TestMutableDefault:
+    def test_list_literal_default_is_flagged(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            def f(items=[]):
+                return items
+        """, rel="src/repro/viz/plot.py")
+        assert [f.rule for f in report.findings] == ["mutable-default"]
+        assert "f()" in report.findings[0].message
+
+    def test_dict_call_default_is_flagged(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            def f(*, mapping=dict()):
+                return mapping
+        """, rel="src/repro/viz/plot.py")
+        assert [f.rule for f in report.findings] == ["mutable-default"]
+
+    def test_none_default_passes(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            def f(items=None, count=3, name="x"):
+                return items
+        """, rel="src/repro/viz/plot.py")
+        assert report.ok
+
+
+class TestGradcheckCoverage:
+    def test_registry_is_complete_so_rule_is_quiet(self, tmp_path):
+        (tmp_path / "empty.py").write_text("")
+        report = lint_paths([tmp_path / "empty.py"], root=tmp_path,
+                            config=LintConfig())
+        assert report.ok
+
+    def test_uncovered_ops_is_empty(self):
+        from repro.inspect.gradcov import uncovered_ops
+
+        assert uncovered_ops() == []
+
+
+class TestConfig:
+    def test_load_config_reads_pyproject_table(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""
+            [tool.repro.lint]
+            disable = ["mutable-default"]
+            dtype-policy-paths = ["src/only"]
+
+            [tool.repro.lint.per-path-ignores]
+            "src/only/legacy.py" = ["dtype-policy"]
+        """))
+        config = load_config(tmp_path)
+        assert config.disabled == frozenset({"mutable-default"})
+        assert config.dtype_policy_paths == ("src/only",)
+        assert not config.rule_applies("mutable-default", "src/only/a.py")
+        assert config.rule_applies("dtype-policy", "src/only/a.py")
+        assert not config.rule_applies("dtype-policy", "src/only/legacy.py")
+        assert not config.rule_applies("dtype-policy", "src/other/a.py")
+
+    def test_unknown_disabled_rule_raises(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.lint]\ndisable = [\"no-such-rule\"]\n")
+        with pytest.raises(ValueError, match="no-such-rule"):
+            load_config(tmp_path)
+
+    def test_missing_pyproject_falls_back_to_defaults(self, tmp_path):
+        config = load_config(tmp_path)
+        assert config.disabled == frozenset()
+
+    def test_all_rules_names_are_stable(self):
+        # docs/static_analysis.md documents these names; renaming one is
+        # a breaking change for pyproject configs and suppressions.
+        assert ALL_RULES == ("dtype-policy", "gradcheck-coverage",
+                             "optimizer-out", "mutable-default")
+
+
+class TestReportMechanics:
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        report = _lint_source(tmp_path, "def broken(:\n")
+        assert [f.rule for f in report.findings] == ["parse-error"]
+
+    def test_directory_walk_and_sorted_output(self, tmp_path):
+        config = LintConfig(disabled=frozenset({"gradcheck-coverage"}))
+        base = tmp_path / "src/repro/tensor"
+        base.mkdir(parents=True)
+        (base / "b.py").write_text("import numpy as np\nx = np.ones(3)\n")
+        (base / "a.py").write_text("import numpy as np\nx = np.eye(3)\n")
+        report = lint_paths([tmp_path / "src"], root=tmp_path,
+                            config=config)
+        assert report.files_checked == 2
+        assert [f.path for f in report.findings] == [
+            "src/repro/tensor/a.py", "src/repro/tensor/b.py"]
+
+    def test_repo_source_tree_is_clean(self):
+        # The PR-head acceptance gate: `repro lint` over src/repro with
+        # the committed pyproject config reports nothing.
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        report = lint_paths([root / "src" / "repro"], root=root)
+        assert report.ok, "\n" + report.format_text()
+        assert report.files_checked > 100

@@ -1,0 +1,58 @@
+"""MUSE-Net and every baseline pass the static checker at paper shapes.
+
+This is satellite 4's acceptance test: ``check_method`` builds each
+model under the float32 policy at the paper geometry (10x20 grid,
+L=(3,4,4)) and traces a full ``training_loss``, so any shape bug,
+float64 leak, unreachable parameter, or unguarded numeric hazard in
+the production models fails here with its module path.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINE_NAMES
+from repro.inspect import check_method
+
+METHODS = ("MUSE-Net",) + tuple(BASELINE_NAMES)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_method_checks_clean_at_paper_shapes(method):
+    report = check_method(method)
+    assert report.ok, "\n" + report.format_text()
+    assert report.num_ops > 0
+    assert report.total_params > 0
+
+
+def test_muse_net_check_is_fast():
+    # Acceptance bound: a full build + check in under two seconds.  The
+    # in-process cost is ~0.4s (construction dominates); the bound
+    # leaves headroom for slow CI machines.
+    start = time.perf_counter()
+    report = check_method("MUSE-Net")
+    elapsed = time.perf_counter() - start
+    assert report.ok
+    assert elapsed < 2.0, f"check-model took {elapsed:.2f}s"
+
+
+def test_muse_net_report_matches_known_architecture():
+    report = check_method("MUSE-Net")
+    # Params must agree with analysis.complexity (the checker
+    # cross-checks internally and emits cost-mismatch otherwise).
+    assert report.total_params == 47_292_586
+    buckets = {c.module for c in report.costs}
+    assert {"stem_c", "stem_p", "stem_t"} <= buckets
+
+
+def test_unknown_method_raises_value_error():
+    with pytest.raises(ValueError, match="unknown method"):
+        check_method("NOT-A-MODEL")
+
+
+def test_float64_build_also_checks_clean():
+    # The checker follows the model's own dtype: a float64 build has no
+    # float32 operands anywhere, so the upcast rule must stay silent.
+    report = check_method("RNN", dtype=np.float64)
+    assert report.ok, "\n" + report.format_text()

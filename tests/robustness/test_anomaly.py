@@ -99,3 +99,64 @@ class TestTrainerIntegration:
             epochs=1, batch_size=8, seed=0, detect_anomaly=True))
         history = trainer.fit(tiny_data)
         assert history.epochs_run == 1
+
+
+class TestNoStateLeakageOnRaise:
+    """A raising anomaly hook must leave no tape or profiler state.
+
+    Regression tests: the forward check used to run *after* the result
+    joined the tape and the profiler's accounting, so a failed op
+    leaked its output bytes forever; a mid-backward raise used to leave
+    the tape alive, so retrying backward() silently double-deposited
+    gradients.
+    """
+
+    def test_forward_raise_records_no_tape_bytes(self):
+        from repro.profiling import profile
+
+        x = Tensor(np.full(16, -1.0), requires_grad=True)
+        with profile() as prof:
+            with pytest.raises(AnomalyError), detect_anomaly(), \
+                    np.errstate(invalid="ignore"):
+                x.log()
+            # The failed log's 16 float64 outputs (128 bytes) must not
+            # stay on the books: nothing can ever free them.
+            assert prof.tape_bytes == 0
+
+    def test_backward_raise_frees_the_tape(self):
+        from repro.profiling import profile
+
+        x = Tensor(np.array([0.0, 4.0]), requires_grad=True)
+        with profile() as prof:
+            with detect_anomaly():
+                loss = x.sqrt().sum()
+                assert prof.tape_bytes > 0
+                # sqrt'(0) = inf: the backward anomaly check raises
+                # mid-walk, after some gradients have been deposited.
+                with pytest.raises(AnomalyError), \
+                        np.errstate(divide="ignore"):
+                    loss.backward()
+            assert prof.tape_bytes == 0
+
+    def test_retry_after_backward_raise_is_an_explicit_error(self):
+        # A partially-backpropagated graph has already deposited into
+        # some nodes; a silent retry would double-count.  The tape is
+        # freed in the raise path, so the retry fails loudly instead.
+        x = Tensor(np.array([0.0, 4.0]), requires_grad=True)
+        with detect_anomaly():
+            loss = x.sqrt().sum()
+            with pytest.raises(AnomalyError), np.errstate(divide="ignore"):
+                loss.backward()
+        with pytest.raises(RuntimeError, match="freed graph"):
+            loss.backward()
+
+    def test_retain_graph_survives_a_backward_raise(self):
+        # retain_graph=True opts out of the free — the caller asked to
+        # keep the tape, raise or no raise.
+        x = Tensor(np.array([0.0, 4.0]), requires_grad=True)
+        with detect_anomaly():
+            loss = x.sqrt().sum()
+            with pytest.raises(AnomalyError), np.errstate(divide="ignore"):
+                loss.backward(retain_graph=True)
+        with np.errstate(divide="ignore"):
+            loss.backward(retain_graph=True)  # still alive
