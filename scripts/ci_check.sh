@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests plus smoke-mode perf benchmarks, so every run
 # produces fresh perf snapshots (BENCH_profiling.json,
-# BENCH_throughput.json).  The throughput bench doubles as a perf
-# regression gate: it fails unless the float32 + in-place-optimizer
-# path is faster than the float64 baseline.
+# BENCH_throughput.json, BENCH_parallel.json).  The throughput bench
+# doubles as a perf regression gate: it fails unless the float32 +
+# in-place-optimizer path is faster than the float64 baseline; the
+# parallel bench gates the worker pool's gradient-equivalence contract
+# (and its 4-worker speedup, on hosts with the cores for it).
 #
 #   scripts/ci_check.sh            # from anywhere inside the repo
 set -euo pipefail
@@ -38,5 +40,17 @@ echo "== train-throughput bench (smoke) =="
 # the baseline and the guarded path to stay within loose bounds.
 python benchmarks/bench_train_throughput.py --smoke --min-speedup 1.1 \
     --max-overhead-pct 10 --out BENCH_throughput.json
+
+echo "== data-parallel smoke fit (2 workers) =="
+# End-to-end worker-pool exercise through the real CLI: forked
+# replicas, shared-memory allreduce, sentinel + telemetry, clean drain.
+python -m repro train MUSE-Net --profile ci --dtype float32 --workers 2
+
+echo "== parallel-scaling bench (smoke) =="
+# Always gates gradient equivalence (reduced == single-process batch
+# gradient at 4 workers); the 2.5x speedup gate self-disables on hosts
+# with < 4 CPUs and records the reason in the snapshot instead.
+python benchmarks/bench_parallel_scaling.py --mode smoke \
+    --min-speedup 2.5 --out BENCH_parallel.json
 
 echo "ci_check: OK"

@@ -26,6 +26,7 @@ from repro.baselines import BASELINE_NAMES
 from repro.core import VARIANT_NAMES
 from repro.data import DATASET_NAMES, load_dataset
 from repro.data.io import save_dataset
+from repro.parallel import ParallelWorkerError
 from repro.training import (
     CheckpointCorruptError,
     DivergenceError,
@@ -102,6 +103,8 @@ def _train_overrides(args):
         overrides["resume"] = True
     if getattr(args, "detect_anomaly", False):
         overrides["detect_anomaly"] = True
+    if getattr(args, "workers", None) is not None:
+        overrides["workers"] = args.workers
     return overrides or None
 
 
@@ -132,6 +135,12 @@ def _cmd_train(args):
             counts = ", ".join(f"{kind}: {n}" for kind, n
                                in sorted(history.sentinel["counts"].items()))
             print(f"sentinel [{history.sentinel['policy']}] triggered — {counts}")
+        if history.parallel:
+            par = history.parallel
+            print(f"parallel: {par['workers']} workers, "
+                  f"allreduce {par['reduce_s']:.2f}s over "
+                  f"{par['reduce_count']} steps, "
+                  f"prefetch stall {par['prefetch_stall_s']:.2f}s")
         if history.interrupted:
             print("run interrupted; resume with --resume and the same "
                   "--checkpoint-dir")
@@ -302,6 +311,9 @@ def build_parser():
     p.add_argument("--detect-anomaly", action="store_true",
                    help="run under detect_anomaly() to pinpoint the op "
                         "introducing a NaN/Inf (slow; debugging only)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="data-parallel worker processes (default: 0, "
+                        "single-process; see docs/performance.md)")
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("evaluate",
@@ -371,6 +383,11 @@ def main(argv=None):
         return 1
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ParallelWorkerError as exc:
+        print(f"error: {exc}\nhint: rerun with --workers 0 to reproduce "
+              "single-process, or --detect-anomaly to localise a NaN/Inf",
+              file=sys.stderr)
         return 1
     except DivergenceError as exc:
         print(f"error: {exc}\nhint: retry with --sentinel skip_batch or "

@@ -40,6 +40,21 @@ class SampleBatch:
             indices=self.indices[positions],
         )
 
+    def slice(self, start, stop):
+        """Contiguous sub-batch ``[start:stop)`` as zero-copy views.
+
+        Use for chunked evaluation loops: unlike :meth:`take` with a
+        range, no arrays are copied.  Callers must not mutate the
+        result, since it aliases this batch's storage.
+        """
+        return SampleBatch(
+            closeness=self.closeness[start:stop],
+            period=self.period[start:stop],
+            trend=self.trend[start:stop],
+            target=self.target[start:stop],
+            indices=self.indices[start:stop],
+        )
+
     def astype(self, dtype):
         """Cast the float arrays to ``dtype``; ``indices`` stay integer.
 

@@ -14,6 +14,12 @@ Rules (see ``docs/static_analysis.md`` for the catalog):
   step allocation-free.
 * ``mutable-default`` — mutable default arguments (list/dict/set
   literals or constructor calls).
+* ``fork-discipline`` — direct process-forking primitives
+  (``os.fork``, ``multiprocessing.Process``/``Pool``/``get_context``)
+  outside :mod:`repro.parallel`.  The worker pool centralises fork
+  lifecycle, shared-memory cleanup, and signal handling; ad-hoc forks
+  elsewhere orphan children on interrupts and leak shared segments
+  (``src/repro/parallel`` is exempted via ``per-path-ignores``).
 
 Configuration lives in ``[tool.repro.lint]`` in ``pyproject.toml``;
 individual lines can be suppressed with a ``# lint: ignore[rule]``
@@ -35,7 +41,7 @@ __all__ = ["LintFinding", "LintConfig", "LintReport", "lint_paths",
            "load_config", "ALL_RULES"]
 
 ALL_RULES = ("dtype-policy", "gradcheck-coverage", "optimizer-out",
-             "mutable-default")
+             "mutable-default", "fork-discipline")
 
 #: numpy constructors that allocate *new* float arrays with a float64
 #: default.  ``*_like``/``asarray`` variants inherit their input dtype
@@ -48,6 +54,10 @@ _OUT_REQUIRED_FUNCS = frozenset(
     {"add", "subtract", "multiply", "divide", "true_divide", "sqrt",
      "square", "power", "abs", "absolute", "maximum", "minimum", "exp",
      "log", "negative", "clip"})
+
+#: Process-creating entry points of :mod:`multiprocessing` that the
+#: fork-discipline rule flags outside ``repro.parallel``.
+_FORK_FUNCS = frozenset({"Process", "Pool", "get_context"})
 
 _DEFAULT_DTYPE_POLICY_PATHS = (
     "src/repro/tensor", "src/repro/nn", "src/repro/core",
@@ -165,6 +175,10 @@ class _FileLinter(ast.NodeVisitor):
         self.config = config
         self.findings = []
         self._update_depth = 0
+        # Names this file binds to multiprocessing (module aliases and
+        # from-imports of process-creating entry points).
+        self._mp_modules = {"multiprocessing"}
+        self._mp_names = {}
 
     def _suppressed(self, line, rule):
         if 1 <= line <= len(self.source_lines):
@@ -182,8 +196,43 @@ class _FileLinter(ast.NodeVisitor):
             rule=rule, path=self.rel_path, line=node.lineno,
             message=message))
 
+    # -- fork-discipline imports ---------------------------------------
+    def visit_Import(self, node):
+        for alias in node.names:
+            if alias.name.split(".")[0] == "multiprocessing":
+                self._mp_modules.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node):
+        if node.module and node.module.split(".")[0] == "multiprocessing":
+            for alias in node.names:
+                if alias.name in _FORK_FUNCS:
+                    self._mp_names[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def _check_fork_discipline(self, node):
+        func = node.func
+        origin = None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id == "os" and func.attr == "fork":
+                origin = "os.fork"
+            elif (func.value.id in self._mp_modules
+                    and func.attr in _FORK_FUNCS):
+                origin = f"multiprocessing.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in self._mp_names:
+            origin = f"multiprocessing.{self._mp_names[func.id]}"
+        if origin is not None:
+            self._emit(
+                "fork-discipline", node,
+                f"direct {origin} call outside repro.parallel; route "
+                "process-level parallelism through TrainConfig.workers / "
+                "repro.parallel.ParallelEngine so worker lifecycle, "
+                "shared-memory cleanup, and signal handling stay "
+                "centralised")
+
     # -- dtype-policy / optimizer-out ----------------------------------
     def visit_Call(self, node):
+        self._check_fork_discipline(node)
         attr = _np_attr(node)
         if attr in _DTYPE_POLICY_FUNCS and not _has_keyword(node, "dtype"):
             self._emit(

@@ -1,0 +1,38 @@
+"""Data-parallel training: fork pool, shared-memory allreduce, prefetch.
+
+Public surface:
+
+- :class:`~repro.parallel.engine.ParallelEngine` — the worker-pool step
+  engine the trainer drives when ``TrainConfig.workers >= 1``;
+- :func:`~repro.parallel.engine.worker_rank` — rank of the current
+  process inside a pool (``None`` in the parent);
+- :class:`~repro.parallel.engine.ParallelWorkerError` — a worker
+  raised or died;
+- :func:`~repro.parallel.blas.limit_blas_threads` — per-process BLAS
+  thread cap (applied inside every worker);
+- :func:`~repro.parallel.sharding.shard_bounds` /
+  :func:`~repro.parallel.sharding.shard_weights` /
+  :func:`~repro.parallel.sharding.epoch_batches` — the deterministic
+  sharding contract (pure functions; see their module docstring for the
+  equivalence guarantee).
+
+Process discipline: this package is the only place in the codebase that
+may fork (``repro lint`` enforces a ``fork-discipline`` rule); all
+other code requests parallelism through ``TrainConfig.workers``.
+"""
+
+from repro.parallel.blas import limit_blas_threads
+from repro.parallel.engine import ParallelEngine, ParallelWorkerError, worker_rank
+from repro.parallel.sharding import epoch_batches, shard_bounds, shard_weights
+from repro.parallel.shm import SharedArrayBlock
+
+__all__ = [
+    "ParallelEngine",
+    "ParallelWorkerError",
+    "worker_rank",
+    "limit_blas_threads",
+    "shard_bounds",
+    "shard_weights",
+    "epoch_batches",
+    "SharedArrayBlock",
+]

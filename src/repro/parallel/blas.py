@@ -1,0 +1,110 @@
+"""BLAS thread guard: pin each worker to one BLAS thread.
+
+Data-parallel workers each run the full numpy/BLAS stack; if every
+replica also spins up a BLAS thread pool, ``workers x blas_threads``
+threads fight over the same cores and throughput *drops* below the
+single-process baseline (classic oversubscription).  The guard caps the
+BLAS pool of the *current* process at ``n`` threads, trying, in order:
+
+1. ``threadpoolctl`` (if installed) — covers OpenBLAS, MKL, and BLIS;
+2. the C entry points of already-loaded BLAS libraries via
+   ``ctypes`` (``openblas_set_num_threads`` / ``MKL_Set_Num_Threads``);
+3. the standard environment variables (``OMP_NUM_THREADS`` etc.) — a
+   best-effort fallback that only affects libraries initialised *after*
+   the call.
+
+The engine calls this inside every forked worker before its first
+compute step and reports which mechanism took effect in the pool's
+telemetry, so a silent fallback is visible rather than a mystery
+slowdown.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+
+__all__ = ["limit_blas_threads"]
+
+_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def limit_blas_threads(n=1):
+    """Cap this process's BLAS thread pools at ``n``; returns a description.
+
+    Never raises: thread limiting is an optimisation, and a worker that
+    cannot limit its pool must still train correctly.  The returned
+    string names the mechanism that succeeded (``"threadpoolctl"``,
+    ``"openblas_set_num_threads"``, ``"mkl_set_num_threads"``, or
+    ``"env"`` for the environment-variable fallback).
+    """
+    n = int(n)
+    if n < 1:
+        raise ValueError(f"BLAS thread cap must be >= 1; got {n}")
+    try:
+        import threadpoolctl
+    except ImportError:
+        pass
+    else:
+        try:
+            threadpoolctl.threadpool_limits(limits=n)
+            return "threadpoolctl"
+        except Exception:  # pragma: no cover - library-internal failure
+            pass
+    for handle, origin in _candidate_handles():
+        for symbol in _SET_THREADS_SYMBOLS:
+            try:
+                getattr(handle, symbol)(n)
+                return f"{symbol}@{origin}"
+            except AttributeError:
+                continue
+            except Exception:  # pragma: no cover - ABI surprise
+                continue
+    for var in _ENV_VARS:
+        os.environ[var] = str(n)
+    return "env"
+
+
+#: Known spellings of the "set BLAS thread count" entry point across
+#: OpenBLAS builds (plain, ILP64-suffixed, scipy-openblas-prefixed,
+#: GotoBLAS legacy) and MKL.
+_SET_THREADS_SYMBOLS = (
+    "openblas_set_num_threads",
+    "openblas_set_num_threads64_",
+    "scipy_openblas_set_num_threads",
+    "scipy_openblas_set_num_threads64_",
+    "goto_set_num_threads",
+    "MKL_Set_Num_Threads",
+)
+
+
+def _candidate_handles():
+    """Yield ``(ctypes handle, origin label)`` for BLAS-bearing libraries.
+
+    ``dlopen(NULL)`` covers globally-linked BLAS; pip wheels instead
+    bundle a private copy under ``numpy.libs``/``scipy.libs``, which is
+    already mapped into the process, so ``CDLL`` on it resolves the
+    loaded copy rather than loading a second one.
+    """
+    try:
+        yield ctypes.CDLL(None), "process"
+    except OSError:  # pragma: no cover - static/embedded interpreters
+        pass
+    import glob
+
+    import numpy as np
+
+    site_dir = os.path.dirname(os.path.dirname(np.__file__))
+    for libs_dir in ("numpy.libs", "scipy.libs"):
+        pattern = os.path.join(site_dir, libs_dir, "*blas*.so*")
+        for path in sorted(glob.glob(pattern)):
+            try:
+                yield ctypes.CDLL(path), os.path.basename(path)
+            except OSError:  # pragma: no cover - unloadable stub
+                continue

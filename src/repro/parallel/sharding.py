@@ -1,0 +1,66 @@
+"""Deterministic batch sharding for data-parallel training.
+
+The contract that makes the parallel engine's gradients reproducible is
+entirely contained in these pure functions:
+
+- the *epoch order* is drawn from the trainer's rng exactly the way the
+  single-process path draws it (one ``rng.shuffle`` per epoch), so the
+  sequence of global batches is identical at every worker count;
+- each global batch is split into **contiguous, order-preserving**
+  per-worker shards (:func:`shard_bounds`), so concatenating the shards
+  in rank order reconstructs the single-process batch sample-for-sample;
+- each worker scales its shard-mean gradient by ``n_w / N``
+  (:func:`shard_weights`), so the rank-ordered sum the parent computes
+  equals the batch-mean gradient the single-process path would have
+  produced, up to float summation tolerance — uneven tails included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["shard_bounds", "shard_weights", "epoch_batches"]
+
+
+def shard_bounds(n, workers):
+    """Split ``n`` samples into ``workers`` contiguous ``(start, stop)`` shards.
+
+    The split is balanced (sizes differ by at most one, larger shards
+    first) and order-preserving: concatenating ``range(start, stop)``
+    over ranks yields ``range(n)`` exactly.  With ``n < workers`` the
+    trailing shards are empty (``start == stop``).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1; got {workers}")
+    if n < 0:
+        raise ValueError(f"n must be >= 0; got {n}")
+    base, rem = divmod(n, workers)
+    bounds = []
+    start = 0
+    for rank in range(workers):
+        size = base + (1 if rank < rem else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+def shard_weights(bounds, n):
+    """Per-shard averaging weights ``n_w / n`` for a batch of ``n`` samples.
+
+    Weighting each worker's shard-mean gradient by its weight and
+    summing reconstructs the batch mean: ``sum(w_i * mean_i) == mean``.
+    Empty shards get weight 0; an empty batch returns all zeros.
+    """
+    if n <= 0:
+        return [0.0 for _ in bounds]
+    return [(stop - start) / n for start, stop in bounds]
+
+def epoch_batches(order, batch_size):
+    """Yield the epoch's global batches as index arrays, in order.
+
+    Mirrors :func:`repro.data.windows.iterate_batches` exactly: the
+    caller shuffles ``order`` with the training rng, and this slices it
+    into consecutive ``batch_size`` chunks (last one possibly short).
+    """
+    order = np.asarray(order)
+    for start in range(0, len(order), batch_size):
+        yield order[start:start + batch_size]

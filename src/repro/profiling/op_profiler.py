@@ -87,6 +87,12 @@ class OpProfiler:
         self.grad_alloc_bytes = 0
         self.optimizer_alloc_bytes = 0
         self.optimizer_steps = 0
+        # Data-parallel counters (repro.parallel): time spent in the
+        # parent's shared-memory gradient allreduce, and time the step
+        # loop stalled waiting on the prefetch ring.
+        self.parallel_steps = 0
+        self.parallel_reduce_s = 0.0
+        self.prefetch_stall_s = 0.0
         self._last = time.perf_counter()
 
     # -- hooks called by the tensor core ------------------------------
@@ -131,6 +137,12 @@ class OpProfiler:
         self.optimizer_steps += 1
         self.optimizer_alloc_bytes += alloc_bytes
 
+    def _record_parallel_step(self, reduce_seconds, stall_seconds):
+        """One data-parallel step: allreduce time + prefetch stall."""
+        self.parallel_steps += 1
+        self.parallel_reduce_s += reduce_seconds
+        self.prefetch_stall_s += stall_seconds
+
     # -- reading results ----------------------------------------------
     @property
     def total_forward_s(self):
@@ -150,6 +162,9 @@ class OpProfiler:
         self.grad_alloc_bytes = 0
         self.optimizer_alloc_bytes = 0
         self.optimizer_steps = 0
+        self.parallel_steps = 0
+        self.parallel_reduce_s = 0.0
+        self.prefetch_stall_s = 0.0
         self.mark()
 
     def as_dict(self):
@@ -162,6 +177,9 @@ class OpProfiler:
             "grad_alloc_bytes": self.grad_alloc_bytes,
             "optimizer_alloc_bytes": self.optimizer_alloc_bytes,
             "optimizer_steps": self.optimizer_steps,
+            "parallel_steps": self.parallel_steps,
+            "parallel_reduce_s": self.parallel_reduce_s,
+            "prefetch_stall_s": self.prefetch_stall_s,
         }
 
     def summary(self, limit=12):
@@ -206,6 +224,15 @@ def format_op_summary(op_profile, limit=12):
         lines.append(
             f"optimizer: {steps} step(s), {opt_bytes / 2**20:.2f} MiB "
             f"allocated ({opt_bytes / steps / 2**10:.1f} KiB/step)"
+        )
+    par_steps = op_profile.get("parallel_steps", 0)
+    if par_steps:
+        reduce_s = op_profile.get("parallel_reduce_s", 0.0)
+        stall_s = op_profile.get("prefetch_stall_s", 0.0)
+        lines.append(
+            f"parallel: {par_steps} step(s), reduce "
+            f"{reduce_s * 1e3:.2f} ms ({reduce_s / par_steps * 1e3:.3f} "
+            f"ms/step), prefetch stall {stall_s * 1e3:.2f} ms"
         )
     return "\n".join(lines)
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from repro.tensor.tensor import Tensor, as_tensor
+from repro.tensor.tensor import Tensor, as_tensor, is_grad_enabled
 
 __all__ = ["conv2d", "avg_pool2d", "max_pool2d", "global_avg_pool2d"]
 
@@ -115,7 +115,13 @@ def avg_pool2d(x, kernel_size, stride=None):
 
 
 def max_pool2d(x, kernel_size, stride=None):
-    """Max pooling; ties split the gradient evenly."""
+    """Max pooling; ties split the gradient evenly.
+
+    The 6-D tie mask and gradient-share arrays (``kh * kw`` times the
+    input's footprint) are only materialised when a backward closure
+    will actually be recorded — under ``no_grad()`` or for detached
+    inputs the forward allocates nothing beyond the pooled output.
+    """
     x = as_tensor(x)
     kh, kw = _pair(kernel_size)
     sh, sw = _pair(stride if stride is not None else kernel_size)
@@ -124,17 +130,20 @@ def max_pool2d(x, kernel_size, stride=None):
     w_out = (w - kw) // sw + 1
     windows = sliding_window_view(x.data, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
     out = windows.max(axis=(4, 5))
-    mask = windows == out[..., None, None]
-    counts = mask.sum(axis=(4, 5), keepdims=True)
-    share = mask / counts
 
-    def backward(grad):
-        grad_x = np.zeros_like(x.data)
-        weighted = grad[..., None, None] * share
-        for p in range(kh):
-            for q in range(kw):
-                grad_x[:, :, p:p + h_out * sh:sh, q:q + w_out * sw:sw] += weighted[..., p, q]
-        x._accumulate_grad(grad_x)
+    backward = None
+    if is_grad_enabled() and x.requires_grad:
+        mask = windows == out[..., None, None]
+        counts = mask.sum(axis=(4, 5), keepdims=True)
+        share = mask / counts
+
+        def backward(grad):
+            grad_x = np.zeros_like(x.data)
+            weighted = grad[..., None, None] * share
+            for p in range(kh):
+                for q in range(kw):
+                    grad_x[:, :, p:p + h_out * sh:sh, q:q + w_out * sw:sw] += weighted[..., p, q]
+            x._accumulate_grad(grad_x)
 
     return Tensor._from_op(out, (x,), backward, name="max_pool2d")
 

@@ -37,6 +37,9 @@ class History:
     peak_tape_bytes: int = 0
     op_profile: dict = None
     sentinel: dict = None
+    # Data-parallel run telemetry (ParallelEngine.telemetry()): worker
+    # count, allreduce time, prefetch stalls, per-worker BLAS pinning.
+    parallel: dict = None
 
     @property
     def epochs_run(self):
@@ -77,6 +80,8 @@ class History:
                 f"(mean {mean_bps:.1f} batches/s")
         if self.peak_tape_bytes:
             line += f", peak tape {self.peak_tape_bytes / 2**20:.2f} MiB"
+        if self.parallel:
+            line += f", {self.parallel.get('workers', '?')} workers"
         line += ")"
         if self.stopped_early:
             line += " [stopped early]"

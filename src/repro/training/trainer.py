@@ -33,7 +33,7 @@ from repro.data.windows import SampleBatch, iterate_batches
 from repro.metrics import evaluate_flows, rmse
 from repro.optim import Adam, clip_grad_norm
 from repro.profiling import OpProfiler, profile
-from repro.tensor import Tensor, default_dtype, detect_anomaly
+from repro.tensor import Tensor, default_dtype, detect_anomaly, no_grad
 from repro.training.checkpoint import CheckpointManager, find_latest_checkpoint, \
     load_checkpoint
 from repro.training.history import History
@@ -109,8 +109,16 @@ class TrainConfig:
     checkpoint_every: int | None = None
     keep_last: int = 3
     resume: bool = False
+    # Data-parallel training: number of forked worker processes.  0
+    # (default) keeps the single-process path; >= 1 routes every epoch
+    # through repro.parallel's shared-memory worker pool (deterministic
+    # sharding, flat gradient allreduce, prefetching batch ring — see
+    # docs/performance.md).
+    workers: int = 0
 
     def __post_init__(self):
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0; got {self.workers}")
         if self.sentinel in ("off", "none"):
             self.sentinel = None
         if self.sentinel is not None and self.sentinel not in POLICIES:
@@ -258,6 +266,7 @@ class Trainer:
         parameters = self.optimizer.parameters
         global_step = self.optimizer._step_count
         snapshot = None
+        engine = None
         self._interrupt_requested = False
         old_handlers = self._install_signal_handlers()
 
@@ -273,6 +282,16 @@ class Trainer:
                     stack.enter_context(profile(profiler))
                 if config.detect_anomaly:
                     stack.enter_context(detect_anomaly())
+                if config.workers:
+                    # Fork the pool *after* the dtype cast and any resume
+                    # restore so the replicas inherit the final weights;
+                    # the ExitStack drains the workers on every exit path.
+                    from repro.parallel import ParallelEngine
+
+                    engine = stack.enter_context(ParallelEngine(
+                        self.model, self.optimizer, data.train,
+                        config.batch_size, config.workers, seed=config.seed,
+                        detect_anomaly=config.detect_anomaly))
                 for epoch in range(start_epoch, config.epochs):
                     self.model.train()
                     if sentinel is not None and sentinel.policy == "rollback":
@@ -282,42 +301,31 @@ class Trainer:
                     epoch_losses = []
                     epoch_regs = []
                     mid_epoch_stop = False
-                    for batch in iterate_batches(data.train, config.batch_size,
-                                                 rng=self._rng):
-                        self.optimizer.zero_grad()
-                        if profiler is not None:
-                            profiler.mark()  # don't attribute batch prep to op 1
-                        breakdown, _outputs = self.model.training_loss(
-                            batch, rng=self._rng)
-                        breakdown.total.backward()
-                        loss_value = breakdown.total.item()
-                        reg_value = breakdown.reg.item()
-                        if sentinel is not None:
-                            event = sentinel.check(loss_value, parameters,
-                                                   global_step, epoch)
-                            if event is not None:
-                                global_step += 1
-                                self._handle_divergence(sentinel, event,
-                                                        snapshot)
-                                if self._interrupt_requested:
-                                    mid_epoch_stop = True
-                                    break
-                                continue  # drop this batch's update
-                        if config.clip_norm:
-                            # Reuse the sentinel's norm (bit-identical
-                            # ordered vdot sum) instead of recomputing.
-                            clip_grad_norm(
-                                parameters, config.clip_norm,
-                                norm=None if sentinel is None
-                                else sentinel.last_norm)
-                        self.optimizer.step()
-                        global_step += 1
-                        epoch_losses.append(loss_value)
-                        epoch_regs.append(reg_value)
-                        num_batches += 1
-                        if self._interrupt_requested:
-                            mid_epoch_stop = True
-                            break
+                    if engine is None:
+                        steps = self._serial_steps(data, config, profiler)
+                    else:
+                        # Same rng draw as iterate_batches: one shuffle
+                        # per epoch, so the global sample order matches
+                        # the single-process path at any worker count.
+                        order = np.arange(len(data.train))
+                        self._rng.shuffle(order)
+                        steps = engine.epoch_steps(order, epoch)
+                    try:
+                        for loss_value, reg_value in steps:
+                            step_done = self._fit_step_tail(
+                                loss_value, reg_value, sentinel, snapshot,
+                                parameters, config, global_step, epoch,
+                                epoch_losses, epoch_regs)
+                            global_step += 1
+                            if step_done:
+                                num_batches += 1
+                            if self._interrupt_requested:
+                                mid_epoch_stop = True
+                                break
+                    finally:
+                        # Breaking mid-epoch must stop the prefetch
+                        # producer / serial generator deterministically.
+                        steps.close()
 
                     if mid_epoch_stop:
                         # Don't record a partial epoch; the resumable
@@ -367,6 +375,8 @@ class Trainer:
 
         if sentinel is not None:
             history.sentinel = sentinel.report()
+        if engine is not None:
+            history.parallel = engine.telemetry()
         if profiler is not None:
             history.op_profile = profiler.as_dict()
             history.peak_tape_bytes = profiler.peak_tape_bytes
@@ -380,6 +390,49 @@ class Trainer:
             self.model.load_state_dict(best_state)
         self.model.eval()
         return history
+
+    def _serial_steps(self, data, config, profiler):
+        """Single-process step source: yields ``(loss, reg)`` per batch.
+
+        Each yield happens after ``backward()``, with the batch
+        gradients deposited on the parameters — the same post-state the
+        parallel engine presents after its allreduce, so the fit loop's
+        sentinel/clip/step tail is shared between the two paths.
+        """
+        for batch in iterate_batches(data.train, config.batch_size,
+                                     rng=self._rng):
+            self.optimizer.zero_grad()
+            if profiler is not None:
+                profiler.mark()  # don't attribute batch prep to op 1
+            breakdown, _outputs = self.model.training_loss(
+                batch, rng=self._rng)
+            breakdown.total.backward()
+            yield breakdown.total.item(), breakdown.reg.item()
+
+    def _fit_step_tail(self, loss_value, reg_value, sentinel, snapshot,
+                       parameters, config, global_step, epoch,
+                       epoch_losses, epoch_regs):
+        """Sentinel → clip → optimizer step, once gradients are in place.
+
+        Returns ``True`` when the update was applied (and the losses
+        recorded), ``False`` when the sentinel dropped the batch.
+        """
+        if sentinel is not None:
+            event = sentinel.check(loss_value, parameters, global_step,
+                                   epoch)
+            if event is not None:
+                self._handle_divergence(sentinel, event, snapshot)
+                return False
+        if config.clip_norm:
+            # Reuse the sentinel's norm (bit-identical ordered vdot
+            # sum) instead of recomputing.
+            clip_grad_norm(parameters, config.clip_norm,
+                           norm=None if sentinel is None
+                           else sentinel.last_norm)
+        self.optimizer.step()
+        epoch_losses.append(loss_value)
+        epoch_regs.append(reg_value)
+        return True
 
     def _handle_divergence(self, sentinel, event, snapshot):
         """Apply the sentinel's policy to a flagged step."""
@@ -396,14 +449,22 @@ class Trainer:
 
     # ------------------------------------------------------------------
     def predict_scaled(self, batch: SampleBatch):
-        """Model predictions in scaled ([-1, 1]) space, chunked."""
+        """Model predictions in scaled ([-1, 1]) space, chunked.
+
+        The whole chunk loop runs under :func:`~repro.tensor.no_grad`:
+        models whose ``predict`` doesn't guard itself (some baselines)
+        would otherwise record — and leak — an autodiff tape for every
+        evaluation batch.  Chunks are contiguous zero-copy views
+        (:meth:`SampleBatch.slice`), not fancy-index copies.
+        """
         self.model.eval()
         if self.dtype is not None and batch.target.dtype != self.dtype:
             batch = batch.astype(self.dtype)
         pieces = []
         size = self.config.eval_batch_size
-        for start in range(0, len(batch), size):
-            pieces.append(self.model.predict(batch.take(range(start, min(start + size, len(batch))))))
+        with no_grad():
+            for start in range(0, len(batch), size):
+                pieces.append(self.model.predict(batch.slice(start, start + size)))
         return np.concatenate(pieces, axis=0)
 
     def predict_flows(self, data: ForecastData, batch: SampleBatch):

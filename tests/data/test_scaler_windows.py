@@ -111,6 +111,30 @@ class TestBuildSamples:
         assert len(sub) == 2
         np.testing.assert_allclose(sub.target[1], batch.target[3])
 
+    def test_slice_matches_take_with_range(self):
+        mp, flows = make_setup()
+        batch = build_samples(flows, mp, np.arange(mp.min_index, mp.min_index + 6))
+        sliced = batch.slice(1, 4)
+        taken = batch.take(range(1, 4))
+        assert len(sliced) == 3
+        for field in ("closeness", "period", "trend", "target", "indices"):
+            np.testing.assert_array_equal(getattr(sliced, field),
+                                          getattr(taken, field))
+
+    def test_slice_is_a_view_take_is_a_copy(self):
+        # The eval chunk loop relies on slice being zero-copy; take's
+        # fancy indexing must keep copying (its callers mutate).
+        mp, flows = make_setup()
+        batch = build_samples(flows, mp, np.arange(mp.min_index, mp.min_index + 6))
+        assert np.shares_memory(batch.slice(0, 3).closeness, batch.closeness)
+        assert not np.shares_memory(batch.take([0, 1, 2]).closeness,
+                                    batch.closeness)
+
+    def test_slice_past_the_end_clamps(self):
+        mp, flows = make_setup()
+        batch = build_samples(flows, mp, np.arange(mp.min_index, mp.min_index + 6))
+        assert len(batch.slice(4, 100)) == 2  # like ndarray slicing
+
 
 class TestSplit:
     def test_partition_is_disjoint_and_ordered(self):

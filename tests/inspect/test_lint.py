@@ -165,7 +165,64 @@ class TestConfig:
         # docs/static_analysis.md documents these names; renaming one is
         # a breaking change for pyproject configs and suppressions.
         assert ALL_RULES == ("dtype-policy", "gradcheck-coverage",
-                             "optimizer-out", "mutable-default")
+                             "optimizer-out", "mutable-default",
+                             "fork-discipline")
+
+
+class TestForkDiscipline:
+    def test_multiprocessing_process_is_flagged(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import multiprocessing
+            proc = multiprocessing.Process(target=print)
+        """, rel="src/repro/training/loop.py")
+        assert [f.rule for f in report.findings] == ["fork-discipline"]
+        assert "repro.parallel" in report.findings[0].message
+
+    def test_module_alias_and_from_import_are_flagged(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import multiprocessing as mp
+            from multiprocessing import Pool as P
+            ctx = mp.get_context("fork")
+            pool = P(4)
+        """, rel="src/repro/training/loop.py")
+        assert [f.rule for f in report.findings] == ["fork-discipline"] * 2
+
+    def test_os_fork_is_flagged(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import os
+            pid = os.fork()
+        """, rel="src/repro/training/loop.py")
+        assert [f.rule for f in report.findings] == ["fork-discipline"]
+        assert "os.fork" in report.findings[0].message
+
+    def test_repro_parallel_is_exempt_via_per_path_ignores(self, tmp_path):
+        config = LintConfig(
+            disabled=frozenset({"gradcheck-coverage"}),
+            per_path_ignores={"src/repro/parallel": frozenset(
+                {"fork-discipline"})})
+        report = _lint_source(tmp_path, """
+            import multiprocessing
+            ctx = multiprocessing.get_context("fork")
+        """, rel="src/repro/parallel/engine.py", config=config)
+        assert report.ok
+
+    def test_non_forking_multiprocessing_use_passes(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import multiprocessing
+            alive = multiprocessing.active_children()
+            count = multiprocessing.cpu_count()
+        """, rel="src/repro/training/loop.py")
+        assert report.ok
+
+    def test_unrelated_process_name_passes(self, tmp_path):
+        # A local helper that happens to be called Process must not trip
+        # the rule: only names bound to multiprocessing count.
+        report = _lint_source(tmp_path, """
+            def Process(target):
+                return target
+            proc = Process(target=print)
+        """, rel="src/repro/training/loop.py")
+        assert report.ok
 
 
 class TestReportMechanics:

@@ -1,0 +1,13 @@
+"""Fixtures for the data-parallel engine suite: tiny prepared data."""
+
+import pytest
+
+from repro.data import load_dataset, prepare_forecast_data
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    """Small prepared ForecastData (16 train samples, 2 batches/epoch)."""
+    dataset = load_dataset("nyc-bike", scale="tiny")
+    return prepare_forecast_data(dataset, max_train_samples=16,
+                                 max_test_samples=8)

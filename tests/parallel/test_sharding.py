@@ -1,0 +1,104 @@
+"""Deterministic-sharding contract: every worker count partitions each
+epoch into the exact single-process sample order — contiguous shards, no
+duplicates, no drops, uneven tails included — and the shard weights
+reconstruct the batch mean."""
+
+import numpy as np
+import pytest
+
+from repro.data.windows import SampleBatch, iterate_batches
+from repro.parallel import epoch_batches, shard_bounds, shard_weights
+
+
+class TestShardBounds:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4, 5, 7, 8])
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 7, 8, 16, 17])
+    def test_partitions_range_exactly(self, n, workers):
+        bounds = shard_bounds(n, workers)
+        assert len(bounds) == workers
+        rebuilt = [i for start, stop in bounds for i in range(start, stop)]
+        assert rebuilt == list(range(n))  # contiguous, ordered, no dups/drops
+
+    @pytest.mark.parametrize("workers", [2, 3, 4, 5])
+    @pytest.mark.parametrize("n", [5, 9, 13, 17])
+    def test_balanced_larger_first(self, n, workers):
+        sizes = [stop - start for start, stop in shard_bounds(n, workers)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_short_tail_leaves_empty_shards(self):
+        bounds = shard_bounds(2, 4)
+        sizes = [stop - start for start, stop in bounds]
+        assert sizes == [1, 1, 0, 0]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            shard_bounds(4, 0)
+        with pytest.raises(ValueError):
+            shard_bounds(-1, 2)
+
+
+class TestShardWeights:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 5])
+    @pytest.mark.parametrize("n", [1, 4, 7, 16])
+    def test_weights_sum_to_one(self, n, workers):
+        bounds = shard_bounds(n, workers)
+        weights = shard_weights(bounds, n)
+        assert sum(weights) == pytest.approx(1.0)
+        for (start, stop), weight in zip(bounds, weights):
+            assert weight == (stop - start) / n
+
+    def test_weighted_shard_means_equal_batch_mean(self):
+        # The algebraic identity the allreduce relies on, checked on an
+        # uneven split: sum_w (n_w / n) * mean(shard_w) == mean(batch).
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=13)
+        bounds = shard_bounds(len(values), 4)
+        weights = shard_weights(bounds, len(values))
+        recombined = sum(w * values[start:stop].mean()
+                         for (start, stop), w in zip(bounds, weights) if w)
+        assert recombined == pytest.approx(values.mean(), abs=1e-12)
+
+    def test_empty_batch_gives_zero_weights(self):
+        assert shard_weights(shard_bounds(0, 3), 0) == [0.0, 0.0, 0.0]
+
+
+class TestEpochBatches:
+    def _toy_batch(self, n):
+        shape = (n, 2, 1, 2, 2)
+        return SampleBatch(
+            closeness=np.arange(np.prod(shape), dtype=float).reshape(shape),
+            period=np.zeros(shape),
+            trend=np.zeros(shape),
+            target=np.zeros((n, 1, 2, 2)),
+            indices=np.arange(n),
+        )
+
+    @pytest.mark.parametrize("n,batch_size", [(16, 8), (17, 8), (5, 2), (3, 4)])
+    def test_mirrors_iterate_batches(self, n, batch_size):
+        # The parallel path draws one shuffle from the trainer rng and
+        # slices it with epoch_batches; iterate_batches shuffles with
+        # the same rng and slices internally.  Same seed -> the batches
+        # must carry identical samples in identical order.
+        batch = self._toy_batch(n)
+        order = np.arange(n)
+        np.random.default_rng(7).shuffle(order)
+        parallel_batches = [idx.copy() for idx in epoch_batches(order, batch_size)]
+        serial_batches = list(iterate_batches(
+            batch, batch_size, rng=np.random.default_rng(7)))
+        assert len(parallel_batches) == len(serial_batches)
+        for idx, serial in zip(parallel_batches, serial_batches):
+            np.testing.assert_array_equal(batch.indices[idx], serial.indices)
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4, 6])
+    def test_epoch_partition_at_every_worker_count(self, workers):
+        # Concatenating every worker's shard of every batch, in rank and
+        # step order, must reproduce the epoch order sample-for-sample.
+        n, batch_size = 17, 8  # uneven tail batch of 1
+        order = np.arange(n)
+        np.random.default_rng(3).shuffle(order)
+        seen = []
+        for idx in epoch_batches(order, batch_size):
+            for start, stop in shard_bounds(len(idx), workers):
+                seen.extend(idx[start:stop])
+        np.testing.assert_array_equal(np.array(seen), order)

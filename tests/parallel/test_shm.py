@@ -1,0 +1,89 @@
+"""SharedArrayBlock: layout, aliasing, and teardown semantics."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SharedArrayBlock
+
+
+class TestSharedArrayBlock:
+    def test_named_views_have_requested_shape_and_dtype(self):
+        block = SharedArrayBlock({
+            "params": ((6,), np.float32),
+            "mask": ((2, 3), np.uint8),
+        })
+        try:
+            assert block["params"].shape == (6,)
+            assert block["params"].dtype == np.float32
+            assert block["mask"].shape == (2, 3)
+            assert block["mask"].dtype == np.uint8
+        finally:
+            block.close()
+
+    def test_zero_fill(self):
+        block = SharedArrayBlock({"grads": ((3, 4), np.float64)}, zero=True)
+        try:
+            assert not block["grads"].any()
+        finally:
+            block.close()
+
+    def test_views_share_one_segment(self):
+        # Writing through a derived view must be visible through the
+        # block's own view: both alias the same mapping, which is what
+        # lets forked workers and the parent exchange gradients with no
+        # copies.
+        block = SharedArrayBlock({"grads": ((2, 4), np.float64)}, zero=True)
+        try:
+            row = block["grads"][1]
+            row[...] = 7.0
+            assert block["grads"][1].sum() == 28.0
+            assert block["grads"][0].sum() == 0.0
+        finally:
+            block.close()
+
+    def test_mixed_dtype_arrays_do_not_overlap(self):
+        block = SharedArrayBlock({
+            "a": ((3,), np.uint8),
+            "b": ((2,), np.float64),  # needs 8-byte alignment after 3 bytes
+        })
+        try:
+            block["a"][...] = 255
+            block["b"][...] = 1.5
+            np.testing.assert_array_equal(block["a"], [255, 255, 255])
+            np.testing.assert_array_equal(block["b"], [1.5, 1.5])
+        finally:
+            block.close()
+
+    def test_close_is_idempotent(self):
+        block = SharedArrayBlock({"x": ((4,), np.float64)})
+        block.close()
+        block.close()  # second call must be a no-op, not an error
+        assert block.arrays == {}
+
+    def test_nbytes_covers_spec(self):
+        block = SharedArrayBlock({"x": ((8,), np.float64)})
+        try:
+            assert block.nbytes >= 64
+        finally:
+            block.close()
+
+    def test_empty_spec_is_valid(self):
+        block = SharedArrayBlock({})
+        block.close()
+
+
+class TestLimitBlasThreads:
+    def test_returns_mechanism_description(self):
+        from repro.parallel import limit_blas_threads
+
+        mode = limit_blas_threads(1)
+        assert isinstance(mode, str) and mode
+        # Calling again must be safe (workers call it once each, tests
+        # may call it many times in one process).
+        assert isinstance(limit_blas_threads(1), str)
+
+    def test_rejects_zero_threads(self):
+        from repro.parallel import limit_blas_threads
+
+        with pytest.raises(ValueError):
+            limit_blas_threads(0)

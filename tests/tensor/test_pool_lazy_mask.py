@@ -1,0 +1,75 @@
+"""max_pool2d's backward state must be lazy (ISSUE 5 satellite).
+
+The tie mask and gradient-share arrays are ``kh * kw`` times the pooled
+output's footprint; computing them on a forward that will never run
+backward (evaluation under ``no_grad``, detached inputs) wastes both
+time and memory.  These tests pin the lazy behaviour with an actual
+allocation measurement — they fail on the eager seed implementation.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad
+from repro.tensor.conv import max_pool2d
+
+# (4, 8, 64, 64) float64 pooled 2x2: the eager mask+share pair costs
+# ~1.1 MiB (1 MiB float64 share + 128 KiB bool mask); the output is
+# 256 KiB.  A lazy forward must stay well under the share's footprint.
+_SHAPE = (4, 8, 64, 64)
+_SHARE_BYTES = int(np.prod(_SHAPE)) * 8  # 6-D share == input elems * kh*kw / (sh*sw)
+
+
+def _forward_peak_bytes(x):
+    """Peak python-side allocation during one max_pool2d forward."""
+    tracemalloc.start()
+    try:
+        out = max_pool2d(x, 2)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return out, peak
+
+
+class TestLazyMask:
+    def test_no_grad_forward_skips_mask_allocation(self):
+        x = Tensor(np.random.default_rng(0).normal(size=_SHAPE),
+                   requires_grad=True)
+        with no_grad():
+            out, peak = _forward_peak_bytes(x)
+        assert out._backward is None  # detached: nothing to run backward
+        assert peak < _SHARE_BYTES // 2
+
+    def test_detached_input_skips_mask_allocation(self):
+        x = Tensor(np.random.default_rng(0).normal(size=_SHAPE))  # no grad
+        out, peak = _forward_peak_bytes(x)
+        assert out._backward is None
+        assert peak < _SHARE_BYTES // 2
+
+    def test_grad_forward_still_allocates_and_backprops(self):
+        x = Tensor(np.random.default_rng(0).normal(size=_SHAPE),
+                   requires_grad=True)
+        out, peak = _forward_peak_bytes(x)
+        assert out._backward is not None
+        assert peak > _SHARE_BYTES  # mask + share really were materialised
+        out.sum().backward()
+        assert x.grad is not None
+        # Each pooling window routes exactly its output's gradient.
+        np.testing.assert_allclose(x.grad.sum(), out.data.size)
+
+    def test_tie_splitting_unchanged(self):
+        # Lazy construction must not change gradient semantics: a
+        # four-way tie splits the window's gradient evenly.
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        out = max_pool2d(x, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 2, 2), 0.25))
+
+    def test_values_identical_with_and_without_grad(self):
+        data = np.random.default_rng(1).normal(size=(2, 3, 8, 8))
+        with no_grad():
+            eval_out = max_pool2d(Tensor(data, requires_grad=True), 2)
+        train_out = max_pool2d(Tensor(data, requires_grad=True), 2)
+        np.testing.assert_array_equal(eval_out.data, train_out.data)

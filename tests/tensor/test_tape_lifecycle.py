@@ -158,7 +158,9 @@ class TestOpProfiler:
         snapshot = prof.as_dict()
         assert set(snapshot) == {"ops", "total_forward_s", "total_backward_s",
                                  "peak_tape_bytes", "grad_alloc_bytes",
-                                 "optimizer_alloc_bytes", "optimizer_steps"}
+                                 "optimizer_alloc_bytes", "optimizer_steps",
+                                 "parallel_steps", "parallel_reduce_s",
+                                 "prefetch_stall_s"}
         assert snapshot["grad_alloc_bytes"] > 0
         assert snapshot["ops"]["conv2d"]["calls"] == 1
         rendered = format_op_summary(snapshot, limit=2)
