@@ -1,0 +1,213 @@
+"""Serving latency benchmark: micro-batched throughput + correctness.
+
+Standalone harness (not a pytest-benchmark file): it replays the test
+split as single-sample forecast queries from concurrent client threads
+through :class:`repro.serve.ForecastServer` at three concurrency arms —
+1 (no coalescing possible), 8, and 32 — and records p50/p99 latency,
+queue wait, and queries/sec for each.
+
+Two gates:
+
+- **Correctness (always enforced)** — the served rows must equal the
+  offline evaluation path (``Trainer.predict_scaled``) within float
+  summation tolerance (1e-6 for float32, 1e-12 for float64), for a
+  batching-hostile request mix (odd counts, coalesced windows, an
+  oversized request).  This is the part of the serving contract that
+  holds on any host.
+- **Latency (hardware-gated)** — p99 latency at concurrency 8 must
+  stay under ``--max-p99-ms``.  Wall-clock is physics: on a single-CPU
+  host the number is still measured and recorded, but the gate is
+  skipped with an explicit ``skipped_reason`` in the snapshot instead
+  of failing CI (mirroring ``BENCH_parallel.json``).
+
+Emits a JSON snapshot (default ``BENCH_serve.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py --mode smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core import MuseConfig, MUSENet
+from repro.data import load_dataset, prepare_forecast_data
+from repro.serve import ForecastServer, ServeConfig
+from repro.training import TrainConfig, Trainer
+
+CONCURRENCIES = (1, 8, 32)
+
+
+def build_setup(scale, seed=0):
+    """Small MUSE-Net + prepared data, same shape as the parallel bench."""
+    dataset = load_dataset("nyc-bike", scale=scale)
+    data = prepare_forecast_data(dataset, max_train_samples=32,
+                                 max_test_samples=12)
+    config = MuseConfig.for_data(
+        data, rep_channels=8, latent_interactive=16, res_blocks=1,
+        plus_channels=2, decoder_hidden=32, seed=seed,
+    )
+    return MUSENet(config), data
+
+
+def replay(server, test, requests, concurrency):
+    """Replay the test split as single-sample queries; returns the rows."""
+    queries = [test.slice(i % len(test), i % len(test) + 1)
+               for i in range(requests)]
+    with ThreadPoolExecutor(max_workers=concurrency) as clients:
+        rows = list(clients.map(server.forecast, queries))
+    return np.concatenate(rows, axis=0)
+
+
+def time_concurrency(model, data, concurrency, requests, max_batch,
+                     max_wait_ms):
+    """One arm: qps + latency percentiles at a fixed client concurrency."""
+    config = ServeConfig(max_batch=max_batch, max_wait_ms=max_wait_ms)
+    with ForecastServer(model, config) as server:
+        replay(server, data.test, min(requests, 4), concurrency)  # warm-up
+        server.stats.reset_clock()
+        replay(server, data.test, requests, concurrency)
+        snap = server.snapshot()
+    return {
+        "concurrency": concurrency,
+        "requests": snap["requests"],
+        "batches": snap["batches"],
+        "queries_per_sec": snap["queries_per_sec"],
+        "latency_ms": snap["latency_ms"],
+        "queue_wait_ms": snap["queue_wait_ms"],
+        "batch_size": snap["batch_size"],
+    }
+
+
+def check_correctness(max_batch=8, concurrency=4):
+    """Served rows vs ``Trainer.predict_scaled``, both precisions.
+
+    The request mix is deliberately batching-hostile: 13 concurrent
+    single-sample queries (odd coalescing windows against max_batch=8)
+    plus one oversized 13-sample request (> max_batch, served alone in
+    pool-chunked forwards).  Every row must still match the offline
+    evaluation path bit-for-bit within float tolerance.
+    """
+    results = {}
+    dataset = load_dataset("nyc-bike", scale="tiny")
+    data = prepare_forecast_data(dataset, max_train_samples=16,
+                                 max_test_samples=13)
+    config = MuseConfig.for_data(
+        data, rep_channels=8, latent_interactive=16, res_blocks=1,
+        plus_channels=2, decoder_hidden=32, seed=0,
+    )
+    for dtype, atol in ((np.float32, 1e-6), (np.float64, 1e-12)):
+        model = MUSENet(config)
+        for param in model.parameters():
+            param.data = param.data.astype(dtype)
+        test = data.test.astype(dtype)
+        offline = Trainer(model, TrainConfig(epochs=0)).predict_scaled(test)
+
+        serve_config = ServeConfig(max_batch=max_batch, max_wait_ms=5.0)
+        with ForecastServer(model, serve_config) as server:
+            with ThreadPoolExecutor(max_workers=concurrency) as clients:
+                singles = list(clients.map(
+                    server.forecast,
+                    [test.slice(i, i + 1) for i in range(len(test))]))
+            oversized = server.forecast(test)  # 13 > max_batch
+        served = np.concatenate(singles, axis=0)
+        diff = max(float(np.abs(served - offline).max()),
+                   float(np.abs(oversized - offline).max()))
+        results[np.dtype(dtype).name] = {
+            "max_abs_diff": diff, "atol": atol, "pass": diff <= atol}
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=("smoke", "full"), default="full",
+                        help="smoke: tiny data, few requests; for CI")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="queries per arm (overrides --mode default)")
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="where to write the JSON snapshot")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="micro-batching cap for the latency arms")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="batching window for the latency arms")
+    parser.add_argument("--max-p99-ms", type=float, default=500.0,
+                        help="required p99 latency at concurrency 8 "
+                             "(enforced only on hosts with >= 2 CPUs)")
+    args = parser.parse_args(argv)
+    smoke = args.mode == "smoke"
+    requests = args.requests if args.requests is not None else (
+        16 if smoke else 96)
+    scale = "tiny" if smoke else "small"
+    cpu_count = os.cpu_count() or 1
+
+    model, data = build_setup(scale)
+    arms = {}
+    for concurrency in CONCURRENCIES:
+        arms[f"concurrency-{concurrency}"] = time_concurrency(
+            model, data, concurrency, requests, args.max_batch,
+            args.max_wait_ms)
+    correctness = check_correctness(max_batch=args.max_batch)
+
+    p99_at_8 = arms["concurrency-8"]["latency_ms"]["p99"]
+    latency_enforced = cpu_count >= 2
+    gates = {
+        "correctness": {
+            "enforced": True,
+            "pass": all(r["pass"] for r in correctness.values()),
+        },
+        "latency": {
+            "required_p99_ms": args.max_p99_ms,
+            "actual_p99_ms": p99_at_8,
+            "enforced": latency_enforced,
+            "skipped_reason": None if latency_enforced else
+            "wall-clock latency needs >= 2 CPUs (client threads contend "
+            f"with the forward on {cpu_count} CPU)",
+        },
+    }
+
+    snapshot = {
+        "bench": "serve_latency",
+        "mode": args.mode,
+        "scale": scale,
+        "cpu_count": cpu_count,
+        "requests_per_arm": requests,
+        "max_batch": args.max_batch,
+        "max_wait_ms": args.max_wait_ms,
+        "arms": arms,
+        "correctness": correctness,
+        "gates": gates,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+
+    for name, arm in arms.items():
+        lat = arm["latency_ms"]
+        print(f"{name:15s} {arm['queries_per_sec']:8.1f} qps   "
+              f"p50 {lat['p50']:7.2f} ms   p99 {lat['p99']:7.2f} ms   "
+              f"mean batch {arm['batch_size']['mean']:.2f}")
+    for name, r in correctness.items():
+        print(f"correctness[{name}]: max |diff| {r['max_abs_diff']:.3g} "
+              f"(atol {r['atol']:g}) {'OK' if r['pass'] else 'FAIL'}")
+    print(f"wrote {args.out}")
+
+    failed = False
+    if not gates["correctness"]["pass"]:
+        print("FAIL: served forecasts diverge from the offline "
+              "evaluation path", file=sys.stderr)
+        failed = True
+    if latency_enforced and p99_at_8 > args.max_p99_ms:
+        print(f"FAIL: p99 latency {p99_at_8:.1f} ms at concurrency 8 "
+              f"above allowed {args.max_p99_ms:.1f} ms", file=sys.stderr)
+        failed = True
+    elif not latency_enforced:
+        print(f"latency gate skipped: {gates['latency']['skipped_reason']}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests plus smoke-mode perf benchmarks, so every run
 # produces fresh perf snapshots (BENCH_profiling.json,
-# BENCH_throughput.json, BENCH_parallel.json).  The throughput bench
+# BENCH_throughput.json, BENCH_parallel.json, BENCH_serve.json).  The throughput bench
 # doubles as a perf regression gate: it fails unless the float32 +
 # in-place-optimizer path is faster than the float64 baseline; the
 # parallel bench gates the worker pool's gradient-equivalence contract
@@ -52,5 +52,12 @@ echo "== parallel-scaling bench (smoke) =="
 # with < 4 CPUs and records the reason in the snapshot instead.
 python benchmarks/bench_parallel_scaling.py --mode smoke \
     --min-speedup 2.5 --out BENCH_parallel.json
+
+echo "== serve-latency bench (smoke) =="
+# Always gates serving correctness (served rows == offline
+# predict_scaled at 1e-6/1e-12, under a batching-hostile request mix);
+# the p99 latency gate self-disables on single-CPU hosts and records
+# the reason in the snapshot instead.
+python benchmarks/bench_serve_latency.py --mode smoke --out BENCH_serve.json
 
 echo "ci_check: OK"

@@ -188,6 +188,95 @@ def _cmd_evaluate(args):
     return 0
 
 
+def _cmd_serve(args):
+    """Run a serving session: replay test traffic, report latency stats."""
+    import json
+    from concurrent.futures import ThreadPoolExecutor
+
+    import numpy as np
+
+    from repro.core import MUSENet
+    from repro.baselines import BaselineConfig, make_baseline
+    from repro.experiments.common import get_profile, muse_config
+    from repro.serve import ForecastServer, ServeConfig
+    from repro.training import Trainer
+
+    if args.requests < 1:
+        raise ValueError(f"--requests must be >= 1; got {args.requests}")
+    if args.concurrency < 1:
+        raise ValueError(f"--concurrency must be >= 1; got {args.concurrency}")
+    data = prepare(args.dataset, args.profile, horizon=args.horizon)
+    profile = get_profile(args.profile)
+    if args.method == "MUSE-Net":
+        model = MUSENet(muse_config(data, profile, seed=args.seed))
+    elif args.method in BASELINE_NAMES:
+        config = BaselineConfig.for_data(data, hidden=profile.hidden,
+                                         seed=args.seed)
+        model = make_baseline(args.method, config)
+    else:
+        print(f"unknown method {args.method!r}; choose MUSE-Net or one of "
+              f"{', '.join(BASELINE_NAMES)}", file=sys.stderr)
+        return 2
+
+    serve_config = ServeConfig(max_batch=args.max_batch,
+                               max_wait_ms=args.max_wait_ms,
+                               replicas=args.replicas,
+                               blas_threads=args.blas_threads)
+    test = data.test
+    server = ForecastServer(model, serve_config, scaler=data.scaler,
+                            template=test)
+    with server:
+        if args.checkpoint:
+            path = args.checkpoint
+            if os.path.isdir(path):
+                found = find_latest_checkpoint(path)
+                if found is None:
+                    print(f"error: no valid checkpoint found in {path!r} "
+                          "(corrupt archives are skipped); train with "
+                          "--checkpoint-dir first", file=sys.stderr)
+                    return 1
+                path = found
+            generation = server.load_checkpoint(path)
+            print(f"installed {path} (generation {generation})")
+
+        # Replay the test split as `--requests` single-sample queries
+        # from `--concurrency` concurrent clients.
+        requests = args.requests
+        queries = [test.slice(i % len(test), i % len(test) + 1)
+                   for i in range(requests)]
+        with ThreadPoolExecutor(max_workers=args.concurrency) as clients:
+            served = list(clients.map(server.forecast, queries))
+        served = np.concatenate(served, axis=0)
+        snap = server.snapshot()
+
+    # Correctness gate: served rows must match the offline eval path.
+    offline = Trainer(model).predict_scaled(test)
+    reference = offline[[i % len(test) for i in range(requests)]]
+    atol = 1e-6 if served.dtype == np.float32 else 1e-12
+    max_err = float(np.abs(served - reference).max())
+    snap["max_abs_error_vs_offline"] = max_err
+    if args.format == "json":
+        print(json.dumps(snap, indent=2))
+    else:
+        print(f"{args.method} serving on {args.dataset} [{args.profile}] — "
+              f"{snap['requests']} requests, {snap['batches']} batches, "
+              f"concurrency {args.concurrency}")
+        lat, wait = snap["latency_ms"], snap["queue_wait_ms"]
+        print(f"latency p50 {lat['p50']:.2f} ms  p99 {lat['p99']:.2f} ms  "
+              f"max {lat['max']:.2f} ms")
+        print(f"queue wait p50 {wait['p50']:.2f} ms  p99 {wait['p99']:.2f} ms")
+        print(f"throughput {snap['queries_per_sec']:.1f} qps  "
+              f"mean batch {snap['batch_size']['mean']:.2f}  "
+              f"generation {snap['generation']}")
+        print(f"served == offline predict_scaled: max|err| {max_err:.3g} "
+              f"(atol {atol:g})")
+    if max_err > atol:
+        print(f"error: served forecasts diverge from the offline eval path "
+              f"(max|err| {max_err:.3g} > atol {atol:g})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_experiment(args):
     runner = EXPERIMENTS.get(args.name)
     if runner is None:
@@ -327,6 +416,37 @@ def build_parser():
     p.add_argument("--horizon", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve forecasts with micro-batching; replay test traffic "
+             "and print p50/p99 latency and throughput")
+    p.add_argument("method", help="MUSE-Net or a baseline name")
+    p.add_argument("--checkpoint", default=None,
+                   help="hot-install this checkpoint (file, or a directory "
+                        "to pick the newest valid archive from) before "
+                        "serving; omit to serve the freshly seeded model")
+    p.add_argument("--dataset", default="nyc-bike", choices=DATASET_NAMES)
+    p.add_argument("--profile", default="ci", choices=tuple(PROFILES))
+    p.add_argument("--horizon", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--requests", type=int, default=64,
+                   help="number of single-sample queries to replay "
+                        "(default: 64)")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="concurrent client threads (default: 8)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="samples coalesced per forward (default: 32)")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="batching window after the first request in ms "
+                        "(default: 2.0)")
+    p.add_argument("--replicas", type=int, default=0,
+                   help="forked replica processes over one shared weight "
+                        "buffer; 0 = in-process forwards (default)")
+    p.add_argument("--blas-threads", type=int, default=1,
+                   help="BLAS thread cap inside each replica (default: 1)")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("experiment", help="regenerate one paper table/figure")
     p.add_argument("name", help=f"one of: {', '.join(EXPERIMENTS)}")

@@ -55,6 +55,27 @@ class SampleBatch:
             indices=self.indices[start:stop],
         )
 
+    @staticmethod
+    def concat(batches):
+        """Concatenate several batches along the sample axis.
+
+        Order is preserved: sample ``i`` of batch ``k`` lands after all
+        samples of batches ``0..k-1``.  This is how the serving
+        micro-batcher coalesces concurrent requests into one forward.
+        """
+        batches = list(batches)
+        if not batches:
+            raise ValueError("concat needs at least one batch")
+        if len(batches) == 1:
+            return batches[0]
+        return SampleBatch(
+            closeness=np.concatenate([b.closeness for b in batches], axis=0),
+            period=np.concatenate([b.period for b in batches], axis=0),
+            trend=np.concatenate([b.trend for b in batches], axis=0),
+            target=np.concatenate([b.target for b in batches], axis=0),
+            indices=np.concatenate([b.indices for b in batches], axis=0),
+        )
+
     def astype(self, dtype):
         """Cast the float arrays to ``dtype``; ``indices`` stay integer.
 

@@ -15,6 +15,38 @@ import numpy as np
 __all__ = ["rmse", "mae", "mape", "evaluate_flows", "EvalReport"]
 
 
+def _align_mask(mask, shape):
+    """Expand ``mask`` to ``shape``, resolving the axis it applies to.
+
+    Accepted mask shapes, in precedence order:
+
+    - the exact target shape (element mask);
+    - a prefix of the target shape, e.g. ``(N,)`` against ``(N, 2, H, W)``
+      (sample mask — aligned to the *leading* axes and repeated over the
+      rest);
+    - a suffix of the target shape, e.g. ``(H, W)`` (cell mask — numpy's
+      ordinary trailing broadcast).
+
+    Anything else is an error.  The prefix case must be resolved
+    explicitly: plain ``np.broadcast_to`` aligns trailing axes, so a
+    sample mask of shape ``(N,)`` would silently select *columns*
+    instead of samples whenever it broadcast at all.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape == shape:
+        return mask
+    if mask.ndim < len(shape) and mask.shape == shape[:mask.ndim]:
+        lead = mask.reshape(mask.shape + (1,) * (len(shape) - mask.ndim))
+        return np.broadcast_to(lead, shape)
+    try:
+        return np.broadcast_to(mask, shape)
+    except ValueError:
+        raise ValueError(
+            f"mask shape {mask.shape} matches neither a leading nor a "
+            f"trailing subset of the target shape {shape}"
+        ) from None
+
+
 def _validate(prediction, target, mask):
     prediction = np.asarray(prediction, dtype=float)
     target = np.asarray(target, dtype=float)
@@ -23,7 +55,7 @@ def _validate(prediction, target, mask):
             f"prediction shape {prediction.shape} != target shape {target.shape}"
         )
     if mask is not None:
-        mask = np.broadcast_to(np.asarray(mask, dtype=bool), target.shape)
+        mask = _align_mask(mask, target.shape)
         if not mask.any():
             raise ValueError("metric mask selects no elements")
         prediction = prediction[mask]
@@ -46,7 +78,11 @@ def mae(prediction, target, mask=None):
 def mape(prediction, target, mask=None, threshold=1.0):
     """Mean absolute percentage error over cells with ``|target| >= threshold``.
 
-    Returns ``nan`` when no cell clears the threshold.
+    When ``mask`` is given the percentage is averaged over the
+    *intersection* of the mask and the threshold validity set — a cell
+    must both be selected by the mask and clear the threshold to
+    contribute.  Returns ``nan`` when no selected cell clears the
+    threshold.
     """
     prediction, target = _validate(prediction, target, mask)
     valid = np.abs(target) >= threshold

@@ -60,6 +60,21 @@ class SharedArrayBlock:
             self.arrays[name] = view
         self._closed = False
 
+    @classmethod
+    def for_arrays(cls, arrays, copy=True):
+        """Build a block shaped like ``{name: ndarray}``, optionally copying.
+
+        With ``copy=True`` each source array's values are written into
+        the corresponding shared view — the one-time publication step a
+        serving pool performs before forking replicas.
+        """
+        block = cls({name: (np.shape(value), np.asarray(value).dtype)
+                     for name, value in arrays.items()})
+        if copy:
+            for name, value in arrays.items():
+                block.arrays[name][...] = value
+        return block
+
     def __getitem__(self, name):
         return self.arrays[name]
 

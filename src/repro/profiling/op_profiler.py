@@ -93,6 +93,13 @@ class OpProfiler:
         self.parallel_steps = 0
         self.parallel_reduce_s = 0.0
         self.prefetch_stall_s = 0.0
+        # Serving counters (repro.serve): micro-batched forwards run by
+        # a ForecastServer, wall time inside them, requests coalesced,
+        # and cumulative queue wait across those requests.
+        self.serve_batches = 0
+        self.serve_batch_s = 0.0
+        self.serve_requests = 0
+        self.serve_queue_wait_s = 0.0
         self._last = time.perf_counter()
 
     # -- hooks called by the tensor core ------------------------------
@@ -143,6 +150,13 @@ class OpProfiler:
         self.parallel_reduce_s += reduce_seconds
         self.prefetch_stall_s += stall_seconds
 
+    def _record_serve_batch(self, seconds, requests, queue_wait_s):
+        """One micro-batched serving forward over ``requests`` requests."""
+        self.serve_batches += 1
+        self.serve_batch_s += seconds
+        self.serve_requests += requests
+        self.serve_queue_wait_s += queue_wait_s
+
     # -- reading results ----------------------------------------------
     @property
     def total_forward_s(self):
@@ -165,6 +179,10 @@ class OpProfiler:
         self.parallel_steps = 0
         self.parallel_reduce_s = 0.0
         self.prefetch_stall_s = 0.0
+        self.serve_batches = 0
+        self.serve_batch_s = 0.0
+        self.serve_requests = 0
+        self.serve_queue_wait_s = 0.0
         self.mark()
 
     def as_dict(self):
@@ -180,6 +198,10 @@ class OpProfiler:
             "parallel_steps": self.parallel_steps,
             "parallel_reduce_s": self.parallel_reduce_s,
             "prefetch_stall_s": self.prefetch_stall_s,
+            "serve_batches": self.serve_batches,
+            "serve_batch_s": self.serve_batch_s,
+            "serve_requests": self.serve_requests,
+            "serve_queue_wait_s": self.serve_queue_wait_s,
         }
 
     def summary(self, limit=12):
@@ -233,6 +255,17 @@ def format_op_summary(op_profile, limit=12):
             f"parallel: {par_steps} step(s), reduce "
             f"{reduce_s * 1e3:.2f} ms ({reduce_s / par_steps * 1e3:.3f} "
             f"ms/step), prefetch stall {stall_s * 1e3:.2f} ms"
+        )
+    serve_batches = op_profile.get("serve_batches", 0)
+    if serve_batches:
+        requests = op_profile.get("serve_requests", 0)
+        batch_s = op_profile.get("serve_batch_s", 0.0)
+        wait_s = op_profile.get("serve_queue_wait_s", 0.0)
+        lines.append(
+            f"serve: {serve_batches} micro-batch(es) over {requests} "
+            f"request(s) ({requests / serve_batches:.1f} req/batch), "
+            f"forward {batch_s * 1e3:.2f} ms, queue wait "
+            f"{wait_s * 1e3:.2f} ms"
         )
     return "\n".join(lines)
 

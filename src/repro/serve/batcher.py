@@ -1,0 +1,178 @@
+"""Dynamic micro-batching: coalesce concurrent forecast requests.
+
+The dominant cost of a single-sample forward is per-op overhead (python
+dispatch, BLAS call setup), not arithmetic — the same observation that
+makes training batches cheap makes serving batches cheap.  The
+:class:`MicroBatcher` therefore runs one consumer thread over a request
+queue: the first waiting request opens a batching window, further
+requests arriving within ``max_wait_ms`` join it up to ``max_batch``
+total *samples*, and the coalesced :class:`~repro.data.windows.SampleBatch`
+goes through the forward function once.  Results are split back per
+request in arrival order and delivered through per-request futures.
+
+Correctness contract: because every model forward is sample-wise
+independent in eval mode (convolutions, matmuls, and eval-mode norm
+layers never mix batch rows), the slice of a coalesced forward equals
+the single-request forward to float tolerance — the property the
+``bench_serve_latency`` CI gate enforces against ``predict_scaled``.
+
+A request larger than ``max_batch`` is served alone (never split across
+forwards, so one checkpoint generation answers all of it); it simply
+closes its batching window immediately.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from time import perf_counter
+
+from repro.data.windows import SampleBatch
+
+__all__ = ["MicroBatcher"]
+
+
+class _Request:
+    __slots__ = ("batch", "future", "enqueued_at")
+
+    def __init__(self, batch):
+        self.batch = batch
+        self.future = Future()
+        self.enqueued_at = perf_counter()
+
+
+class MicroBatcher:
+    """Request queue + coalescing consumer around one forward function.
+
+    Parameters
+    ----------
+    forward:
+        ``forward(SampleBatch) -> ndarray`` mapping ``N`` samples to
+        ``N`` predictions (row ``i`` from sample ``i``).  Runs on the
+        consumer thread; exceptions are delivered to every future in
+        the affected batch.
+    max_batch:
+        Maximum coalesced samples per forward (>= 1).
+    max_wait_ms:
+        How long the first request of a window waits for company before
+        the batch is closed (>= 0; 0 disables coalescing-by-waiting —
+        whatever is already queued still batches).
+    on_batch:
+        Optional callback ``(requests, samples, forward_s, waits,
+        latencies)`` invoked after each batch completes — the server
+        wires :class:`~repro.serve.stats.LatencyStats` in here.
+    """
+
+    def __init__(self, forward, max_batch=32, max_wait_ms=2.0,
+                 on_batch=None):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1; got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0; got {max_wait_ms}")
+        self._forward = forward
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1e3
+        self._on_batch = on_batch
+        self._queue = queue.Queue()
+        self._closed = False
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve-batcher",
+                                        daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, batch: SampleBatch):
+        """Enqueue one request; returns a future resolving to its rows."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        if len(batch) == 0:
+            raise ValueError("cannot serve an empty request")
+        request = _Request(batch)
+        self._queue.put(request)
+        return request.future
+
+    def close(self):
+        """Stop the consumer after draining already-queued requests."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Consumer thread
+    # ------------------------------------------------------------------
+    def _collect(self):
+        """Block for the first request, then coalesce a window.
+
+        Returns the request list, or ``None`` on shutdown.  The
+        sentinel is re-queued when it arrives mid-window so the drain
+        still terminates the loop afterwards.
+        """
+        first = self._queue.get()
+        if first is None:
+            return None
+        window = [first]
+        samples = len(first.batch)
+        deadline = perf_counter() + self.max_wait
+        while samples < self.max_batch:
+            remaining = deadline - perf_counter()
+            try:
+                if remaining > 0:
+                    nxt = self._queue.get(timeout=remaining)
+                else:
+                    # Window expired: still absorb whatever is already
+                    # queued, but never wait for more.
+                    nxt = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if nxt is None:
+                self._queue.put(None)
+                break
+            if samples + len(nxt.batch) > self.max_batch:
+                # Would overflow the window: serve it in the next one.
+                self._queue.put(nxt)
+                break
+            window.append(nxt)
+            samples += len(nxt.batch)
+        return window
+
+    def _run(self):
+        while True:
+            window = self._collect()
+            if window is None:
+                return
+            self._serve(window)
+
+    def _serve(self, window):
+        started = perf_counter()
+        waits = [started - r.enqueued_at for r in window]
+        try:
+            merged = SampleBatch.concat([r.batch for r in window])
+            predictions = self._forward(merged)
+            if len(predictions) != len(merged):
+                raise RuntimeError(
+                    f"forward returned {len(predictions)} rows for "
+                    f"{len(merged)} samples")
+        except BaseException as exc:
+            for request in window:
+                request.future.set_exception(exc)
+            return
+        forward_s = perf_counter() - started
+        cursor = 0
+        for request in window:
+            n = len(request.batch)
+            request.future.set_result(predictions[cursor:cursor + n])
+            cursor += n
+        if self._on_batch is not None:
+            done = perf_counter()
+            latencies = [done - r.enqueued_at for r in window]
+            self._on_batch(len(window), cursor, forward_s, waits, latencies)

@@ -1,0 +1,144 @@
+"""Incremental closeness/period/trend window assembly for serving.
+
+Offline evaluation assembles samples with
+:func:`repro.data.windows.build_samples`, which re-slices the *entire*
+flow history for every target index.  A server cannot afford that: the
+stream is unbounded, and each forecast request needs only a bounded
+window of the past.  :class:`WindowCache` maintains exactly that window:
+
+- a **frame ring** holding the last ``periodicity.min_index`` observed
+  grid frames — the deepest lag any of the three sub-series reaches;
+- a **rolling closeness tensor** updated in place on every tick (shift
+  left, write the newest frame last), so the highest-rate sub-series
+  costs one frame copy per tick instead of a re-slice per request;
+- **period/trend gathers** resolved against the ring with precomputed
+  lag offsets when a sample is requested (each selected frame moves by
+  one tick per tick, so unlike closeness these cannot be maintained by
+  shifting — but the gather touches ``L_p + L_t`` small frames, never
+  the full history).
+
+The assembled windows are **bit-identical** to ``build_samples`` run
+from scratch over the full history at the same target index — the cache
+is an optimization, not an approximation — which
+``tests/serve/test_window_cache.py`` pins across period and trend
+boundaries.
+
+One cache covers every grid cell at once (frames are whole ``(2, H, W)``
+grids); per-cell forecasts slice the shared batched forward instead of
+assembling per-cell windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.periodicity import MultiPeriodicity
+from repro.data.windows import SampleBatch
+
+__all__ = ["WindowCache"]
+
+
+class WindowCache:
+    """Rolling multi-periodic window state for one flow stream.
+
+    Parameters
+    ----------
+    periodicity:
+        The :class:`~repro.data.periodicity.MultiPeriodicity` windowing
+        configuration (shared with training — the model expects the
+        same sub-series lengths it was fit with).
+    frame_shape:
+        Shape of one observed frame, ``(2, H, W)`` for grid flows.
+    dtype:
+        Frame dtype; defaults to the dtype of the first pushed frame.
+    """
+
+    def __init__(self, periodicity: MultiPeriodicity, frame_shape,
+                 dtype=None):
+        self.periodicity = periodicity
+        self.frame_shape = tuple(int(s) for s in frame_shape)
+        self.capacity = int(periodicity.min_index)
+        self._dtype = None if dtype is None else np.dtype(dtype)
+        self._ring = None       # (capacity,) + frame_shape
+        self._closeness = None  # (L_c,) + frame_shape, rolling
+        self._count = 0         # total frames observed
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self):
+        """Total ticks observed; also the next (forecast) target index."""
+        return self._count
+
+    @property
+    def next_index(self):
+        """The target interval the next :meth:`sample` forecasts."""
+        return self._count
+
+    @property
+    def ready(self):
+        """True once every sub-series window is fully populated."""
+        return self._count >= self.capacity
+
+    def _allocate(self, dtype):
+        self._dtype = np.dtype(dtype)
+        self._ring = np.zeros((self.capacity,) + self.frame_shape,
+                              dtype=self._dtype)
+        self._closeness = np.zeros(
+            (self.periodicity.len_closeness,) + self.frame_shape,
+            dtype=self._dtype)
+
+    # ------------------------------------------------------------------
+    def push(self, frame):
+        """Observe one tick; returns the count of frames seen so far."""
+        frame = np.asarray(frame)
+        if frame.shape != self.frame_shape:
+            raise ValueError(
+                f"frame shape {frame.shape} != expected {self.frame_shape}")
+        if self._ring is None:
+            self._allocate(self._dtype if self._dtype is not None
+                           else frame.dtype)
+        self._ring[self._count % self.capacity] = frame
+        # Rolling closeness: shift one slot left, newest frame last —
+        # matches Eq. (3)'s [i - L_c, ..., i - 1] ordering.
+        self._closeness[:-1] = self._closeness[1:]
+        self._closeness[-1] = frame
+        self._count += 1
+        return self._count
+
+    def extend(self, frames):
+        """Push a sequence of ticks (e.g. warm-up from stored history)."""
+        for frame in np.asarray(frames):
+            self.push(frame)
+        return self._count
+
+    # ------------------------------------------------------------------
+    def _gather(self, lags):
+        """Stack the ring frames at absolute indices ``next_index - lag``."""
+        positions = (self._count - lags) % self.capacity
+        return self._ring[positions]
+
+    def sample(self):
+        """The size-1 :class:`SampleBatch` forecasting :attr:`next_index`.
+
+        ``closeness``/``period``/``trend`` are exactly what
+        ``build_samples`` would produce for this target index from the
+        full history.  ``target`` is a zero placeholder — the target is
+        the unobserved interval being forecast — and ``indices`` carries
+        the target index.  The arrays are copies; callers may hold them
+        across subsequent :meth:`push` calls.
+        """
+        if not self.ready:
+            raise ValueError(
+                f"window not ready: {self._count} of {self.capacity} "
+                "warm-up ticks observed")
+        p = self.periodicity
+        i = self._count
+        period_lags = np.arange(p.len_period, 0, -1) * p.period_lag
+        trend_lags = np.arange(p.len_trend, 0, -1) * p.trend_lag
+        return SampleBatch(
+            closeness=self._closeness.copy()[None],
+            period=self._gather(period_lags)[None],
+            trend=self._gather(trend_lags)[None],
+            target=np.zeros((1,) + self.frame_shape, dtype=self._dtype),
+            indices=np.array([i]),
+        )

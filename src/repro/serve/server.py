@@ -1,0 +1,271 @@
+"""The forecast server: micro-batching + replicas + streaming windows.
+
+:class:`ForecastServer` is the facade the CLI, the latency benchmark,
+and embedding applications use.  It composes the serving subsystem:
+
+- a :class:`~repro.serve.batcher.MicroBatcher` coalescing concurrent
+  requests into one tape-free forward (``max_batch`` / ``max_wait_ms``);
+- optionally a :class:`~repro.serve.pool.ReplicaPool` of forked
+  replicas sharing one flat parameter buffer (``replicas >= 1``); with
+  ``replicas=0`` forwards run in-process, which is the right choice on
+  single-core hosts;
+- optionally a :class:`~repro.serve.cache.WindowCache` maintaining the
+  rolling closeness/period/trend windows of a live flow stream
+  (``periodicity`` given), so ``push_tick`` + ``forecast_next`` serve
+  next-interval forecasts without re-slicing history;
+- :class:`~repro.serve.stats.LatencyStats` and the active
+  :class:`~repro.profiling.OpProfiler`'s serve counters for
+  p50/p99/throughput instrumentation.
+
+Checkpoint hot-swap (:meth:`load_checkpoint`) installs verified weights
+with **one write** — into the shared flat buffer under the pool's
+dispatch lock, or into the in-process parameters under the forward
+lock — and bumps a generation counter.  In-flight requests complete on
+the generation they started with; no request is ever served a torn
+parameter state (see ``docs/serving.md`` for the protocol).
+
+Consistency contract: for any interleaving of concurrent requests, the
+served rows equal the single-request offline forward
+(``Trainer.predict_scaled``) to float tolerance — enforced in CI by
+``benchmarks/bench_serve_latency.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.windows import SampleBatch
+from repro.profiling import get_active_profiler
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import WindowCache
+from repro.serve.stats import LatencyStats
+from repro.tensor import no_grad
+from repro.training.checkpoint import read_weights
+
+__all__ = ["ForecastServer", "ServeConfig"]
+
+
+@dataclass
+class ServeConfig:
+    """Serving knobs (see ``docs/serving.md`` for tuning guidance)."""
+
+    max_batch: int = 32      # samples coalesced per forward
+    max_wait_ms: float = 2.0  # batching window after the first request
+    replicas: int = 0        # forked replicas; 0 = in-process forwards
+    blas_threads: int = 1    # BLAS cap inside each replica
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1; got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0; got {self.max_wait_ms}")
+        if self.replicas < 0:
+            raise ValueError(f"replicas must be >= 0; got {self.replicas}")
+        if self.blas_threads < 1:
+            raise ValueError(
+                f"blas_threads must be >= 1; got {self.blas_threads}")
+
+
+class ForecastServer:
+    """Serve forecasts from one model with micro-batching and hot swap.
+
+    Parameters
+    ----------
+    model:
+        A forecaster following the repo protocol
+        (``predict(SampleBatch) -> (N, 2, H, W)``).
+    config:
+        A :class:`ServeConfig`; defaults apply when omitted.
+    scaler:
+        Optional fitted :class:`~repro.data.scaler.MinMaxScaler`;
+        enables :meth:`forecast_flows` (flow units) and makes
+        :meth:`push_tick` accept raw flows.
+    periodicity:
+        Optional :class:`~repro.data.periodicity.MultiPeriodicity`;
+        enables the streaming API (:meth:`push_tick` /
+        :meth:`forecast_next`) through a :class:`WindowCache`.
+    frame_shape:
+        Frame shape for the stream cache, e.g. ``(2, H, W)``; required
+        with ``periodicity``.
+    template:
+        A representative :class:`SampleBatch` (any length) used to size
+        the replica pool's shared request slots; required when
+        ``config.replicas >= 1``.
+    """
+
+    def __init__(self, model, config: ServeConfig = None, scaler=None,
+                 periodicity=None, frame_shape=None, template=None):
+        self.model = model
+        self.config = config if config is not None else ServeConfig()
+        self.scaler = scaler
+        parameters = model.parameters() if hasattr(model, "parameters") else []
+        self._dtype = parameters[0].data.dtype if parameters else None
+        self.stats = LatencyStats()
+        self._forward_lock = threading.Lock()
+        self._generation = 0
+        self._pool = None
+        self._template = template
+        self._batcher = None
+        self._started = False
+        self._closed = False
+        self.cache = None
+        if periodicity is not None:
+            if frame_shape is None:
+                raise ValueError("periodicity requires frame_shape")
+            self.cache = WindowCache(periodicity, frame_shape,
+                                     dtype=self._dtype)
+        if self.config.replicas >= 1 and template is None:
+            raise ValueError(
+                "replicas >= 1 requires a template SampleBatch to size "
+                "the shared request slots")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Fork the replica pool (if any) and start the batcher."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        if hasattr(self.model, "eval"):
+            self.model.eval()
+        if self.config.replicas >= 1:
+            from repro.serve.pool import ReplicaPool
+
+            self._pool = ReplicaPool(
+                self.model, self._template, self.config.replicas,
+                self.config.max_batch,
+                blas_threads=self.config.blas_threads).start()
+        self._batcher = MicroBatcher(
+            self._forward, max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms, on_batch=self._on_batch)
+        self.stats.reset_clock()
+        return self
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def close(self):
+        """Drain pending requests, stop the batcher, drain the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._batcher is not None:
+            self._batcher.close()
+        if self._pool is not None:
+            self._pool.close()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _forward(self, batch: SampleBatch):
+        """One coalesced tape-free forward (batcher thread)."""
+        if self._dtype is not None and batch.target.dtype != self._dtype:
+            batch = batch.astype(self._dtype)
+        if self._pool is not None:
+            prediction, _generation = self._pool.predict(batch)
+            return prediction
+        with self._forward_lock:
+            with no_grad():
+                return np.asarray(self.model.predict(batch))
+
+    def _on_batch(self, requests, samples, forward_s, waits, latencies):
+        self.stats.record_batch(requests, samples, forward_s, waits,
+                                latencies)
+        profiler = get_active_profiler()
+        if profiler is not None:
+            profiler._record_serve_batch(forward_s, requests, sum(waits))
+
+    def submit(self, batch: SampleBatch):
+        """Enqueue a request; returns a future of its prediction rows."""
+        if not self._started or self._closed:
+            raise RuntimeError("server is not running; use it as a context "
+                               "manager or call start()")
+        return self._batcher.submit(batch)
+
+    def forecast(self, batch: SampleBatch):
+        """Blocking scaled-space forecast for ``batch``."""
+        return self.submit(batch).result()
+
+    def forecast_flows(self, batch: SampleBatch):
+        """Blocking forecast mapped back to flow units."""
+        if self.scaler is None:
+            raise ValueError("forecast_flows needs a fitted scaler")
+        return self.scaler.inverse_transform(self.forecast(batch))
+
+    # ------------------------------------------------------------------
+    # Streaming API
+    # ------------------------------------------------------------------
+    def push_tick(self, frame):
+        """Observe one stream tick; returns ticks seen so far.
+
+        With a ``scaler``, ``frame`` is raw flows and is scaled into
+        model space; otherwise it must already be scaled.
+        """
+        if self.cache is None:
+            raise ValueError("streaming needs periodicity + frame_shape")
+        if self.scaler is not None:
+            frame = self.scaler.transform(frame)
+        return self.cache.push(frame)
+
+    def forecast_next(self):
+        """Forecast the next unobserved interval from the cached windows.
+
+        Returns ``(prediction, index)`` — the scaled ``(2, H, W)``
+        forecast and the target interval index it is for.
+        """
+        if self.cache is None:
+            raise ValueError("streaming needs periodicity + frame_shape")
+        sample = self.cache.sample()
+        return self.forecast(sample)[0], int(sample.indices[0])
+
+    # ------------------------------------------------------------------
+    # Checkpoint hot swap
+    # ------------------------------------------------------------------
+    @property
+    def generation(self):
+        """Parameter generation: bumps exactly once per weight install."""
+        if self._pool is not None:
+            return self._pool.generation
+        return self._generation
+
+    def load_checkpoint(self, path):
+        """Hot-swap verified checkpoint weights; returns the new generation.
+
+        Inference-only: the archive needs no optimizer state.  The
+        weights are written **once**, in place — into the replica
+        pool's shared flat buffer (all replicas see the swap at their
+        next request) or into the in-process parameters — while no
+        forward is in flight, so a concurrent request stream observes
+        either the old or the new generation, never a mixture.
+        """
+        state = read_weights(path)
+        if self._pool is not None:
+            return self._pool.install(state)
+        with self._forward_lock:
+            self.model.load_state_dict(state)
+            self._generation += 1
+            return self._generation
+
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """JSON-able serving telemetry (latency stats + configuration)."""
+        snap = self.stats.snapshot()
+        snap.update({
+            "generation": self.generation,
+            "replicas": self.config.replicas,
+            "max_batch": self.config.max_batch,
+            "max_wait_ms": self.config.max_wait_ms,
+        })
+        if self._pool is not None:
+            snap["shared_mib"] = round(self._pool.shared_bytes / 2**20, 3)
+            snap["blas_modes"] = list(self._pool.blas_modes)
+        return snap

@@ -1,0 +1,93 @@
+"""Serving instrumentation: per-request latency + per-batch telemetry.
+
+:class:`LatencyStats` accumulates one sample per served request (queue
+wait + forward + dispatch) and one record per micro-batched forward.
+Percentiles are computed on demand over everything recorded so far, so
+the snapshot a benchmark takes after a load run covers the whole run.
+
+Thread safety: ``record_*`` is called from the batcher thread while
+``snapshot()`` may be called from any client thread, so mutation happens
+under a lock.  The recording path is two appends and a few float adds —
+cheap enough to sit on the serving hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+import numpy as np
+
+__all__ = ["LatencyStats"]
+
+
+class LatencyStats:
+    """Accumulates request latencies and micro-batch shapes."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._latencies = []      # seconds, one per completed request
+        self._queue_waits = []    # seconds, one per completed request
+        self._batch_sizes = []    # coalesced requests per forward
+        self._forward_s = 0.0     # cumulative model time across batches
+        self._started = perf_counter()
+        self._requests = 0
+        self._samples = 0
+
+    # -- recording (batcher thread) ------------------------------------
+    def record_batch(self, batch_requests, batch_samples, forward_seconds,
+                     queue_waits, latencies):
+        """One micro-batched forward: shape, model time, per-request times."""
+        with self._lock:
+            self._batch_sizes.append(batch_requests)
+            self._forward_s += forward_seconds
+            self._requests += batch_requests
+            self._samples += batch_samples
+            self._queue_waits.extend(queue_waits)
+            self._latencies.extend(latencies)
+
+    def reset_clock(self):
+        """Restart the wall-clock window ``snapshot()`` derives qps from."""
+        with self._lock:
+            self._started = perf_counter()
+
+    # -- reading -------------------------------------------------------
+    def snapshot(self):
+        """JSON-able summary: percentiles, throughput, batching shape."""
+        with self._lock:
+            latencies = np.asarray(self._latencies, dtype=float)
+            waits = np.asarray(self._queue_waits, dtype=float)
+            sizes = np.asarray(self._batch_sizes, dtype=float)
+            elapsed = perf_counter() - self._started
+            requests = self._requests
+            samples = self._samples
+            forward_s = self._forward_s
+        if len(latencies) == 0:
+            return {
+                "requests": 0, "samples": 0, "batches": 0,
+                "elapsed_s": elapsed, "queries_per_sec": 0.0,
+                "latency_ms": None, "queue_wait_ms": None,
+                "batch_size": None, "forward_s": forward_s,
+            }
+        return {
+            "requests": int(requests),
+            "samples": int(samples),
+            "batches": int(len(sizes)),
+            "elapsed_s": float(elapsed),
+            "queries_per_sec": float(requests / max(elapsed, 1e-9)),
+            "latency_ms": {
+                "p50": float(np.percentile(latencies, 50) * 1e3),
+                "p99": float(np.percentile(latencies, 99) * 1e3),
+                "max": float(latencies.max() * 1e3),
+                "mean": float(latencies.mean() * 1e3),
+            },
+            "queue_wait_ms": {
+                "p50": float(np.percentile(waits, 50) * 1e3),
+                "p99": float(np.percentile(waits, 99) * 1e3),
+            },
+            "batch_size": {
+                "mean": float(sizes.mean()),
+                "max": int(sizes.max()),
+            },
+            "forward_s": float(forward_s),
+        }

@@ -12,6 +12,7 @@ from repro.training.checkpoint import (
     CheckpointManager,
     find_latest_checkpoint,
     load_checkpoint,
+    read_weights,
     save_checkpoint,
     verify_checkpoint,
 )
@@ -21,7 +22,7 @@ from repro.training.rollout import direct_vs_recursive_rmse, recursive_forecast
 __all__ = [
     "History", "TrainConfig", "Trainer",
     "ConformalForecaster", "ensemble_predict", "interval_coverage",
-    "save_checkpoint", "load_checkpoint", "verify_checkpoint",
+    "save_checkpoint", "load_checkpoint", "read_weights", "verify_checkpoint",
     "CheckpointCorruptError", "CheckpointManager", "find_latest_checkpoint",
     "DivergenceError", "DivergenceSentinel", "SentinelEvent",
     "recursive_forecast", "direct_vs_recursive_rmse",

@@ -236,6 +236,28 @@ def verify_checkpoint(path):
     }
 
 
+def read_weights(path):
+    """Verified model weights from an archive, as ``{name: ndarray}``.
+
+    The serving hot-swap path (:mod:`repro.serve`) uses this to obtain
+    the state dict *without* touching any model, then installs it with
+    one in-place write into its (possibly shared) parameter buffers.
+    Raises the same corruption/version errors as :func:`load_checkpoint`.
+    """
+    archive = _read_verified(path)
+    version = int(archive["format_version"])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {version}")
+    weights = {
+        key[len("model/"):]: archive[key]
+        for key in archive if key.startswith("model/")
+    }
+    if not weights:
+        raise ValueError(
+            f"checkpoint {_normalize_path(path)!r} carries no model weights")
+    return weights
+
+
 def find_latest_checkpoint(directory):
     """Newest *valid* checkpoint in ``directory``, or ``None``.
 
@@ -266,22 +288,36 @@ def find_latest_checkpoint(directory):
     return None
 
 
-def load_checkpoint(path, model, optimizer):
+def load_checkpoint(path, model, optimizer=None):
     """Restore a verified snapshot in place; returns ``(history, epoch)``.
 
     ``history`` is ``None`` when the checkpoint carried none.  Raises
     :class:`CheckpointCorruptError` when the archive fails checksum or
     structural verification, and :class:`ValueError` when it is intact
     but does not match the given model/optimizer.
+
+    ``optimizer=None`` performs an **inference-only load**: the archive
+    needs no optimizer state (serving checkpoints may legitimately carry
+    none), nothing optimizer-related is restored, and the weights are
+    written *into the model's existing parameter buffers* — never
+    rebound to fresh arrays.  That last property is what lets a serving
+    replica pool (:mod:`repro.serve`) hot-swap a checkpoint with one
+    write into its shared flat parameter block: every forked replica
+    aliases the same mapping, so reallocating per-parameter copies here
+    would silently detach the pool.  Values are cast to each
+    parameter's current dtype on assignment; a training resume (with an
+    optimizer) instead recasts the parameters to the checkpointed
+    compute dtype.
     """
     archive = _read_verified(path)
     version = int(archive["format_version"])
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported checkpoint version {version}")
-    if "model_dtype" in archive:
+    if optimizer is not None and "model_dtype" in archive:
         # Restore the checkpointed compute precision: in-place
         # loading (`param.data[...] = value`) keeps the *current*
-        # dtype, so recast any drifted parameter first.
+        # dtype, so recast any drifted parameter first.  Skipped for
+        # inference-only loads, which must preserve buffer identity.
         saved_dtype = np.dtype(str(archive["model_dtype"]))
         for param in model.parameters():
             if (param.data.dtype.kind == "f"
@@ -292,6 +328,9 @@ def load_checkpoint(path, model, optimizer):
         key[len("model/"):]: archive[key]
         for key in archive if key.startswith("model/")
     })
+    if optimizer is None:
+        history, epoch = _load_history(archive), int(archive["epoch"])
+        return history, (None if epoch < 0 else epoch)
     optimizer.lr = float(archive["lr"])
     step_count = int(archive["step_count"])
 
@@ -338,30 +377,36 @@ def load_checkpoint(path, model, optimizer):
                 )
         optimizer._state[index] = state
 
-    history = None
-    if "history/train_loss" in archive:
-        history = History(
-            train_loss=list(archive["history/train_loss"]),
-            train_reg=list(archive["history/train_reg"]),
-            val_rmse=list(archive["history/val_rmse"]),
-        )
-        best_epoch, best_rmse = archive["history/best"]
-        history.best_epoch = int(best_epoch)
-        history.best_val_rmse = float(best_rmse)
-        if "history/stopped_early" in archive:
-            history.stopped_early = bool(archive["history/stopped_early"])
-        if "history/interrupted" in archive:
-            history.interrupted = bool(archive["history/interrupted"])
-        if "history/epoch_time" in archive:
-            history.epoch_time = [float(v) for v in archive["history/epoch_time"]]
-        if "history/batches_per_sec" in archive:
-            history.batches_per_sec = [
-                float(v) for v in archive["history/batches_per_sec"]
-            ]
-        if "history/sentinel_json" in archive:
-            history.sentinel = json.loads(str(archive["history/sentinel_json"]))
+    history = _load_history(archive)
     epoch = int(archive["epoch"])
     return history, (None if epoch < 0 else epoch)
+
+
+def _load_history(archive):
+    """Rebuild the :class:`History` carried by an archive, or ``None``."""
+    if "history/train_loss" not in archive:
+        return None
+    history = History(
+        train_loss=list(archive["history/train_loss"]),
+        train_reg=list(archive["history/train_reg"]),
+        val_rmse=list(archive["history/val_rmse"]),
+    )
+    best_epoch, best_rmse = archive["history/best"]
+    history.best_epoch = int(best_epoch)
+    history.best_val_rmse = float(best_rmse)
+    if "history/stopped_early" in archive:
+        history.stopped_early = bool(archive["history/stopped_early"])
+    if "history/interrupted" in archive:
+        history.interrupted = bool(archive["history/interrupted"])
+    if "history/epoch_time" in archive:
+        history.epoch_time = [float(v) for v in archive["history/epoch_time"]]
+    if "history/batches_per_sec" in archive:
+        history.batches_per_sec = [
+            float(v) for v in archive["history/batches_per_sec"]
+        ]
+    if "history/sentinel_json" in archive:
+        history.sentinel = json.loads(str(archive["history/sentinel_json"]))
+    return history
 
 
 class CheckpointManager:

@@ -119,6 +119,11 @@ class TrainConfig:
     def __post_init__(self):
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0; got {self.workers}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1; got {self.batch_size}")
+        if self.eval_batch_size < 1:
+            raise ValueError(
+                f"eval_batch_size must be >= 1; got {self.eval_batch_size}")
         if self.sentinel in ("off", "none"):
             self.sentinel = None
         if self.sentinel is not None and self.sentinel not in POLICIES:
@@ -460,6 +465,12 @@ class Trainer:
         self.model.eval()
         if self.dtype is not None and batch.target.dtype != self.dtype:
             batch = batch.astype(self.dtype)
+        if len(batch) == 0:
+            # np.concatenate rejects an empty piece list; predictions
+            # share the target's per-sample shape, so the empty answer
+            # is well-defined without calling the model.
+            return np.empty((0,) + batch.target.shape[1:],
+                            dtype=batch.target.dtype)
         pieces = []
         size = self.config.eval_batch_size
         with no_grad():

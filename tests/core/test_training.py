@@ -42,6 +42,59 @@ class TestMetrics:
         with pytest.raises(ValueError):
             rmse(np.zeros(3), np.zeros(3), mask=np.zeros(3, dtype=bool))
 
+    def test_sample_mask_selects_samples_not_columns(self):
+        # Seed regression: a 1-D mask of length N against an (N, M)
+        # target hit numpy's *trailing* broadcast and silently selected
+        # columns.  The mask must align to the leading (sample) axis:
+        # keeping sample 0 of this pair gives a perfect score; keeping
+        # column 0 would average in the error at [1, 0].
+        prediction = np.array([[0.0, 0.0], [10.0, 0.0]])
+        target = np.zeros((2, 2))
+        assert rmse(prediction, target, mask=np.array([True, False])) == 0.0
+        assert mae(prediction, target, mask=np.array([True, False])) == 0.0
+        # Hand-computed with sample 1 kept: errors (10, 0).
+        assert rmse(prediction, target,
+                    mask=np.array([False, True])) == pytest.approx(
+            np.sqrt(50.0))
+        assert mae(prediction, target,
+                   mask=np.array([False, True])) == 5.0
+
+    def test_cell_mask_still_broadcasts_on_trailing_axes(self):
+        # A (H, W)-shaped mask is a cell mask: ordinary trailing
+        # broadcast across samples and channels.
+        prediction = np.zeros((3, 2, 2, 2))
+        target = np.zeros((3, 2, 2, 2))
+        prediction[..., 0, 1] = 4.0  # error only in the masked-out cell
+        cell_mask = np.array([[True, False], [True, True]])
+        assert rmse(prediction, target, mask=cell_mask) == 0.0
+
+    def test_unresolvable_mask_shape_raises(self):
+        with pytest.raises(ValueError, match="mask shape"):
+            rmse(np.zeros((4, 3)), np.zeros((4, 3)),
+                 mask=np.ones(2, dtype=bool))
+
+    def test_mape_mask_intersects_threshold(self):
+        # Hand-computed: the mask keeps samples 0 and 1; within those,
+        # only targets clearing |t| >= 1 contribute.  Sample 2 (error
+        # 100%) must not leak in through either branch.
+        prediction = np.array([2.0, 5.0, 20.0])
+        target = np.array([1.0, 0.5, 10.0])
+        mask = np.array([True, True, False])
+        # Survivors of mask ∩ threshold: only index 0 -> |2-1|/1 = 1.0
+        assert mape(prediction, target, mask=mask) == pytest.approx(1.0)
+        # All masked-in targets below threshold -> nan, not an average
+        # over the (masked-out but above-threshold) index 2.
+        assert np.isnan(mape(prediction, target,
+                             mask=np.array([False, True, False])))
+
+    def test_mape_masked_known_value(self):
+        prediction = np.array([[2.0, 8.0], [30.0, 7.0]])
+        target = np.array([[1.0, 4.0], [10.0, 0.2]])
+        # Sample mask keeps row 1; threshold then drops target 0.2:
+        # survivors {30 vs 10} -> 2.0 exactly.
+        assert mape(prediction, target,
+                    mask=np.array([False, True])) == pytest.approx(2.0)
+
     def test_evaluate_flows_channels(self):
         rng = np.random.default_rng(0)
         target = rng.uniform(1, 10, (6, 2, 3, 3))
@@ -164,3 +217,35 @@ class TestTrainer:
             small_chunks.predict_scaled(tiny_data.test),
             big_chunks.predict_scaled(tiny_data.test),
         )
+
+    def test_predict_scaled_empty_batch(self, tiny_data, tiny_config):
+        # Seed regression: an empty batch crashed in np.concatenate
+        # ("need at least one array to concatenate") instead of
+        # returning the well-defined empty answer.
+        model = MUSENet(tiny_config)
+        trainer = Trainer(model, TrainConfig(eval_batch_size=4))
+        empty = tiny_data.test.slice(0, 0)
+        prediction = trainer.predict_scaled(empty)
+        assert prediction.shape == (0,) + tiny_data.test.target.shape[1:]
+        assert prediction.dtype == tiny_data.test.target.dtype
+
+    def test_predict_scaled_tail_smaller_than_chunk(self, tiny_data,
+                                                    tiny_config):
+        # Odd tails at every relative size: N < chunk, N == chunk, and
+        # N % chunk != 0 must all equal the one-shot forward row-for-row.
+        model = MUSENet(tiny_config)
+        reference = Trainer(
+            model, TrainConfig(eval_batch_size=1000)).predict_scaled(
+            tiny_data.test)
+        for n, size in ((2, 5), (5, 5), (7, 5)):
+            batch = tiny_data.test.slice(0, n)
+            got = Trainer(model,
+                          TrainConfig(eval_batch_size=size)).predict_scaled(
+                batch)
+            np.testing.assert_allclose(got, reference[:n])
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            TrainConfig(batch_size=0)
+        with pytest.raises(ValueError, match="eval_batch_size"):
+            TrainConfig(eval_batch_size=0)

@@ -1,0 +1,44 @@
+"""Fixtures for the serving suite: tiny data + a deterministic model."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, prepare_forecast_data
+from repro.nn import Linear, Module
+from repro.tensor import Tensor
+
+
+class TinyForecaster(Module):
+    """Deterministic protocol model: a linear map over the closeness window.
+
+    Serving tests need exact equality between interleavings, so the
+    model must be a pure function of its inputs and weights (MUSE-Net
+    qualifies in eval mode, but costs far more per forward).
+    """
+
+    def __init__(self, data, seed=0):
+        super().__init__()
+        _n, length, channels, height, width = data.test.closeness.shape
+        self._shape = (channels, height, width)
+        self.linear = Linear(length * channels * height * width,
+                             channels * height * width,
+                             rng=np.random.default_rng(seed))
+
+    def predict(self, batch):
+        flat = Tensor(np.ascontiguousarray(batch.closeness)
+                      .reshape(len(batch), -1))
+        return self.linear(flat).data.reshape((len(batch),) + self._shape)
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    """Tiny prepared dataset with a 13-sample test split (odd on purpose:
+    13 never divides evenly into the batching windows under test)."""
+    dataset = load_dataset("nyc-bike", scale="tiny")
+    return prepare_forecast_data(dataset, max_train_samples=16,
+                                 max_test_samples=13)
+
+
+@pytest.fixture
+def tiny_model(tiny_data):
+    return TinyForecaster(tiny_data)

@@ -1,0 +1,93 @@
+"""Inference-only checkpoint loading for serving (no optimizer, no copies)."""
+
+import numpy as np
+import pytest
+
+from repro.optim import Adam
+from repro.parallel import SharedArrayBlock
+from repro.training import (
+    CheckpointCorruptError,
+    load_checkpoint,
+    read_weights,
+    save_checkpoint,
+)
+
+from tests.serve.conftest import TinyForecaster
+
+
+@pytest.fixture
+def saved(tiny_data, tmp_path):
+    model = TinyForecaster(tiny_data, seed=9)
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(path, model, Adam(model.parameters(), lr=1e-3), epoch=3)
+    return path, model.state_dict()
+
+
+class TestReadWeights:
+    def test_returns_exactly_the_model_weights(self, saved):
+        path, state = saved
+        weights = read_weights(path)
+        assert set(weights) == set(state)
+        for name, value in state.items():
+            assert np.array_equal(weights[name], value)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_weights(str(tmp_path / "nope.npz"))
+
+    def test_corrupt_archive_raises(self, saved, tmp_path):
+        path, _ = saved
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(CheckpointCorruptError):
+            read_weights(str(bad))
+
+
+class TestInferenceOnlyLoad:
+    def test_load_without_optimizer(self, saved, tiny_data):
+        # Seed regression: load_checkpoint demanded an optimizer even
+        # for inference-only consumers, and restoring optimizer state
+        # was the only way to get weights.
+        path, state = saved
+        model = TinyForecaster(tiny_data, seed=0)
+        history, epoch = load_checkpoint(path, model)
+        assert epoch == 3
+        for name, value in model.state_dict().items():
+            assert np.array_equal(value, state[name])
+
+    def test_load_does_not_rebind_parameter_buffers(self, saved, tiny_data):
+        # The serving pool aliases param.data into a shared flat
+        # buffer; an inference-only load must write *through* those
+        # views (one write into the shared block), never replace them.
+        path, state = saved
+        model = TinyForecaster(tiny_data, seed=0)
+        params = model.parameters()
+        block = SharedArrayBlock({
+            "params": ((sum(p.size for p in params),), params[0].data.dtype),
+        })
+        flat = block["params"]
+        try:
+            cursor = 0
+            for p in params:
+                view = flat[cursor:cursor + p.size].reshape(p.data.shape)
+                view[...] = p.data
+                p.data = view
+                cursor += p.size
+            held = [p.data for p in params]
+
+            load_checkpoint(path, model)
+
+            for p, view in zip(params, held):
+                assert p.data is view          # no rebinding
+                assert p.data.base is not None  # still the shared block
+            # The one write landed in the shared segment itself.
+            expected = np.concatenate(
+                [state[name].ravel() for name, _ in model.named_parameters()])
+            assert np.array_equal(flat, expected)
+        finally:
+            for p in params:
+                if p.data.base is not None:
+                    p.data = p.data.copy()
+            block.close()

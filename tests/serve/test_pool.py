@@ -1,0 +1,93 @@
+"""ReplicaPool: forked replicas over one shared parameter buffer.
+
+Fork-heavy tests are consolidated so each pool lifecycle is paid once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import ForecastServer, ReplicaPool, ServeConfig
+from repro.tensor import no_grad
+
+from tests.serve.conftest import TinyForecaster
+
+
+def offline(model, batch):
+    with no_grad():
+        return np.asarray(model.predict(batch))
+
+
+class TestReplicaPool:
+    def test_predict_install_and_close_lifecycle(self, tiny_data):
+        test = tiny_data.test  # 13 samples
+        model = TinyForecaster(tiny_data, seed=0)
+        other = TinyForecaster(tiny_data, seed=9)
+        expected_a = offline(TinyForecaster(tiny_data, seed=0), test)
+        expected_b = offline(TinyForecaster(tiny_data, seed=9), test)
+
+        with ReplicaPool(model, test, replicas=2, max_batch=8) as pool:
+            # Parameters now alias the shared flat buffer.
+            assert all(p.data.base is not None for p in model.parameters())
+
+            # Sharded forward == single-process forward, generation 0.
+            rows, generation = pool.predict(test.slice(0, 8))
+            assert generation == 0
+            assert np.allclose(rows, expected_a[:8], atol=1e-12)
+
+            # Oversized request (13 > max_batch 8): served in chunks
+            # under one lock hold — still row-aligned, one generation.
+            rows, generation = pool.predict(test)
+            assert generation == 0
+            assert rows.shape == expected_a.shape
+            assert np.allclose(rows, expected_a, atol=1e-12)
+
+            # Hot swap: exactly one generation bump per install, and
+            # the weights land in the *shared* buffer (no rebinding).
+            before = [id(p.data) for p in model.parameters()]
+            assert pool.install(other.state_dict()) == 1
+            assert pool.generation == 1
+            assert [id(p.data) for p in model.parameters()] == before
+            assert all(p.data.base is not None for p in model.parameters())
+
+            rows, generation = pool.predict(test)
+            assert generation == 1
+            assert np.allclose(rows, expected_b, atol=1e-12)
+
+        # close() re-privatises the weights: the model survives the
+        # pool and still computes with the last installed generation.
+        assert all(p.data.base is None for p in model.parameters())
+        assert np.allclose(offline(model, test), expected_b, atol=1e-12)
+
+    def test_predict_rejects_empty_and_closed(self, tiny_data):
+        model = TinyForecaster(tiny_data)
+        pool = ReplicaPool(model, tiny_data.test, replicas=1, max_batch=4)
+        pool.start()
+        try:
+            with pytest.raises(ValueError, match="empty"):
+                pool.predict(tiny_data.test.slice(0, 0))
+        finally:
+            pool.close()
+        with pytest.raises(RuntimeError, match="not running"):
+            pool.predict(tiny_data.test.slice(0, 1))
+
+    def test_invalid_construction(self, tiny_data):
+        model = TinyForecaster(tiny_data)
+        with pytest.raises(ValueError, match="replicas"):
+            ReplicaPool(model, tiny_data.test, replicas=0, max_batch=4)
+        with pytest.raises(ValueError, match="max_batch"):
+            ReplicaPool(model, tiny_data.test, replicas=1, max_batch=0)
+
+
+class TestServerWithReplicas:
+    def test_served_equals_offline_through_forked_replicas(self, tiny_data):
+        test = tiny_data.test
+        model = TinyForecaster(tiny_data, seed=0)
+        expected = offline(TinyForecaster(tiny_data, seed=0), test)
+        config = ServeConfig(max_batch=8, max_wait_ms=2.0, replicas=2)
+        with ForecastServer(model, config, template=test) as server:
+            served = server.forecast(test)
+            snap = server.snapshot()
+        assert np.allclose(served, expected, atol=1e-12)
+        assert snap["replicas"] == 2
+        assert snap["shared_mib"] > 0
+        assert len(snap["blas_modes"]) == 2

@@ -1,0 +1,101 @@
+"""WindowCache: incremental assembly must be bit-identical to build_samples."""
+
+import numpy as np
+import pytest
+
+from repro.data import MultiPeriodicity, build_samples
+from repro.serve import WindowCache
+
+FRAME_SHAPE = (2, 3, 4)
+
+
+def make_stream(ticks, seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1, 1, (ticks,) + FRAME_SHAPE).astype(dtype)
+
+
+def make_periodicity():
+    """Short lags so the stream crosses many period/trend boundaries."""
+    return MultiPeriodicity(len_closeness=3, len_period=2, len_trend=2,
+                            samples_per_day=8, trend_lag=24)
+
+
+class TestWindowCache:
+    def test_bit_identical_to_build_samples_at_every_index(self):
+        # Walk the whole stream: before observing tick i, the cache's
+        # sample for target i must equal build_samples(flows, p, [i])
+        # bit-for-bit.  min_index=48, period_lag=8, trend_lag=24, so
+        # the walk crosses dozens of period boundaries and several
+        # trend boundaries.
+        p = make_periodicity()
+        flows = make_stream(p.min_index + 60)
+        cache = WindowCache(p, FRAME_SHAPE)
+        checked = 0
+        for i in range(len(flows)):
+            assert cache.ready == (i >= p.min_index)
+            if cache.ready:
+                sample = cache.sample()
+                ref = build_samples(flows, p, [i])
+                assert np.array_equal(sample.closeness, ref.closeness)
+                assert np.array_equal(sample.period, ref.period)
+                assert np.array_equal(sample.trend, ref.trend)
+                assert sample.indices[0] == ref.indices[0] == i
+                checked += 1
+            cache.push(flows[i])
+        assert checked == 60
+
+    def test_extend_warmup_matches_per_tick_pushes(self):
+        p = make_periodicity()
+        flows = make_stream(p.min_index + 5, seed=3)
+        bulk = WindowCache(p, FRAME_SHAPE)
+        assert bulk.extend(flows) == len(flows)
+        ticked = WindowCache(p, FRAME_SHAPE)
+        for frame in flows:
+            ticked.push(frame)
+        a, b = bulk.sample(), ticked.sample()
+        assert np.array_equal(a.closeness, b.closeness)
+        assert np.array_equal(a.period, b.period)
+        assert np.array_equal(a.trend, b.trend)
+
+    def test_sample_before_warmup_raises(self):
+        p = make_periodicity()
+        cache = WindowCache(p, FRAME_SHAPE)
+        cache.push(np.zeros(FRAME_SHAPE))
+        with pytest.raises(ValueError, match="not ready"):
+            cache.sample()
+
+    def test_sample_arrays_are_copies(self):
+        # A caller may hold a sample across later pushes: the arrays
+        # must not alias the ring or the rolling closeness tensor.
+        p = make_periodicity()
+        flows = make_stream(p.min_index + 10, seed=5)
+        cache = WindowCache(p, FRAME_SHAPE)
+        cache.extend(flows[:p.min_index])
+        held = cache.sample()
+        ref = build_samples(flows, p, [p.min_index])
+        cache.extend(flows[p.min_index:])
+        assert np.array_equal(held.closeness, ref.closeness)
+        assert np.array_equal(held.period, ref.period)
+        assert np.array_equal(held.trend, ref.trend)
+
+    def test_next_index_tracks_ticks(self):
+        p = make_periodicity()
+        cache = WindowCache(p, FRAME_SHAPE)
+        assert cache.next_index == 0
+        cache.extend(make_stream(7))
+        assert cache.next_index == cache.count == 7
+
+    def test_dtype_and_target_placeholder(self):
+        p = make_periodicity()
+        flows = make_stream(p.min_index, dtype=np.float32)
+        cache = WindowCache(p, FRAME_SHAPE, dtype=np.float32)
+        cache.extend(flows)
+        sample = cache.sample()
+        assert sample.closeness.dtype == np.float32
+        assert sample.target.shape == (1,) + FRAME_SHAPE
+        assert not sample.target.any()
+
+    def test_rejects_wrong_frame_shape(self):
+        cache = WindowCache(make_periodicity(), FRAME_SHAPE)
+        with pytest.raises(ValueError, match="frame shape"):
+            cache.push(np.zeros((2, 4, 3)))

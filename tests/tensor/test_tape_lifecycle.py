@@ -160,7 +160,9 @@ class TestOpProfiler:
                                  "peak_tape_bytes", "grad_alloc_bytes",
                                  "optimizer_alloc_bytes", "optimizer_steps",
                                  "parallel_steps", "parallel_reduce_s",
-                                 "prefetch_stall_s"}
+                                 "prefetch_stall_s", "serve_batches",
+                                 "serve_batch_s", "serve_requests",
+                                 "serve_queue_wait_s"}
         assert snapshot["grad_alloc_bytes"] > 0
         assert snapshot["ops"]["conv2d"]["calls"] == 1
         rendered = format_op_summary(snapshot, limit=2)

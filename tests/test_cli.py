@@ -133,6 +133,69 @@ class TestOperationalErrors:
                 ["train", "MUSE-Net", "--dtype", "float16"])
 
 
+class TestServeCommand:
+    def test_serve_parses_defaults(self):
+        args = build_parser().parse_args(["serve", "MUSE-Net"])
+        assert args.command == "serve"
+        assert args.checkpoint is None
+        assert args.requests == 64
+        assert args.concurrency == 8
+        assert args.max_batch == 32
+        assert args.replicas == 0
+
+    def test_serve_replays_traffic_and_gates_correctness(self, capsys):
+        assert main(["serve", "MUSE-Net", "--requests", "12",
+                     "--concurrency", "3", "--max-batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "12 requests" in out
+        assert "p99" in out
+        assert "served == offline predict_scaled" in out
+
+    def test_serve_json_snapshot(self, capsys):
+        import json
+
+        assert main(["serve", "MUSE-Net", "--requests", "6",
+                     "--concurrency", "2", "--format", "json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["requests"] == 6
+        assert snap["max_abs_error_vs_offline"] <= 1e-6
+        assert snap["latency_ms"]["p50"] >= 0
+
+    def test_serve_missing_checkpoint_exits_1(self, capsys):
+        assert main(["serve", "MUSE-Net",
+                     "--checkpoint", "does-not-exist.npz"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_serve_corrupt_checkpoint_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"this is not a zip archive")
+        assert main(["serve", "MUSE-Net", "--checkpoint", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "corrupt" in err
+
+    def test_serve_bad_config_exits_2(self, capsys):
+        assert main(["serve", "MUSE-Net", "--max-batch", "0"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+        assert main(["serve", "MUSE-Net", "--requests", "0"]) == 2
+
+    def test_serve_installed_checkpoint_drives_forecasts(self, tmp_path,
+                                                         capsys):
+        # Train briefly, checkpoint, then serve from the archive: the
+        # hot-install path must run (generation 1) and still match the
+        # offline evaluation of the *installed* weights.
+        assert main(["train", "MUSE-Net", "--checkpoint-dir", str(tmp_path),
+                     "--checkpoint-every", "1"]) == 0
+        capsys.readouterr()
+        assert main(["serve", "MUSE-Net", "--checkpoint", str(tmp_path),
+                     "--requests", "6", "--concurrency", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "generation 1" in out
+        assert "served == offline predict_scaled" in out
+
+
 class TestDatasetIO:
     def test_round_trip(self, tmp_path):
         dataset = load_dataset("nyc-bike", scale="tiny")
