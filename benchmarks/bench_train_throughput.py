@@ -1,14 +1,18 @@
 """Training-throughput benchmark: precision policy + in-place optimizers.
 
 Standalone harness (not a pytest-benchmark file): it measures MUSE-Net
-training steps/sec and peak tape bytes across three arms —
+training steps/sec and peak tape bytes across four arms —
 
 - ``float64-baseline`` — float64 policy with :class:`ReferenceAdam`,
   the seed repo's allocating textbook kernel (the pre-PR hot path);
 - ``float32``          — float32 policy, still the allocating kernel
   (isolates what halving element width buys);
 - ``float32-inplace``  — float32 policy with the in-place
-  :class:`~repro.optim.Adam` (the full optimized path).
+  :class:`~repro.optim.Adam` (the eager optimized path);
+- ``compiled``         — float32 + in-place Adam stepping through
+  :class:`repro.compile.StepCompiler`: the graph is recorded once and
+  every timed step replays a fused in-place kernel schedule over the
+  retained buffers (zero forward allocations).
 
 Each arm builds its model/data under a scoped
 :func:`repro.tensor.default_dtype` policy, times steps unprofiled
@@ -31,12 +35,24 @@ Emits a JSON snapshot (default ``BENCH_throughput.json``)::
 ``float32-inplace`` is at least ``X`` times the baseline's steps/sec.
 ``--max-overhead-pct Y`` additionally fails the run when the guarded
 path's per-step overhead exceeds ``Y`` percent.
+
+The compiled arm carries two gates of its own:
+
+- **bit-equivalence (always on)** — two identical seed-0 setups run
+  the same steps eagerly and compiled; every per-step (loss, reg) pair,
+  every final parameter, and every final gradient must match *exactly*
+  (``atol=0``), or the bench exits nonzero;
+- ``--min-compiled-speedup X`` — compiled steps/sec must reach ``X``
+  times the eager ``float32-inplace`` arm.  On single-CPU hosts this
+  gate self-disables (timings there are dominated by scheduler noise)
+  and the snapshot records the reason instead.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import tempfile
@@ -44,6 +60,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.compile import StepCompiler
 from repro.core import MuseConfig, MUSENet
 from repro.data import load_dataset, prepare_forecast_data
 from repro.optim import Adam, ReferenceAdam, clip_grad_norm
@@ -53,6 +70,10 @@ from repro.training.checkpoint import CheckpointManager
 from repro.training.sentinel import DivergenceSentinel
 
 ARMS = ("float64-baseline", "float32", "float32-inplace")
+
+#: Warm calls before timing the compiled arm: plan build (eager),
+#: shadow validation (eager), and one trusted replay.
+COMPILED_WARMUP_STEPS = 3
 
 # Amortization cadence for the guarded arm's checkpoint cost: one
 # atomic save per this many steps.  A paper-profile epoch is several
@@ -116,6 +137,112 @@ def time_arm(arm, steps):
             training_step(model, optimizer, batch, rng)
             times.append(perf_counter() - start)
     return 1.0 / statistics.median(times)
+
+
+def compiled_step(compiler, parameters, optimizer, batch):
+    """One trainer-equivalent step through the StepCompiler."""
+    loss, reg = compiler.step(batch)
+    clip_grad_norm(parameters, 5.0)
+    optimizer.step()
+    return loss, reg
+
+
+def time_compiled(steps):
+    """Median steps/sec for the compiled arm, plus its plan report.
+
+    The :data:`COMPILED_WARMUP_STEPS` warm calls (plan build, shadow
+    validation, first trusted replay) run before the timer starts —
+    they are one-time costs amortized over a training run, and the
+    snapshot reports the build time separately via the profiler.
+    """
+    model, optimizer, batch = build_setup(np.float32, Adam)
+    parameters = model.parameters()
+    rng = np.random.default_rng(0)
+    prof = OpProfiler()
+    with default_dtype(np.float32):
+        compiler = StepCompiler(model, optimizer, rng)
+        with profile(prof):
+            for _ in range(COMPILED_WARMUP_STEPS):
+                compiled_step(compiler, parameters, optimizer, batch)
+        times = []
+        with profile(prof):
+            for _ in range(steps):
+                start = perf_counter()
+                compiled_step(compiler, parameters, optimizer, batch)
+                times.append(perf_counter() - start)
+        timed_alloc = int(prof.forward_alloc_bytes)
+    report = compiler.report()
+    measured = {
+        "steps_per_sec": 1.0 / statistics.median(times),
+        # Forward-pass bytes allocated across ALL profiled steps,
+        # including the eager build/shadow warmup; and across just the
+        # timed (post-warmup) window, whose contract is zero.
+        "forward_alloc_bytes_with_warmup": timed_alloc,
+        "compile_plan_s": float(prof.compile_plan_s),
+        "compile": report,
+    }
+    # Re-measure the timed window alone for the zero-allocation claim.
+    prof2 = OpProfiler()
+    with default_dtype(np.float32):
+        with profile(prof2):
+            for _ in range(2):
+                compiled_step(compiler, parameters, optimizer, batch)
+    measured["forward_alloc_bytes_per_step_after_warmup"] = int(
+        prof2.forward_alloc_bytes) // 2
+    return measured
+
+
+def check_compiled_equivalence(steps):
+    """Bit-equivalence gate: eager vs compiled runs must match exactly.
+
+    Two identical seed-0 setups take the same ``steps`` optimizer steps
+    — one eagerly, one through the StepCompiler (build, shadow, then
+    trusted replays).  Per-step losses, final parameters, and final
+    gradients are compared at ``atol=0``.  Returns a JSON-able verdict.
+    """
+    steps = max(steps, COMPILED_WARMUP_STEPS + 1)  # ensure replays run
+
+    def run(compiled):
+        model, optimizer, batch = build_setup(np.float32, Adam)
+        parameters = model.parameters()
+        rng = np.random.default_rng(0)
+        losses = []
+        with default_dtype(np.float32):
+            compiler = (StepCompiler(model, optimizer, rng)
+                        if compiled else None)
+            for _ in range(steps):
+                if compiler is not None:
+                    losses.append(compiled_step(compiler, parameters,
+                                                optimizer, batch))
+                else:
+                    loss = training_step(model, optimizer, batch, rng)
+                    losses.append((loss.item(), None))
+        params = [p.data.copy() for p in parameters]
+        grads = [None if p.grad is None else p.grad.copy()
+                 for p in parameters]
+        report = compiler.report() if compiler is not None else None
+        return losses, params, grads, report
+
+    eager_losses, eager_params, eager_grads, _ = run(compiled=False)
+    comp_losses, comp_params, comp_grads, report = run(compiled=True)
+    losses_equal = all(a[0] == b[0] for a, b in
+                       zip(eager_losses, comp_losses))
+    params_equal = all(np.array_equal(a, b, equal_nan=True)
+                       for a, b in zip(eager_params, comp_params))
+    grads_equal = all(
+        (a is None and b is None)
+        or (a is not None and b is not None
+            and np.array_equal(a, b, equal_nan=True))
+        for a, b in zip(eager_grads, comp_grads))
+    return {
+        "steps": steps,
+        "losses_equal": losses_equal,
+        "params_equal": params_equal,
+        "grads_equal": grads_equal,
+        "compiled_steps_replayed": report["compiled_steps"],
+        "ok": bool(losses_equal and params_equal and grads_equal
+                   and report["compiled_steps"] > 0),
+    }
 
 
 def time_guarded(steps):
@@ -210,6 +337,10 @@ def main(argv=None):
     parser.add_argument("--max-overhead-pct", type=float, default=None,
                         help="fail (exit 1) when the sentinel + periodic-"
                              "checkpoint overhead exceeds this percentage")
+    parser.add_argument("--min-compiled-speedup", type=float, default=None,
+                        help="fail (exit 1) unless the compiled arm reaches "
+                             "this steps/sec multiple of float32-inplace "
+                             "(self-disables on single-CPU hosts)")
     args = parser.parse_args(argv)
     steps = args.steps if args.steps is not None else (3 if args.smoke else 15)
 
@@ -217,14 +348,28 @@ def main(argv=None):
     for arm in ARMS:
         results[arm] = {"steps_per_sec": time_arm(arm, steps)}
         results[arm].update(measure_arm(arm))
+    results["compiled"] = time_compiled(steps)
 
     baseline = results["float64-baseline"]
     optimized = results["float32-inplace"]
     guarded = time_guarded(steps)
+    equivalence = check_compiled_equivalence(steps)
     speedup = optimized["steps_per_sec"] / baseline["steps_per_sec"]
+    compiled_speedup = (results["compiled"]["steps_per_sec"]
+                        / optimized["steps_per_sec"])
     tape_reduction_pct = 100.0 * (
         1.0 - optimized["peak_tape_bytes"] / baseline["peak_tape_bytes"])
     overhead_pct = guarded["overhead_pct"]
+
+    cpu_count = os.cpu_count() or 1
+    compiled_gate = {"enabled": args.min_compiled_speedup is not None,
+                     "min_speedup": args.min_compiled_speedup}
+    if compiled_gate["enabled"] and cpu_count <= 1:
+        compiled_gate["enabled"] = False
+        compiled_gate["reason"] = (
+            f"host has {cpu_count} CPU: step timings are dominated by "
+            "scheduler noise, so the speedup gate is informational only "
+            "(the bit-equivalence gate still applies)")
 
     snapshot = {
         "bench": "train_throughput",
@@ -232,7 +377,10 @@ def main(argv=None):
         "steps_timed": steps,
         "arms": results,
         "guarded": guarded,
+        "compiled_equivalence": equivalence,
+        "compiled_speedup_gate": compiled_gate,
         "speedup_float32_inplace_vs_float64": speedup,
+        "speedup_compiled_vs_float32_inplace": compiled_speedup,
         "peak_tape_reduction_pct": tape_reduction_pct,
         "sentinel_overhead_pct": overhead_pct,
     }
@@ -244,8 +392,17 @@ def main(argv=None):
         print(f"{arm:18s} {r['steps_per_sec']:7.2f} steps/s  "
               f"tape peak {r['peak_tape_bytes'] / 2**20:7.2f} MiB  "
               f"opt alloc/step {r['optimizer_alloc_bytes_per_step'] / 2**10:8.1f} KiB")
+    comp = results["compiled"]
+    print(f"{'compiled':18s} {comp['steps_per_sec']:7.2f} steps/s  "
+          f"arena {comp['compile']['arena_bytes'] / 2**20:7.2f} MiB  "
+          f"fwd alloc/step {comp['forward_alloc_bytes_per_step_after_warmup']} B  "
+          f"plan built in {comp['compile_plan_s'] * 1e3:.1f} ms")
     print(f"speedup (float32-inplace vs float64-baseline): {speedup:.2f}x, "
           f"peak tape {tape_reduction_pct:.1f}% lower")
+    print(f"speedup (compiled vs float32-inplace): {compiled_speedup:.2f}x")
+    print(f"compiled bit-equivalence vs eager over {equivalence['steps']} "
+          f"steps ({equivalence['compiled_steps_replayed']} replayed): "
+          f"{'OK' if equivalence['ok'] else 'MISMATCH'}")
     print(f"guarded (sentinel + ckpt/{guarded['checkpoint_every_steps']} steps): "
           f"{guarded['steps_per_sec']:.2f} steps/s, "
           f"overhead {overhead_pct:.2f}% "
@@ -261,6 +418,17 @@ def main(argv=None):
         print(f"FAIL: fault-tolerance overhead {overhead_pct:.2f}% above "
               f"allowed {args.max_overhead_pct:.2f}%", file=sys.stderr)
         failed = True
+    if not equivalence["ok"]:
+        print("FAIL: compiled arm diverged from eager (bit-equivalence "
+              "gate, atol 0) — see compiled_equivalence in the snapshot",
+              file=sys.stderr)
+        failed = True
+    if compiled_gate["enabled"] and compiled_speedup < args.min_compiled_speedup:
+        print(f"FAIL: compiled speedup {compiled_speedup:.2f}x below "
+              f"required {args.min_compiled_speedup:.2f}x", file=sys.stderr)
+        failed = True
+    elif not compiled_gate["enabled"] and compiled_gate.get("reason"):
+        print(f"compiled speedup gate disabled: {compiled_gate['reason']}")
     return 1 if failed else 0
 
 

@@ -37,9 +37,13 @@ echo "== train-throughput bench (smoke) =="
 # Smoke timings are noisy; the committed BENCH_throughput.json (full
 # mode) is where the >=1.5x speedup and <=3% fault-tolerance-overhead
 # claims live.  The gates here only require the optimized path to beat
-# the baseline and the guarded path to stay within loose bounds.
+# the baseline and the guarded path to stay within loose bounds.  The
+# compiled arm's bit-equivalence gate (replayed steps == eager, atol 0)
+# is always on; its >=1.5x speedup gate self-disables on single-CPU
+# hosts and records the reason in the snapshot instead.
 python benchmarks/bench_train_throughput.py --smoke --min-speedup 1.1 \
-    --max-overhead-pct 10 --out BENCH_throughput.json
+    --max-overhead-pct 10 --min-compiled-speedup 1.5 \
+    --out BENCH_throughput.json
 
 echo "== data-parallel smoke fit (2 workers) =="
 # End-to-end worker-pool exercise through the real CLI: forked

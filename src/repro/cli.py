@@ -105,6 +105,8 @@ def _train_overrides(args):
         overrides["detect_anomaly"] = True
     if getattr(args, "workers", None) is not None:
         overrides["workers"] = args.workers
+    if getattr(args, "compile", False):
+        overrides["compile"] = True
     return overrides or None
 
 
@@ -141,6 +143,20 @@ def _cmd_train(args):
                   f"allreduce {par['reduce_s']:.2f}s over "
                   f"{par['reduce_count']} steps, "
                   f"prefetch stall {par['prefetch_stall_s']:.2f}s")
+        if history.compiled:
+            comp = history.compiled
+            if comp.get("enabled") is False:
+                print(f"compile: disabled — {comp['reason']}")
+            else:
+                print(f"compile: {comp['plans_built']} plan(s), "
+                      f"{comp['compiled_steps']} compiled / "
+                      f"{comp['eager_steps']} eager step(s), "
+                      f"arena {comp['arena_bytes'] / 2**20:.2f} MiB "
+                      f"({comp['arena_reuse_pct']:.0f}% scratch reuse), "
+                      f"{comp['fused_chains']} fused chain(s) over "
+                      f"{comp['kernels']} kernel(s)")
+                for key, reason in sorted(comp["fallbacks"].items()):
+                    print(f"compile fallback [{key}]: {reason}")
         if history.interrupted:
             print("run interrupted; resume with --resume and the same "
                   "--checkpoint-dir")
@@ -221,7 +237,8 @@ def _cmd_serve(args):
     serve_config = ServeConfig(max_batch=args.max_batch,
                                max_wait_ms=args.max_wait_ms,
                                replicas=args.replicas,
-                               blas_threads=args.blas_threads)
+                               blas_threads=args.blas_threads,
+                               compile=getattr(args, "compile", False))
     test = data.test
     server = ForecastServer(model, serve_config, scaler=data.scaler,
                             template=test)
@@ -403,6 +420,11 @@ def build_parser():
     p.add_argument("--workers", type=int, default=None,
                    help="data-parallel worker processes (default: 0, "
                         "single-process; see docs/performance.md)")
+    p.add_argument("--compile", action="store_true",
+                   help="graph-compile the training step: record once per "
+                        "batch signature, replay a fused in-place kernel "
+                        "schedule (bit-identical to eager; see "
+                        "docs/performance.md)")
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("evaluate",
@@ -445,6 +467,11 @@ def build_parser():
                         "buffer; 0 = in-process forwards (default)")
     p.add_argument("--blas-threads", type=int, default=1,
                    help="BLAS thread cap inside each replica (default: 1)")
+    p.add_argument("--compile", action="store_true",
+                   help="graph-compile the in-process forward: record "
+                        "predict once per batch size, replay a fused "
+                        "arena-backed kernel schedule (requires "
+                        "--replicas 0; bit-identical to eager)")
     p.add_argument("--format", default="text", choices=("text", "json"))
     p.set_defaults(func=_cmd_serve)
 

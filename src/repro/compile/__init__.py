@@ -1,0 +1,37 @@
+"""Graph-compiled execution: record one step, replay it in place.
+
+The eager engine rebuilds the whole graph — every output array, tape
+entry, and scratch buffer — on each step, even though a training run
+executes the *same* graph thousands of times.  This package compiles
+that repetition away:
+
+* :class:`~repro.compile.recorder.Recorder` captures, from one real
+  eager step, an in-place *refresh kernel* per op (installed via the
+  tensor core's ``_RECORDER`` hook; ops without a kernel are detected
+  and force eager fallback);
+* :class:`~repro.compile.plan.ExecutionPlan` linearizes the record into
+  fused ``out=`` kernel chains;
+* :class:`~repro.compile.step.StepCompiler` replays full training steps
+  (forward + retained backward closures + stale-marked gradient
+  buffers) — used by ``Trainer(compile=True)`` / ``repro train
+  --compile``;
+* :class:`~repro.compile.forward.ForwardCompiler` replays tape-free
+  ``predict`` calls against a liveness-packed buffer arena — used by
+  ``repro.serve``'s micro-batch hot path.
+
+Every plan is gated twice, bitwise (``atol=0``): a build-time replay of
+the recorded batch, and a shadow eager step on the first *fresh* batch.
+A plan that cannot prove equivalence is discarded and its signature
+pinned to eager, with the reason surfaced in ``report()`` /
+``History.compiled``.  See ``docs/performance.md``.
+"""
+
+from repro.compile.forward import CompiledForward, ForwardCompiler
+from repro.compile.plan import ExecutionPlan, batch_signature
+from repro.compile.recorder import Recorder, record
+from repro.compile.step import CompiledStep, StepCompiler
+
+__all__ = [
+    "CompiledForward", "ForwardCompiler", "ExecutionPlan",
+    "batch_signature", "Recorder", "record", "CompiledStep", "StepCompiler",
+]

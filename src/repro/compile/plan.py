@@ -1,0 +1,107 @@
+"""Execution plans: linearized replay schedules over recorded kernels.
+
+:class:`ExecutionPlan` turns a :class:`~repro.compile.recorder.Recorder`
+record list into the flattest structure that can re-execute it: view
+records are dropped (aliases refresh with their bases), and maximal
+runs of consecutive ``_Spec`` records are fused into
+:class:`_FusedChain` objects — one python object per chain, dispatching
+every ``out=`` ufunc from a local tuple loop with no per-op graph or
+tape work.  Everything else (opaque closures, rng draws) executes in
+schedule order between chains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compile.recorder import _Rng, _Run, _Spec, _View
+from repro.tensor.tensor import get_default_dtype
+
+__all__ = ["ExecutionPlan", "batch_signature"]
+
+
+class _FusedChain:
+    """A maximal run of consecutive specs, dispatched from one object."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, specs):
+        self.ops = tuple((s.fn, s.srcs, s.out, s.kwargs) for s in specs)
+
+    def execute(self):
+        for fn, srcs, out, kwargs in self.ops:
+            fn(*srcs, out=out, **kwargs)
+
+    def __len__(self):
+        return len(self.ops)
+
+
+class ExecutionPlan:
+    """Compiled replay schedule for one recorded step.
+
+    Attributes
+    ----------
+    schedule:
+        Executable items (:class:`_FusedChain`, ``_Run``, ``_Rng``) in
+        program order.
+    kernel_count / fused_chains:
+        Raw executable-record count and the number of chains they were
+        fused into, for reporting.
+    buffer_bytes:
+        Total bytes of the distinct output buffers the plan writes —
+        the retained forward arena (every replay rewrites these same
+        buffers; nothing is reallocated).
+    """
+
+    def __init__(self, records):
+        schedule = []
+        chain = []
+        kernel_count = 0
+        fused_chains = 0
+        buffers = {}
+        for item in records:
+            if isinstance(item, _Spec):
+                chain.append(item)
+                kernel_count += 1
+                out = item.out
+                root = out if out.base is None else out.base
+                buffers[id(root)] = root
+                continue
+            if chain:
+                schedule.append(_FusedChain(chain))
+                fused_chains += 1
+                chain = []
+            if isinstance(item, _View):
+                continue
+            kernel_count += 1
+            schedule.append(item)
+            if isinstance(item, (_Run, _Rng)):
+                for out in item.writes:
+                    root = out if out.base is None else out.base
+                    buffers[id(root)] = root
+        if chain:
+            schedule.append(_FusedChain(chain))
+            fused_chains += 1
+        self.schedule = tuple(schedule)
+        self.kernel_count = kernel_count
+        self.fused_chains = fused_chains
+        self.buffer_bytes = sum(b.nbytes for b in buffers.values())
+
+    def execute(self):
+        for item in self.schedule:
+            item.execute()
+
+
+def batch_signature(batch):
+    """Plan-cache key for a :class:`~repro.data.windows.SampleBatch`.
+
+    Covers every per-field shape and dtype plus the ambient
+    default-dtype policy: a shape change (last ragged batch of an
+    epoch), a dtype change, or a policy change each resolve to a
+    different plan (or fall back to eager while one builds).
+    """
+    fields = []
+    for name in ("closeness", "period", "trend", "target"):
+        array = getattr(batch, name)
+        fields.append((name, array.shape, array.dtype.str))
+    return tuple(fields) + (("default_dtype", np.dtype(get_default_dtype()).str),)

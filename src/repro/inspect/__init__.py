@@ -27,6 +27,7 @@ from repro.inspect.lint import (
     lint_paths,
     load_config,
 )
+from repro.inspect.liveness import compute_liveness, plan_arena
 from repro.inspect.trace import GraphTracer, Trace, TraceEvent
 
 __all__ = [
@@ -34,4 +35,5 @@ __all__ = [
     "check_method", "check_model", "gradcheck_cases", "registered_ops",
     "Interval", "LintConfig", "LintFinding", "LintReport", "lint_paths",
     "load_config", "GraphTracer", "Trace", "TraceEvent",
+    "compute_liveness", "plan_arena",
 ]

@@ -20,6 +20,12 @@ Rules (see ``docs/static_analysis.md`` for the catalog):
   lifecycle, shared-memory cleanup, and signal handling; ad-hoc forks
   elsewhere orphan children on interrupts and leak shared segments
   (``src/repro/parallel`` is exempted via ``per-path-ignores``).
+* ``alloc`` — numpy calls that allocate fresh arrays (constructors and
+  ``out=``-capable functions called without ``out=``) under the
+  configured ``alloc-paths`` prefixes.  Those modules are replay hot
+  paths whose contract is zero allocations per step (PR 7's compiled
+  arenas); one-time plan-build allocations are suppressed in place
+  with ``# lint: ignore[alloc]``.
 
 Configuration lives in ``[tool.repro.lint]`` in ``pyproject.toml``;
 individual lines can be suppressed with a ``# lint: ignore[rule]``
@@ -41,7 +47,7 @@ __all__ = ["LintFinding", "LintConfig", "LintReport", "lint_paths",
            "load_config", "ALL_RULES"]
 
 ALL_RULES = ("dtype-policy", "gradcheck-coverage", "optimizer-out",
-             "mutable-default", "fork-discipline")
+             "mutable-default", "fork-discipline", "alloc")
 
 #: numpy constructors that allocate *new* float arrays with a float64
 #: default.  ``*_like``/``asarray`` variants inherit their input dtype
@@ -58,6 +64,17 @@ _OUT_REQUIRED_FUNCS = frozenset(
 #: Process-creating entry points of :mod:`multiprocessing` that the
 #: fork-discipline rule flags outside ``repro.parallel``.
 _FORK_FUNCS = frozenset({"Process", "Pool", "get_context"})
+
+#: numpy calls that allocate a fresh array unless ``out=`` is given:
+#: pure constructors (which never take ``out=``) plus the
+#: ``out=``-capable functions a replay kernel must call in place.
+#: ``asarray``/``copyto``/views are deliberately absent — they don't
+#: allocate (or allocate only on dtype mismatch).
+_ALLOC_FUNCS = frozenset(
+    {"empty", "zeros", "ones", "full", "empty_like", "zeros_like",
+     "ones_like", "full_like", "array", "arange", "eye", "copy",
+     "concatenate", "stack", "matmul", "where", "mean", "sum"}
+    | _OUT_REQUIRED_FUNCS)
 
 _DEFAULT_DTYPE_POLICY_PATHS = (
     "src/repro/tensor", "src/repro/nn", "src/repro/core",
@@ -89,6 +106,9 @@ class LintConfig:
 
     disabled: frozenset = frozenset()
     dtype_policy_paths: tuple = _DEFAULT_DTYPE_POLICY_PATHS
+    # Zero-allocation hot paths for the ``alloc`` rule; opt-in (empty
+    # by default) because most code is allowed to allocate freely.
+    alloc_paths: tuple = ()
     per_path_ignores: dict = None
 
     def __post_init__(self):
@@ -104,6 +124,8 @@ class LintConfig:
         if rule == "dtype-policy":
             return any(rel_path.startswith(p)
                        for p in self.dtype_policy_paths)
+        if rule == "alloc":
+            return any(rel_path.startswith(p) for p in self.alloc_paths)
         return True
 
 
@@ -123,6 +145,7 @@ def load_config(root):
         disabled=frozenset(table.get("disable", ())),
         dtype_policy_paths=tuple(
             table.get("dtype-policy-paths", _DEFAULT_DTYPE_POLICY_PATHS)),
+        alloc_paths=tuple(table.get("alloc-paths", ())),
         per_path_ignores={
             prefix: frozenset(rules)
             for prefix, rules in table.get("per-path-ignores", {}).items()},
@@ -246,6 +269,13 @@ class _FileLinter(ast.NodeVisitor):
                 "optimizer-out", node,
                 f"np.{attr} inside an optimizer _update kernel allocates a "
                 "fresh array; pass out=... to keep the step in-place")
+        if attr in _ALLOC_FUNCS and not _has_keyword(node, "out"):
+            self._emit(
+                "alloc", node,
+                f"np.{attr} allocates a fresh array in a zero-allocation "
+                "hot path; write into a preallocated buffer (out=, "
+                "np.copyto, a ScratchPool slot) or mark a deliberate "
+                "plan-build allocation with # lint: ignore[alloc]")
         self.generic_visit(node)
 
     # -- mutable-default ----------------------------------------------

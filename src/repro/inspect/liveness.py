@@ -1,0 +1,107 @@
+"""Buffer liveness analysis and arena planning for compiled plans.
+
+A compiled forward plan is a linear schedule of kernels; each kernel
+reads some buffers and writes others.  Given that schedule,
+:func:`compute_liveness` derives, for every written buffer, the interval
+of schedule positions during which its contents must be preserved —
+from the step that produces it (*birth*) to the last step that reads it
+(*death*).  Two buffers whose intervals do not overlap can share the
+same storage.
+
+:func:`plan_arena` turns those intervals into concrete byte offsets in
+one flat arena using a first-fit interval-graph colouring: buffers are
+placed in birth order, each at the lowest 64-byte-aligned offset whose
+extent does not collide with any *live-overlapping* previously placed
+buffer.  First-fit on interval graphs is optimal for single rows and
+near-optimal in practice for the short, chain-heavy schedules a forward
+pass produces; the planner reports both the packed arena size and the
+sum of raw buffer sizes so callers can surface the reuse percentage.
+"""
+
+from __future__ import annotations
+
+__all__ = ["compute_liveness", "plan_arena", "ARENA_ALIGN"]
+
+ARENA_ALIGN = 64
+
+
+def compute_liveness(events):
+    """Derive [birth, death] intervals from a read/write schedule.
+
+    Parameters
+    ----------
+    events:
+        Sequence of ``(reads, writes)`` pairs, one per schedule step,
+        where each element is an iterable of hashable buffer keys.
+
+    Returns
+    -------
+    dict mapping each written key to ``[birth, death]``: the index of
+    the step that first writes it and the index of the last step that
+    reads *or rewrites* it (death == birth for never-read outputs).
+    Reads of keys never written inside the schedule (plan inputs,
+    parameters) are ignored — they live outside the arena.
+    """
+    intervals = {}
+    for position, (reads, writes) in enumerate(events):
+        for key in reads:
+            interval = intervals.get(key)
+            if interval is not None:
+                interval[1] = position
+        for key in writes:
+            interval = intervals.get(key)
+            if interval is None:
+                intervals[key] = [position, position]
+            else:
+                # Rewriting an existing buffer extends its lifetime.
+                interval[1] = position
+    return intervals
+
+
+def _align(offset, align=ARENA_ALIGN):
+    return (offset + align - 1) // align * align
+
+
+def plan_arena(intervals, sizes, align=ARENA_ALIGN):
+    """First-fit offset assignment for buffers with live intervals.
+
+    Parameters
+    ----------
+    intervals:
+        ``{key: [birth, death]}`` as produced by
+        :func:`compute_liveness`.
+    sizes:
+        ``{key: nbytes}`` for every key in ``intervals``.
+    align:
+        Offset alignment in bytes (keeps reinterpreted buffers on cache
+        -line boundaries).
+
+    Returns
+    -------
+    ``(offsets, arena_bytes)``: byte offset per key and the total arena
+    size.  Keys are placed in birth order (ties by death, then by
+    descending size for stability), each at the lowest aligned offset
+    that does not overlap — in both address space *and* lifetime — any
+    buffer already placed.
+    """
+    order = sorted(intervals,
+                   key=lambda k: (intervals[k][0], intervals[k][1], -sizes[k]))
+    placed = []  # (offset, end, birth, death)
+    offsets = {}
+    arena_bytes = 0
+    for key in order:
+        birth, death = intervals[key]
+        size = max(int(sizes[key]), 1)
+        # Collect address ranges of buffers whose lifetime overlaps.
+        blockers = sorted((off, end) for off, end, b, d in placed
+                          if not (d < birth or b > death))
+        offset = 0
+        for blk_off, blk_end in blockers:
+            if offset + size <= blk_off:
+                break
+            if blk_end > offset:
+                offset = _align(blk_end, align)
+        offsets[key] = offset
+        placed.append((offset, offset + size, birth, death))
+        arena_bytes = max(arena_bytes, offset + size)
+    return offsets, arena_bytes

@@ -39,7 +39,7 @@ class OpStats:
     """Accumulated statistics for one op name."""
 
     __slots__ = ("calls", "forward_s", "backward_calls", "backward_s",
-                 "output_bytes", "grad_bytes")
+                 "output_bytes", "grad_bytes", "alloc_bytes")
 
     def __init__(self):
         self.calls = 0
@@ -48,6 +48,7 @@ class OpStats:
         self.backward_s = 0.0
         self.output_bytes = 0
         self.grad_bytes = 0
+        self.alloc_bytes = 0
 
     def as_dict(self):
         """Plain-dict view (JSON-serialisable)."""
@@ -58,6 +59,7 @@ class OpStats:
             "backward_s": self.backward_s,
             "output_bytes": self.output_bytes,
             "grad_bytes": self.grad_bytes,
+            "alloc_bytes": self.alloc_bytes,
         }
 
     def __repr__(self):
@@ -100,6 +102,20 @@ class OpProfiler:
         self.serve_batch_s = 0.0
         self.serve_requests = 0
         self.serve_queue_wait_s = 0.0
+        # Forward-allocation accounting: bytes of *fresh* op-output
+        # arrays (views excluded) materialised by the eager engine.
+        # Compiled replay bypasses ``_from_op`` entirely, so this
+        # counter is the eager-vs-compiled allocation delta the
+        # throughput bench reports per arm.
+        self.forward_alloc_bytes = 0
+        # Compile counters (repro.compile): plans built, wall time
+        # spent building them, arena footprint of the latest plan, its
+        # buffer-reuse percentage, and replayed (non-eager) steps.
+        self.compile_plans = 0
+        self.compile_plan_s = 0.0
+        self.arena_bytes = 0
+        self.arena_reuse_pct = 0.0
+        self.compiled_steps = 0
         self._last = time.perf_counter()
 
     # -- hooks called by the tensor core ------------------------------
@@ -107,7 +123,7 @@ class OpProfiler:
         """Reset the forward-attribution clock to *now*."""
         self._last = time.perf_counter()
 
-    def _record_forward(self, name, nbytes, on_tape):
+    def _record_forward(self, name, nbytes, on_tape, alloc_bytes=0):
         now = time.perf_counter()
         entry = self.stats.get(name)
         if entry is None:
@@ -115,6 +131,8 @@ class OpProfiler:
         entry.calls += 1
         entry.forward_s += now - self._last
         entry.output_bytes += nbytes
+        entry.alloc_bytes += alloc_bytes
+        self.forward_alloc_bytes += alloc_bytes
         self._last = now
         if on_tape:
             self.tape_bytes += nbytes
@@ -157,6 +175,17 @@ class OpProfiler:
         self.serve_requests += requests
         self.serve_queue_wait_s += queue_wait_s
 
+    def _record_compile_plan(self, seconds, arena_bytes, reuse_pct):
+        """One compiled plan was built in ``seconds`` wall time."""
+        self.compile_plans += 1
+        self.compile_plan_s += seconds
+        self.arena_bytes = arena_bytes
+        self.arena_reuse_pct = reuse_pct
+
+    def _record_compiled_step(self):
+        """One training/serving step executed via compiled replay."""
+        self.compiled_steps += 1
+
     # -- reading results ----------------------------------------------
     @property
     def total_forward_s(self):
@@ -183,6 +212,12 @@ class OpProfiler:
         self.serve_batch_s = 0.0
         self.serve_requests = 0
         self.serve_queue_wait_s = 0.0
+        self.forward_alloc_bytes = 0
+        self.compile_plans = 0
+        self.compile_plan_s = 0.0
+        self.arena_bytes = 0
+        self.arena_reuse_pct = 0.0
+        self.compiled_steps = 0
         self.mark()
 
     def as_dict(self):
@@ -202,6 +237,12 @@ class OpProfiler:
             "serve_batch_s": self.serve_batch_s,
             "serve_requests": self.serve_requests,
             "serve_queue_wait_s": self.serve_queue_wait_s,
+            "forward_alloc_bytes": self.forward_alloc_bytes,
+            "compile_plans": self.compile_plans,
+            "compile_plan_s": self.compile_plan_s,
+            "arena_bytes": self.arena_bytes,
+            "arena_reuse_pct": self.arena_reuse_pct,
+            "compiled_steps": self.compiled_steps,
         }
 
     def summary(self, limit=12):
@@ -238,7 +279,8 @@ def format_op_summary(op_profile, limit=12):
     lines.append(
         f"total forward {op_profile.get('total_forward_s', 0.0) * 1e3:.2f} ms, "
         f"backward {op_profile.get('total_backward_s', 0.0) * 1e3:.2f} ms, "
-        f"peak tape {op_profile.get('peak_tape_bytes', 0) / 2**20:.2f} MiB"
+        f"peak tape {op_profile.get('peak_tape_bytes', 0) / 2**20:.2f} MiB, "
+        f"fwd alloc {op_profile.get('forward_alloc_bytes', 0) / 2**20:.2f} MiB"
     )
     steps = op_profile.get("optimizer_steps", 0)
     if steps:
@@ -266,6 +308,15 @@ def format_op_summary(op_profile, limit=12):
             f"request(s) ({requests / serve_batches:.1f} req/batch), "
             f"forward {batch_s * 1e3:.2f} ms, queue wait "
             f"{wait_s * 1e3:.2f} ms"
+        )
+    plans = op_profile.get("compile_plans", 0)
+    if plans:
+        lines.append(
+            f"compile: {plans} plan(s) built in "
+            f"{op_profile.get('compile_plan_s', 0.0) * 1e3:.2f} ms, arena "
+            f"{op_profile.get('arena_bytes', 0) / 2**20:.2f} MiB "
+            f"({op_profile.get('arena_reuse_pct', 0.0):.1f}% reuse), "
+            f"{op_profile.get('compiled_steps', 0)} compiled step(s)"
         )
     return "\n".join(lines)
 

@@ -56,6 +56,12 @@ class ServeConfig:
     max_wait_ms: float = 2.0  # batching window after the first request
     replicas: int = 0        # forked replicas; 0 = in-process forwards
     blas_threads: int = 1    # BLAS cap inside each replica
+    # Graph-compiled forwards (repro.compile.ForwardCompiler): record
+    # predict once per coalesced batch size, replay a fused tape-free
+    # kernel schedule against a liveness-packed arena.  In-process only
+    # (replicas = 0); validated bitwise against eager per plan, with
+    # automatic per-size eager fallback.  See docs/performance.md.
+    compile: bool = False
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -68,6 +74,10 @@ class ServeConfig:
         if self.blas_threads < 1:
             raise ValueError(
                 f"blas_threads must be >= 1; got {self.blas_threads}")
+        if self.compile and self.replicas >= 1:
+            raise ValueError(
+                "compile=True requires replicas=0: compiled forwards "
+                "replay in-process against pinned model parameters")
 
 
 class ForecastServer:
@@ -108,6 +118,12 @@ class ForecastServer:
         self._forward_lock = threading.Lock()
         self._generation = 0
         self._pool = None
+        self._compiler = None
+        if self.config.compile:
+            from repro.compile import ForwardCompiler
+
+            self._compiler = ForwardCompiler(
+                model, profiler=get_active_profiler())
         self._template = template
         self._batcher = None
         self._started = False
@@ -174,6 +190,8 @@ class ForecastServer:
             prediction, _generation = self._pool.predict(batch)
             return prediction
         with self._forward_lock:
+            if self._compiler is not None:
+                return self._compiler.forward(batch)
             with no_grad():
                 return np.asarray(self.model.predict(batch))
 
@@ -268,4 +286,6 @@ class ForecastServer:
         if self._pool is not None:
             snap["shared_mib"] = round(self._pool.shared_bytes / 2**20, 3)
             snap["blas_modes"] = list(self._pool.blas_modes)
+        if self._compiler is not None:
+            snap["compile"] = self._compiler.report()
         return snap

@@ -1,10 +1,21 @@
 """2-D convolution and pooling with gradients.
 
 The forward pass extracts sliding windows with
-``numpy.lib.stride_tricks.sliding_window_view`` (a zero-copy im2col) and
-contracts them against the kernel with ``tensordot``.  The backward pass
+``numpy.lib.stride_tricks.sliding_window_view`` (a zero-copy im2col),
+packs them into a persistent scratch buffer from a
+:class:`~repro.tensor.scratch.ScratchPool`, and contracts against the
+kernel with one GEMM.  The packed layout replicates exactly what
+``np.tensordot(windows, weight, axes=([1, 4, 5], [1, 2, 3]))`` builds
+internally (non-contracted axes first, contracted axes in the given
+order), so the results are bitwise identical to the previous
+tensordot-based implementation — but the im2col/weight/GEMM workspaces
+are reused across calls instead of reallocated.  The backward pass
 scatters gradients back with a small loop over kernel offsets, which is
 fast for the 3x3 kernels used throughout the library.
+
+Under an active :mod:`repro.compile` recorder every op additionally
+registers an in-place refresh kernel so a compiled plan can recompute
+the output buffers without rebuilding the graph.
 """
 
 from __future__ import annotations
@@ -12,6 +23,8 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.tensor import tensor as _core
+from repro.tensor.scratch import default_pool
 from repro.tensor.tensor import Tensor, as_tensor, is_grad_enabled
 
 __all__ = ["conv2d", "avg_pool2d", "max_pool2d", "global_avg_pool2d"]
@@ -24,7 +37,7 @@ def _pair(value):
     return tuple(value)
 
 
-def conv2d(x, weight, bias=None, stride=1, padding=0):
+def conv2d(x, weight, bias=None, stride=1, padding=0, scratch=None):
     """Cross-correlate ``x`` with ``weight`` (the deep-learning "conv").
 
     Parameters
@@ -37,6 +50,11 @@ def conv2d(x, weight, bias=None, stride=1, padding=0):
         Optional per-output-channel bias of shape ``(C_out,)``.
     stride, padding:
         Ints or (h, w) pairs; padding is symmetric zero padding.
+    scratch:
+        Optional :class:`~repro.tensor.scratch.ScratchPool` providing
+        the im2col/weight/GEMM workspaces.  Defaults to the thread's
+        shared pool (or the active compile recorder's private pool), so
+        repeated same-shape calls allocate no new scratch.
     """
     x = as_tensor(x)
     weight = as_tensor(weight)
@@ -47,6 +65,14 @@ def conv2d(x, weight, bias=None, stride=1, padding=0):
     if c_in != c_in_w:
         raise ValueError(f"input has {c_in} channels but kernel expects {c_in_w}")
 
+    recorder = _core._RECORDER
+    pool = scratch
+    if pool is None:
+        # A compiled plan's kernels capture scratch buffers by
+        # reference, so recording must draw from the recorder's private
+        # pool, never the shared thread-local one.
+        pool = recorder.scratch if recorder is not None else default_pool()
+
     if ph or pw:
         x_pad = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
     else:
@@ -56,16 +82,32 @@ def conv2d(x, weight, bias=None, stride=1, padding=0):
 
     # (N, C, H', W', KH, KW) view of all receptive fields.
     windows = sliding_window_view(x_pad, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
-    # Contract channels and kernel dims: result is (N, H', W', C_out).
-    out = np.tensordot(windows, weight.data, axes=([1, 4, 5], [1, 2, 3]))
-    out = np.ascontiguousarray(out.transpose(0, 3, 1, 2))
+
+    # Pack into the exact operand layout tensordot would build: the
+    # non-contracted window axes (0, 2, 3) lead, the contracted axes
+    # (1, 4, 5) trail, flattened to a (rows, ck) x (ck, C_out) GEMM.
+    ck = c_in * kh * kw
+    rows = n * h_out * w_out
+    dt = np.result_type(x.dtype, weight.dtype)
+    col = pool.get("conv2d.col", (n, h_out, w_out, c_in, kh, kw), dt)
+    w_packed = pool.get("conv2d.weight", (c_in, kh, kw, c_out), dt)
+    gemm_out = pool.get("conv2d.gemm", (rows, c_out), dt)
+    np.copyto(col, windows.transpose(0, 2, 3, 1, 4, 5))
+    np.copyto(w_packed, weight.data.transpose(1, 2, 3, 0))
+    col2 = col.reshape(rows, ck)
+    w2 = w_packed.reshape(ck, c_out)
+    np.matmul(col2, w2, out=gemm_out)
+    # (N, H', W', C_out) -> (N, C_out, H', W') view over the GEMM output.
+    result_t = gemm_out.reshape(n, h_out, w_out, c_out).transpose(0, 3, 1, 2)
 
     parents = [x, weight]
     bias_t = None
     if bias is not None:
         bias_t = as_tensor(bias)
-        out = out + bias_t.data[None, :, None, None]
+        out = result_t + bias_t.data[None, :, None, None]
         parents.append(bias_t)
+    else:
+        out = np.ascontiguousarray(result_t)
 
     def backward(grad):
         if weight.requires_grad:
@@ -89,7 +131,33 @@ def conv2d(x, weight, bias=None, stride=1, padding=0):
         if bias_t is not None and bias_t.requires_grad:
             bias_t._accumulate_grad(grad.sum(axis=(0, 2, 3)))
 
-    return Tensor._from_op(out, tuple(parents), backward, name="conv2d")
+    result = Tensor._from_op(out, tuple(parents), backward, name="conv2d")
+
+    if recorder is not None:
+        # In-place refresh: re-pad the captured x_pad interior, repack
+        # scratch (same pooled buffers, shared across same-shape convs),
+        # one GEMM, then write the output buffer.  Zero allocations.
+        inner = x_pad[:, :, ph:ph + h, pw:pw + w] if (ph or pw) else None
+        x_d, w_d = x.data, weight.data
+        b_d = bias_t.data if bias_t is not None else None
+        out_d = result.data
+        win_t = windows.transpose(0, 2, 3, 1, 4, 5)
+        reads = (x_d, w_d) if b_d is None else (x_d, w_d, b_d)
+
+        def refresh():
+            if inner is not None:
+                inner[...] = x_d
+            np.copyto(col, win_t)
+            np.copyto(w_packed, w_d.transpose(1, 2, 3, 0))
+            np.matmul(col2, w2, out=gemm_out)
+            if b_d is not None:
+                np.add(result_t, b_d[None, :, None, None], out=out_d)
+            else:
+                np.copyto(out_d, result_t)
+
+        recorder.run(refresh, reads=reads, writes=(out_d,))
+
+    return result
 
 
 def avg_pool2d(x, kernel_size, stride=None):
@@ -111,7 +179,18 @@ def avg_pool2d(x, kernel_size, stride=None):
                 grad_x[:, :, p:p + h_out * sh:sh, q:q + w_out * sw:sw] += grad * scale
         x._accumulate_grad(grad_x)
 
-    return Tensor._from_op(out, (x,), backward, name="avg_pool2d")
+    result = Tensor._from_op(out, (x,), backward, name="avg_pool2d")
+
+    recorder = _core._RECORDER
+    if recorder is not None:
+        x_d, out_d = x.data, result.data
+
+        def refresh():
+            # ``windows`` is a strided view over x.data: auto-fresh.
+            np.mean(windows, axis=(4, 5), out=out_d)
+
+        recorder.run(refresh, reads=(x_d,), writes=(out_d,))
+    return result
 
 
 def max_pool2d(x, kernel_size, stride=None):
@@ -132,6 +211,7 @@ def max_pool2d(x, kernel_size, stride=None):
     out = windows.max(axis=(4, 5))
 
     backward = None
+    mask = counts = share = None
     if is_grad_enabled() and x.requires_grad:
         mask = windows == out[..., None, None]
         counts = mask.sum(axis=(4, 5), keepdims=True)
@@ -145,7 +225,21 @@ def max_pool2d(x, kernel_size, stride=None):
                     grad_x[:, :, p:p + h_out * sh:sh, q:q + w_out * sw:sw] += weighted[..., p, q]
             x._accumulate_grad(grad_x)
 
-    return Tensor._from_op(out, (x,), backward, name="max_pool2d")
+    result = Tensor._from_op(out, (x,), backward, name="max_pool2d")
+
+    recorder = _core._RECORDER
+    if recorder is not None:
+        x_d, out_d = x.data, result.data
+
+        def refresh():
+            np.max(windows, axis=(4, 5), out=out_d)
+            if mask is not None:
+                np.equal(windows, out_d[..., None, None], out=mask)
+                counts[...] = mask.sum(axis=(4, 5), keepdims=True)
+                np.divide(mask, counts, out=share)
+
+        recorder.run(refresh, reads=(x_d,), writes=(out_d,))
+    return result
 
 
 def global_avg_pool2d(x):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor import tensor as _core
 from repro.tensor.tensor import Tensor, as_tensor
 from repro.tensor.ops import unbroadcast
 
@@ -56,7 +57,20 @@ def matmul(a, b):
                 grad_b = unbroadcast(grad_b, b.shape)
             b._accumulate_grad(grad_b)
 
-    return Tensor._from_op(data, (a, b), backward, name="matmul")
+    result = Tensor._from_op(data, (a, b), backward, name="matmul")
+    rec = _core._RECORDER
+    if rec is not None:
+        ad, bd, od = a.data, b.data, result.data
+        if a.ndim >= 2 and b.ndim >= 2:
+            rec.ufunc(np.matmul, (ad, bd), od)
+        else:
+            # Vector operands collapse dims; replay through assignment
+            # (rare outside of 2-D/batched paths).
+            def refresh():
+                od[...] = ad @ bd
+
+            rec.run(refresh, reads=(ad, bd), writes=(od,))
+    return result
 
 
 def dot(a, b):

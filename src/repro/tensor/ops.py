@@ -5,12 +5,22 @@ the forward result with numpy, and registers a backward closure that
 deposits gradients into the inputs.  Broadcasting is handled by
 :func:`unbroadcast`, which sums gradients over the broadcast axes so
 each input receives a gradient of its own shape.
+
+When a :mod:`repro.compile` recorder is installed (see
+``tensor._RECORDER``) each op additionally registers a *refresh kernel*
+describing how to recompute its output buffer in place: either a
+``ufunc`` spec (fusable into an ``out=``-dispatched chain) or a small
+closure for ops with auxiliary state (masks, scales).  Backward
+closures read their captured arrays — which the refresh kernels update
+in place — so one recorded step can be replayed against new inputs
+without rebuilding the graph.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor import tensor as _core
 from repro.tensor.tensor import Tensor, as_tensor
 
 __all__ = [
@@ -91,26 +101,36 @@ def _binary(a, b, forward, grad_a, grad_b, name):
     return Tensor._from_op(data, (a, b), backward, name=name)
 
 
+def _binary_ufunc(a, b, fn, grad_a, grad_b, name):
+    """A :func:`_binary` whose forward is a plain ufunc: fusable refresh."""
+    a, b = _coerce_operands(a, b)
+    result = _binary(a, b, fn, grad_a, grad_b, name)
+    rec = _core._RECORDER
+    if rec is not None:
+        rec.ufunc(fn, (a.data, b.data), result.data)
+    return result
+
+
 def add(a, b):
     """Elementwise ``a + b`` with broadcasting."""
-    return _binary(a, b, np.add, lambda g: g, lambda g: g, "add")
+    return _binary_ufunc(a, b, np.add, lambda g: g, lambda g: g, "add")
 
 
 def sub(a, b):
     """Elementwise ``a - b`` with broadcasting."""
-    return _binary(a, b, np.subtract, lambda g: g, lambda g: -g, "sub")
+    return _binary_ufunc(a, b, np.subtract, lambda g: g, lambda g: -g, "sub")
 
 
 def mul(a, b):
     """Elementwise ``a * b`` with broadcasting."""
     a, b = _coerce_operands(a, b)
-    return _binary(a, b, np.multiply, lambda g: g * b.data, lambda g: g * a.data, "mul")
+    return _binary_ufunc(a, b, np.multiply, lambda g: g * b.data, lambda g: g * a.data, "mul")
 
 
 def div(a, b):
     """Elementwise ``a / b`` with broadcasting."""
     a, b = _coerce_operands(a, b)
-    return _binary(
+    return _binary_ufunc(
         a,
         b,
         np.divide,
@@ -129,18 +149,38 @@ def maximum(a, b):
     """
     a, b = _coerce_operands(a, b)
     mask = a.data >= b.data
-    return _binary(
+    result = _binary(
         a, b, np.maximum, lambda g: g * mask, lambda g: g * (~mask), "maximum"
     )
+    rec = _core._RECORDER
+    if rec is not None:
+        ad, bd, od = a.data, b.data, result.data
+
+        def refresh():
+            np.greater_equal(ad, bd, out=mask)
+            np.maximum(ad, bd, out=od)
+
+        rec.run(refresh, reads=(ad, bd), writes=(od,))
+    return result
 
 
 def minimum(a, b):
     """Elementwise minimum; gradient flows to the smaller input."""
     a, b = _coerce_operands(a, b)
     mask = a.data <= b.data
-    return _binary(
+    result = _binary(
         a, b, np.minimum, lambda g: g * mask, lambda g: g * (~mask), "minimum"
     )
+    rec = _core._RECORDER
+    if rec is not None:
+        ad, bd, od = a.data, b.data, result.data
+
+        def refresh():
+            np.less_equal(ad, bd, out=mask)
+            np.minimum(ad, bd, out=od)
+
+        rec.run(refresh, reads=(ad, bd), writes=(od,))
+    return result
 
 
 def _unary(a, data, grad_fn, name):
@@ -152,10 +192,19 @@ def _unary(a, data, grad_fn, name):
     return Tensor._from_op(data, (a,), backward, name=name)
 
 
+def _unary_ufunc(a, fn, grad_fn, name):
+    """A :func:`_unary` whose forward is a plain ufunc: fusable refresh."""
+    a = as_tensor(a)
+    result = _unary(a, fn(a.data), grad_fn, name)
+    rec = _core._RECORDER
+    if rec is not None:
+        rec.ufunc(fn, (a.data,), result.data)
+    return result
+
+
 def neg(a):
     """Elementwise negation."""
-    a = as_tensor(a)
-    return _unary(a, -a.data, lambda g: -g, "neg")
+    return _unary_ufunc(a, np.negative, lambda g: -g, "neg")
 
 
 def pow_(a, exponent):
@@ -163,41 +212,55 @@ def pow_(a, exponent):
     a = as_tensor(a)
     if isinstance(exponent, Tensor):
         raise TypeError("pow_ supports constant exponents only; use exp/log for tensor exponents")
-    data = a.data ** exponent
-    return _unary(a, data, lambda g: g * exponent * a.data ** (exponent - 1), "pow")
+    result = _unary(a, a.data ** exponent,
+                    lambda g: g * exponent * a.data ** (exponent - 1), "pow")
+    rec = _core._RECORDER
+    if rec is not None:
+        rec.ufunc(np.power, (a.data, exponent), result.data)
+    return result
 
 
 def exp(a):
     """Elementwise exponential."""
     a = as_tensor(a)
     data = np.exp(a.data)
-    return _unary(a, data, lambda g: g * data, "exp")
+    return _unary_graph_output(a, np.exp, data, lambda d: lambda g: g * d, "exp")
+
+
+def _unary_graph_output(a, fn, data, make_grad, name):
+    """Unary ufunc op whose gradient reads its own (refreshed) output."""
+    result = _unary(a, data, make_grad(data), name)
+    rec = _core._RECORDER
+    if rec is not None:
+        rec.ufunc(fn, (a.data,), result.data)
+    return result
 
 
 def log(a):
     """Elementwise natural logarithm."""
     a = as_tensor(a)
-    return _unary(a, np.log(a.data), lambda g: g / a.data, "log")
+    return _unary_ufunc(a, np.log, lambda g: g / a.data, "log")
 
 
 def sqrt(a):
     """Elementwise square root."""
     a = as_tensor(a)
     data = np.sqrt(a.data)
-    return _unary(a, data, lambda g: g * 0.5 / data, "sqrt")
+    return _unary_graph_output(a, np.sqrt, data, lambda d: lambda g: g * 0.5 / d, "sqrt")
 
 
 def abs_(a):
     """Elementwise absolute value (subgradient 0 at zero... sign)."""
     a = as_tensor(a)
-    return _unary(a, np.abs(a.data), lambda g: g * np.sign(a.data), "abs")
+    return _unary_ufunc(a, np.absolute, lambda g: g * np.sign(a.data), "abs")
 
 
 def tanh(a):
     """Elementwise hyperbolic tangent."""
     a = as_tensor(a)
     data = np.tanh(a.data)
-    return _unary(a, data, lambda g: g * (1.0 - data * data), "tanh")
+    return _unary_graph_output(a, np.tanh, data,
+                               lambda d: lambda g: g * (1.0 - d * d), "tanh")
 
 
 def sigmoid(a):
@@ -205,14 +268,30 @@ def sigmoid(a):
     a = as_tensor(a)
     x = a.data
     data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
-    return _unary(a, data, lambda g: g * data * (1.0 - data), "sigmoid")
+    result = _unary(a, data, lambda g: g * data * (1.0 - data), "sigmoid")
+    rec = _core._RECORDER
+    if rec is not None:
+        od = result.data
+
+        def refresh():
+            od[...] = np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)),
+                               np.exp(x) / (1.0 + np.exp(x)))
+
+        rec.run(refresh, reads=(x,), writes=(od,))
+    return result
 
 
 def relu(a):
     """Elementwise rectified linear unit."""
     a = as_tensor(a)
     mask = a.data > 0
-    return _unary(a, a.data * mask, lambda g: g * mask, "relu")
+    result = _unary(a, a.data * mask, lambda g: g * mask, "relu")
+    rec = _core._RECORDER
+    if rec is not None:
+        # Two fusable specs: refresh the mask, then the masked product.
+        rec.ufunc(np.greater, (a.data, 0), mask)
+        rec.ufunc(np.multiply, (a.data, mask), result.data)
+    return result
 
 
 def leaky_relu(a, negative_slope=0.01):
@@ -220,7 +299,18 @@ def leaky_relu(a, negative_slope=0.01):
     a = as_tensor(a)
     mask = a.data > 0
     scale = np.where(mask, 1.0, negative_slope)
-    return _unary(a, a.data * scale, lambda g: g * scale, "leaky_relu")
+    result = _unary(a, a.data * scale, lambda g: g * scale, "leaky_relu")
+    rec = _core._RECORDER
+    if rec is not None:
+        ad, od = a.data, result.data
+
+        def refresh():
+            np.greater(ad, 0, out=mask)
+            scale[...] = np.where(mask, 1.0, negative_slope)
+            np.multiply(ad, scale, out=od)
+
+        rec.run(refresh, reads=(ad,), writes=(od,))
+    return result
 
 
 def softplus(a):
@@ -229,14 +319,35 @@ def softplus(a):
     x = a.data
     data = np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
     sig = np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
-    return _unary(a, data, lambda g: g * sig, "softplus")
+    result = _unary(a, data, lambda g: g * sig, "softplus")
+    rec = _core._RECORDER
+    if rec is not None:
+        od = result.data
+
+        def refresh():
+            od[...] = np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+            sig[...] = np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)),
+                                np.exp(x) / (1.0 + np.exp(x)))
+
+        rec.run(refresh, reads=(x,), writes=(od,))
+    return result
 
 
 def clip(a, low, high):
     """Clamp values to ``[low, high]``; gradient is zero outside."""
     a = as_tensor(a)
     mask = (a.data >= low) & (a.data <= high)
-    return _unary(a, np.clip(a.data, low, high), lambda g: g * mask, "clip")
+    result = _unary(a, np.clip(a.data, low, high), lambda g: g * mask, "clip")
+    rec = _core._RECORDER
+    if rec is not None:
+        ad, od = a.data, result.data
+
+        def refresh():
+            mask[...] = (ad >= low) & (ad <= high)
+            np.clip(ad, low, high, out=od)
+
+        rec.run(refresh, reads=(ad,), writes=(od,))
+    return result
 
 
 def where(condition, a, b):
@@ -244,6 +355,7 @@ def where(condition, a, b):
 
     ``condition`` is a plain boolean array (no gradient flows to it).
     """
+    cond_src = condition.data if isinstance(condition, Tensor) else None
     cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
     cond = cond.astype(bool)
     a, b = _coerce_operands(a, b)
@@ -255,4 +367,20 @@ def where(condition, a, b):
         if b.requires_grad:
             b._accumulate_grad(unbroadcast(grad * (~cond), b.shape))
 
-    return Tensor._from_op(data, (a, b), backward, name="where")
+    result = Tensor._from_op(data, (a, b), backward, name="where")
+    rec = _core._RECORDER
+    if rec is not None:
+        ad, bd, od = a.data, b.data, result.data
+        # A tensor-valued condition may itself be refreshed by the plan;
+        # re-derive the bool snapshot from the live buffer each replay.
+        src = cond_src if cond_src is not None and cond_src is not cond else None
+        reads = (ad, bd) if src is None else (src, ad, bd)
+
+        def refresh():
+            if src is not None:
+                cond[...] = src
+            np.copyto(od, bd)
+            np.copyto(od, ad, where=cond)
+
+        rec.run(refresh, reads=reads, writes=(od,))
+    return result

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor import tensor as _core
 from repro.tensor.tensor import Tensor
 
 __all__ = ["make_rng", "spawn", "normal_like", "reparameterize_noise"]
@@ -30,12 +31,36 @@ def spawn(rng, count):
     return [np.random.default_rng(child) for child in seq.spawn(count)]
 
 
+def _record_draw(buf, rng, shape, scale):
+    """Register an rng-draw replay kernel for a noise leaf.
+
+    The kernel captures the *generator object* — replay draws from it in
+    schedule order, so a replayed step consumes the identical stream the
+    eager step would have (in-place assignment applies the same
+    round-to-nearest cast as ``astype``, keeping results bitwise equal).
+    """
+    rec = _core._RECORDER
+    if rec is None:
+        return
+
+    def draw():
+        buf[...] = rng.standard_normal(shape)
+        if scale != 1.0:
+            np.multiply(buf, scale, out=buf)
+
+    rec.rng(draw, writes=(buf,))
+
+
 def normal_like(tensor, rng, scale=1.0):
     """Detached standard-normal noise with ``tensor``'s shape and dtype."""
     data = rng.standard_normal(tensor.shape).astype(tensor.dtype) * scale
-    return Tensor(data)
+    result = Tensor(data)
+    _record_draw(result.data, rng, tensor.shape, scale)
+    return result
 
 
 def reparameterize_noise(shape, rng, dtype=np.float64):
     """Standard-normal epsilon for the VAE reparameterization trick."""
-    return Tensor(rng.standard_normal(shape).astype(dtype))
+    result = Tensor(rng.standard_normal(shape).astype(dtype))
+    _record_draw(result.data, rng, shape, 1.0)
+    return result

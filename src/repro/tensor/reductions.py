@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor import tensor as _core
 from repro.tensor.tensor import Tensor, as_tensor
 
 __all__ = ["sum_", "mean", "max_", "min_", "var", "std", "logsumexp"]
@@ -39,7 +40,11 @@ def sum_(a, axis=None, keepdims=False):
     def backward(grad):
         a._accumulate_grad(_expand_to_input(grad, a.shape, axis, keepdims))
 
-    return Tensor._from_op(data, (a,), backward, name="sum")
+    result = Tensor._from_op(data, (a,), backward, name="sum")
+    rec = _core._RECORDER
+    if rec is not None:
+        rec.ufunc(np.sum, (a.data,), result.data, axis=axis, keepdims=keepdims)
+    return result
 
 
 def mean(a, axis=None, keepdims=False):
@@ -55,7 +60,11 @@ def mean(a, axis=None, keepdims=False):
     def backward(grad):
         a._accumulate_grad(_expand_to_input(grad, a.shape, axis, keepdims) / count)
 
-    return Tensor._from_op(data, (a,), backward, name="mean")
+    result = Tensor._from_op(data, (a,), backward, name="mean")
+    rec = _core._RECORDER
+    if rec is not None:
+        rec.ufunc(np.mean, (a.data,), result.data, axis=axis, keepdims=keepdims)
+    return result
 
 
 def _extreme(a, axis, keepdims, np_fn, name):
@@ -70,7 +79,10 @@ def _extreme(a, axis, keepdims, np_fn, name):
     data = np_fn(a.data, axis=axis, keepdims=keepdims)
     expanded = _expand_to_input(data, a.shape, axis, keepdims)
     mask = (a.data == expanded).astype(a.data.dtype)
-    counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+    # counts is always a 0-d/keepdims array (never a python scalar) so a
+    # compiled plan can refresh it in place.
+    counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
+        else np.asarray(mask.sum())
 
     def backward(grad):
         g = _expand_to_input(grad, a.shape, axis, keepdims)
@@ -78,7 +90,23 @@ def _extreme(a, axis, keepdims, np_fn, name):
             else np.broadcast_to(counts, a.shape)
         a._accumulate_grad(g * mask / c)
 
-    return Tensor._from_op(data, (a,), backward, name=name)
+    result = Tensor._from_op(data, (a,), backward, name=name)
+    rec = _core._RECORDER
+    if rec is not None:
+        ad, od = a.data, result.data
+
+        def refresh():
+            np_fn(ad, axis=axis, keepdims=keepdims, out=od)
+            # Re-expand from the live output (``expanded`` may wrap a
+            # scalar snapshot when the forward reduced to 0-d).
+            mask[...] = ad == _expand_to_input(od, ad.shape, axis, keepdims)
+            if axis is not None:
+                counts[...] = mask.sum(axis=axis, keepdims=True)
+            else:
+                counts[...] = mask.sum()
+
+        rec.run(refresh, reads=(ad,), writes=(od,))
+    return result
 
 
 def max_(a, axis=None, keepdims=False):
@@ -118,7 +146,18 @@ def logsumexp(a, axis=None, keepdims=False):
     from repro.tensor.ops import exp, log
 
     a = as_tensor(a)
-    shift = Tensor(a.data.max(axis=_normalize_axis(axis, a.ndim), keepdims=True))
+    axnorm = _normalize_axis(axis, a.ndim)
+    shift = Tensor(a.data.max(axis=axnorm, keepdims=True))
+    rec = _core._RECORDER
+    if rec is not None:
+        # ``shift`` is a data-dependent *leaf* (no _from_op call), so a
+        # compiled plan must refresh it explicitly before the ops below.
+        ad, sd = a.data, shift.data
+
+        def refresh_shift():
+            np.max(ad, axis=axnorm, keepdims=True, out=sd)
+
+        rec.leaf(refresh_shift, reads=(ad,), writes=(sd,))
     out = log(sum_(exp(a - shift), axis=axis, keepdims=True)) + shift
     if keepdims or axis is None and out.size == 1:
         if not keepdims and axis is None:

@@ -4,7 +4,30 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor import tensor as _core
 from repro.tensor.tensor import Tensor, as_tensor
+
+
+def _record_view_or_copy(result, a, remake):
+    """Register a replay record for a shape op.
+
+    Shape ops produce either a *view* of their input (nothing to refresh
+    — the buffer aliases the input, which the plan keeps fresh) or a
+    fresh array, which replay refreshes by re-running ``remake`` into
+    the output buffer.
+    """
+    rec = _core._RECORDER
+    if rec is None:
+        return
+    od, ad = result.data, a.data
+    if od.base is not None and np.shares_memory(od, ad):
+        rec.view(od, ad)
+        return
+
+    def refresh():
+        od[...] = remake(ad)
+
+    rec.run(refresh, reads=(ad,), writes=(od,))
 
 __all__ = [
     "reshape",
@@ -33,7 +56,9 @@ def reshape(a, shape):
     def backward(grad):
         a._accumulate_grad(grad.reshape(a.shape))
 
-    return Tensor._from_op(data, (a,), backward, name="reshape")
+    result = Tensor._from_op(data, (a,), backward, name="reshape")
+    _record_view_or_copy(result, a, lambda ad: ad.reshape(shape))
+    return result
 
 
 def transpose(a, axes=None):
@@ -48,7 +73,9 @@ def transpose(a, axes=None):
     def backward(grad):
         a._accumulate_grad(np.transpose(grad, inverse))
 
-    return Tensor._from_op(data, (a,), backward, name="transpose")
+    result = Tensor._from_op(data, (a,), backward, name="transpose")
+    _record_view_or_copy(result, a, lambda ad: np.transpose(ad, axes))
+    return result
 
 
 def swapaxes(a, axis1, axis2):
@@ -79,7 +106,17 @@ def concat(tensors, axis=0):
             if tensor.requires_grad:
                 tensor._accumulate_grad(piece)
 
-    return Tensor._from_op(data, tuple(tensors), backward, name="concat")
+    result = Tensor._from_op(data, tuple(tensors), backward, name="concat")
+    rec = _core._RECORDER
+    if rec is not None:
+        srcs = [t.data for t in tensors]
+        od = result.data
+
+        def refresh():
+            np.concatenate(srcs, axis=axis, out=od)
+
+        rec.run(refresh, reads=tuple(srcs), writes=(od,))
+    return result
 
 
 def stack(tensors, axis=0):
@@ -93,7 +130,17 @@ def stack(tensors, axis=0):
             if tensor.requires_grad:
                 tensor._accumulate_grad(np.squeeze(piece, axis=axis))
 
-    return Tensor._from_op(data, tuple(tensors), backward, name="stack")
+    result = Tensor._from_op(data, tuple(tensors), backward, name="stack")
+    rec = _core._RECORDER
+    if rec is not None:
+        srcs = [t.data for t in tensors]
+        od = result.data
+
+        def refresh():
+            np.stack(srcs, axis=axis, out=od)
+
+        rec.run(refresh, reads=tuple(srcs), writes=(od,))
+    return result
 
 
 def split(a, sections, axis=0):
@@ -121,7 +168,9 @@ def getitem(a, index):
         np.add.at(full, index, grad)
         a._accumulate_grad(full)
 
-    return Tensor._from_op(data, (a,), backward, name="getitem")
+    result = Tensor._from_op(data, (a,), backward, name="getitem")
+    _record_view_or_copy(result, a, lambda ad: ad[index])
+    return result
 
 
 def pad(a, pad_width, value=0.0):
@@ -141,7 +190,19 @@ def pad(a, pad_width, value=0.0):
     def backward(grad):
         a._accumulate_grad(grad[slices])
 
-    return Tensor._from_op(data, (a,), backward, name="pad")
+    result = Tensor._from_op(data, (a,), backward, name="pad")
+    rec = _core._RECORDER
+    if rec is not None:
+        ad, od = a.data, result.data
+        inner = od[slices]
+
+        def refresh():
+            # The pad region is constant since record; only the
+            # interior tracks the input.
+            inner[...] = ad
+
+        rec.run(refresh, reads=(ad,), writes=(od,))
+    return result
 
 
 def broadcast_to(a, shape):
@@ -154,7 +215,16 @@ def broadcast_to(a, shape):
     def backward(grad):
         a._accumulate_grad(unbroadcast(grad, a.shape))
 
-    return Tensor._from_op(data, (a,), backward, name="broadcast_to")
+    result = Tensor._from_op(data, (a,), backward, name="broadcast_to")
+    rec = _core._RECORDER
+    if rec is not None:
+        ad, od = a.data, result.data
+
+        def refresh():
+            np.copyto(od, ad)
+
+        rec.run(refresh, reads=(ad,), writes=(od,))
+    return result
 
 
 def squeeze(a, axis=None):
@@ -177,7 +247,9 @@ def flip(a, axis):
     def backward(grad):
         a._accumulate_grad(np.flip(grad, axis=axis))
 
-    return Tensor._from_op(data, (a,), backward, name="flip")
+    result = Tensor._from_op(data, (a,), backward, name="flip")
+    _record_view_or_copy(result, a, lambda ad: np.flip(ad, axis=axis))
+    return result
 
 
 def repeat_interleave(a, repeats, axis):
@@ -190,7 +262,9 @@ def repeat_interleave(a, repeats, axis):
         new_shape[axis:axis + 1] = [a.shape[axis], repeats]
         a._accumulate_grad(grad.reshape(new_shape).sum(axis=axis + 1))
 
-    return Tensor._from_op(data, (a,), backward, name="repeat_interleave")
+    result = Tensor._from_op(data, (a,), backward, name="repeat_interleave")
+    _record_view_or_copy(result, a, lambda ad: np.repeat(ad, repeats, axis=axis))
+    return result
 
 
 def tile(a, reps):
@@ -214,4 +288,6 @@ def tile(a, reps):
         folded = folded.sum(axis=tuple(range(0, folded.ndim, 2)))
         a._accumulate_grad(unbroadcast(folded, a.shape))
 
-    return Tensor._from_op(data, (a,), backward, name="tile")
+    result = Tensor._from_op(data, (a,), backward, name="tile")
+    _record_view_or_copy(result, a, lambda ad: np.tile(ad, reps))
+    return result

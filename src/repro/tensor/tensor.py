@@ -53,6 +53,16 @@ _ANOMALY_HOOK = None
 # the op implementations.  ``None`` when tracing is off.
 _TRACE_HOOK = None
 
+# Active kernel recorder (see repro.compile).  While installed, every
+# op site registers an in-place "refresh kernel" able to recompute its
+# output buffer with ``out=`` numpy calls; the recorder also gets an
+# ``_on_op`` ping from ``_from_op`` so ops *without* a registered
+# kernel are detected (they force the compiler back to eager rather
+# than silently replaying stale buffers).  ``None`` when recording is
+# off — the hot path pays a single global load + ``None`` check, the
+# same contract as the profiler/anomaly/trace hooks above.
+_RECORDER = None
+
 
 def _set_profiler(profiler):
     """Install ``profiler`` as the active op profiler; returns the previous.
@@ -88,6 +98,18 @@ def _set_trace_hook(hook):
     global _TRACE_HOOK
     previous = _TRACE_HOOK
     _TRACE_HOOK = hook
+    return previous
+
+
+def _set_recorder(recorder):
+    """Install ``recorder`` as the active kernel recorder; returns the previous.
+
+    ``None`` disables recording.  Use :mod:`repro.compile` rather than
+    calling this directly.
+    """
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder
     return previous
 
 
@@ -167,7 +189,7 @@ class Tensor:
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
-                 "_freed", "name")
+                 "_freed", "_grad_stale", "name")
 
     def __init__(self, data, requires_grad=False, name=None):
         if isinstance(data, Tensor):
@@ -190,6 +212,12 @@ class Tensor:
         self._backward = None
         self._parents = ()
         self._freed = False
+        # Compiled-replay bookkeeping: when True the gradient *buffer*
+        # is kept but its contents are from a previous step, so the
+        # next deposit overwrites instead of accumulating (see
+        # repro.compile; equivalent to ``grad is None`` without the
+        # reallocation).
+        self._grad_stale = False
         self.name = name
 
     # ------------------------------------------------------------------
@@ -249,9 +277,16 @@ class Tensor:
             out._backward = backward
             on_tape = True
         if _PROFILER is not None:
-            _PROFILER._record_forward(name or "op", out.data.nbytes, on_tape)
+            # A view result (reshape/transpose/basic getitem) shares its
+            # parent's buffer; only owned buffers count as forward
+            # allocations.
+            _PROFILER._record_forward(
+                name or "op", out.data.nbytes, on_tape,
+                alloc_bytes=out.data.nbytes if out.data.base is None else 0)
         if _TRACE_HOOK is not None:
             _TRACE_HOOK(name or "op", out, parents)
+        if _RECORDER is not None:
+            _RECORDER._on_op(name or "op", out, parents)
         return out
 
     def _accumulate_grad(self, grad):
@@ -272,9 +307,17 @@ class Tensor:
             )
         if self.grad is None:
             self.grad = grad.astype(self.data.dtype, copy=True)
+            self._grad_stale = False
             if _PROFILER is not None:
                 _PROFILER._record_grad_alloc(self.name or "tensor",
                                              self.grad.nbytes)
+        elif self._grad_stale:
+            # Compiled replay: the buffer survives across steps but its
+            # contents belong to the previous one — the first deposit
+            # overwrites.  ``copyto`` with unsafe casting is bitwise the
+            # first-branch ``astype(dtype, copy=True)``.
+            np.copyto(self.grad, grad, casting="unsafe")
+            self._grad_stale = False
         else:
             # In-place add keeps the buffer's dtype; "unsafe" permits
             # the float64 -> float32 narrowing the buffer policy implies.

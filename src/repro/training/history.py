@@ -40,6 +40,12 @@ class History:
     # Data-parallel run telemetry (ParallelEngine.telemetry()): worker
     # count, allreduce time, prefetch stalls, per-worker BLAS pinning.
     parallel: dict = None
+    # Graph-compiled stepping report (StepCompiler.report()): plans
+    # built/validated, compiled vs eager step counts, arena bytes and
+    # scratch reuse, and any per-signature fallback reasons.  When
+    # TrainConfig.compile was requested but unavailable, holds
+    # {"enabled": False, "reason": ...} instead.
+    compiled: dict = None
 
     @property
     def epochs_run(self):
@@ -82,6 +88,8 @@ class History:
             line += f", peak tape {self.peak_tape_bytes / 2**20:.2f} MiB"
         if self.parallel:
             line += f", {self.parallel.get('workers', '?')} workers"
+        if self.compiled and self.compiled.get("compiled_steps"):
+            line += f", {self.compiled['compiled_steps']} compiled steps"
         line += ")"
         if self.stopped_early:
             line += " [stopped early]"

@@ -115,6 +115,14 @@ class TrainConfig:
     # sharding, flat gradient allreduce, prefetching batch ring — see
     # docs/performance.md).
     workers: int = 0
+    # Graph-compiled stepping (repro.compile): record each batch
+    # signature's step once, then replay a fused in-place kernel
+    # schedule over the retained graph.  Bit-identical to eager by
+    # construction (build + shadow validation gates, atol 0); falls
+    # back to eager per signature whenever equivalence can't be proven.
+    # Incompatible with workers > 0 and ignored (eager per step) while
+    # detect_anomaly is active.  See docs/performance.md.
+    compile: bool = False
 
     def __post_init__(self):
         if self.workers < 0:
@@ -146,9 +154,12 @@ class TrainConfig:
 class Trainer:
     """Fit a forecasting model on prepared :class:`ForecastData`."""
 
-    def __init__(self, model, config: TrainConfig = None, dtype=None):
+    def __init__(self, model, config: TrainConfig = None, dtype=None,
+                 compile=None):
         self.model = model
         self.config = config if config is not None else TrainConfig()
+        if compile is not None:
+            self.config.compile = bool(compile)
         if dtype is None:
             dtype = self.config.dtype
         self.dtype = None if dtype is None else np.dtype(dtype)
@@ -272,6 +283,20 @@ class Trainer:
         global_step = self.optimizer._step_count
         snapshot = None
         engine = None
+        compiler = None
+        if config.compile:
+            if config.workers:
+                # Worker processes run their own step loops; the
+                # retained-graph replay is a single-process construct.
+                history.compiled = {
+                    "enabled": False,
+                    "reason": "workers > 0: steps execute in forked "
+                              "worker processes"}
+            else:
+                from repro.compile import StepCompiler
+
+                compiler = StepCompiler(self.model, self.optimizer,
+                                        self._rng)
         self._interrupt_requested = False
         old_handlers = self._install_signal_handlers()
 
@@ -307,7 +332,8 @@ class Trainer:
                     epoch_regs = []
                     mid_epoch_stop = False
                     if engine is None:
-                        steps = self._serial_steps(data, config, profiler)
+                        steps = self._serial_steps(data, config, profiler,
+                                                   compiler)
                     else:
                         # Same rng draw as iterate_batches: one shuffle
                         # per epoch, so the global sample order matches
@@ -382,6 +408,8 @@ class Trainer:
             history.sentinel = sentinel.report()
         if engine is not None:
             history.parallel = engine.telemetry()
+        if compiler is not None:
+            history.compiled = compiler.report()
         if profiler is not None:
             history.op_profile = profiler.as_dict()
             history.peak_tape_bytes = profiler.peak_tape_bytes
@@ -396,16 +424,23 @@ class Trainer:
         self.model.eval()
         return history
 
-    def _serial_steps(self, data, config, profiler):
+    def _serial_steps(self, data, config, profiler, compiler=None):
         """Single-process step source: yields ``(loss, reg)`` per batch.
 
         Each yield happens after ``backward()``, with the batch
         gradients deposited on the parameters — the same post-state the
         parallel engine presents after its allreduce, so the fit loop's
-        sentinel/clip/step tail is shared between the two paths.
+        sentinel/clip/step tail is shared between the two paths.  With
+        ``compiler`` set, each step routes through
+        :meth:`repro.compile.StepCompiler.step`, which preserves that
+        exact post-state (bit-identical, validated) while replaying a
+        compiled plan whenever one is trusted for the batch signature.
         """
         for batch in iterate_batches(data.train, config.batch_size,
                                      rng=self._rng):
+            if compiler is not None:
+                yield compiler.step(batch, profiler)
+                continue
             self.optimizer.zero_grad()
             if profiler is not None:
                 profiler.mark()  # don't attribute batch prep to op 1

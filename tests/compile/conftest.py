@@ -1,0 +1,85 @@
+"""Fixtures for the graph-compiler suite: tiny data + small models."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, prepare_forecast_data
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    """Tiny prepared dataset (cached per session)."""
+    dataset = load_dataset("nyc-bike", scale="tiny")
+    return prepare_forecast_data(dataset, max_train_samples=24,
+                                 max_test_samples=10)
+
+
+@pytest.fixture(scope="session")
+def muse_config(tiny_data):
+    """Small MUSE-Net config matching the tiny dataset."""
+    from repro.core import MuseConfig
+
+    return MuseConfig.for_data(
+        tiny_data, rep_channels=8, latent_interactive=16, res_blocks=1,
+        plus_channels=2, decoder_hidden=32,
+    )
+
+
+def make_muse(muse_config, seed=0):
+    from dataclasses import replace
+
+    from repro.core import MUSENet
+
+    return MUSENet(replace(muse_config, seed=seed))
+
+
+def make_baseline_model(name, tiny_data, seed=0):
+    from repro.baselines import BaselineConfig, make_baseline
+
+    config = BaselineConfig.for_data(tiny_data, hidden=16, seed=seed)
+    return make_baseline(name, config)
+
+
+def eager_steps(model, optimizer, rng, batches):
+    """Reference eager loop; returns (losses, final grads, final params)."""
+    losses = []
+    for batch in batches:
+        optimizer.zero_grad()
+        breakdown, _ = model.training_loss(batch, rng=rng)
+        breakdown.total.backward()
+        losses.append((breakdown.total.item(), breakdown.reg.item()))
+        optimizer.step()
+    grads = [None if p.grad is None else p.grad.copy()
+             for p in optimizer.parameters]
+    params = [p.data.copy() for p in optimizer.parameters]
+    return losses, grads, params
+
+
+def compiled_steps(model, optimizer, rng, batches):
+    """Same loop through a StepCompiler; returns (losses, grads, params,
+    compiler)."""
+    from repro.compile import StepCompiler
+
+    compiler = StepCompiler(model, optimizer, rng)
+    losses = []
+    for batch in batches:
+        losses.append(compiler.step(batch))
+        optimizer.step()
+    grads = [None if p.grad is None else p.grad.copy()
+             for p in optimizer.parameters]
+    params = [p.data.copy() for p in optimizer.parameters]
+    return losses, grads, params, compiler
+
+
+def assert_bitwise(eager, compiled):
+    """Exact (atol 0) comparison of two (losses, grads, params) triples."""
+    e_losses, e_grads, e_params = eager[:3]
+    c_losses, c_grads, c_params = compiled[:3]
+    assert e_losses == c_losses
+    for a, b in zip(e_grads, c_grads):
+        if a is None or b is None:
+            assert a is None and b is None
+        else:
+            np.testing.assert_array_equal(a, b)
+    for a, b in zip(e_params, c_params):
+        np.testing.assert_array_equal(a, b)

@@ -166,7 +166,7 @@ class TestConfig:
         # a breaking change for pyproject configs and suppressions.
         assert ALL_RULES == ("dtype-policy", "gradcheck-coverage",
                              "optimizer-out", "mutable-default",
-                             "fork-discipline")
+                             "fork-discipline", "alloc")
 
 
 class TestForkDiscipline:
@@ -223,6 +223,66 @@ class TestForkDiscipline:
             proc = Process(target=print)
         """, rel="src/repro/training/loop.py")
         assert report.ok
+
+
+class TestAlloc:
+    """The opt-in zero-allocation rule for compiled-plan hot paths."""
+
+    CONFIG = LintConfig(disabled=frozenset({"gradcheck-coverage"}),
+                        alloc_paths=("src/repro/compile",))
+
+    def test_allocating_call_is_flagged_in_configured_paths(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import numpy as np
+            buf = np.empty((3, 3), dtype=np.float64)
+        """, rel="src/repro/compile/plan.py", config=self.CONFIG)
+        assert [f.rule for f in report.findings] == ["alloc"]
+        assert "out=" in report.findings[0].message
+
+    def test_out_keyword_passes(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import numpy as np
+
+            def kernel(a, b, buf):
+                np.matmul(a, b, out=buf)
+                np.copyto(buf, a)
+        """, rel="src/repro/compile/plan.py", config=self.CONFIG)
+        assert report.ok
+
+    def test_silent_outside_configured_paths(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import numpy as np
+            buf = np.empty((3, 3), dtype=np.float64)
+        """, rel="src/repro/tensor/mod.py", config=self.CONFIG)
+        assert report.ok
+
+    def test_rule_is_opt_in_by_default(self, tmp_path):
+        # An empty alloc-paths config (the LintConfig default) means the
+        # rule never fires, anywhere.
+        report = _lint_source(tmp_path, """
+            import numpy as np
+            buf = np.empty((3, 3), dtype=np.float64)
+        """, rel="src/repro/compile/plan.py")
+        assert report.ok
+
+    def test_inline_suppression_for_plan_build_allocations(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import numpy as np
+            ones = np.ones_like(np.float64(0.0))  # lint: ignore[alloc]
+        """, rel="src/repro/compile/step.py", config=self.CONFIG)
+        assert report.ok
+
+    def test_alloc_paths_loaded_from_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""
+            [tool.repro.lint]
+            alloc-paths = ["src/repro/compile", "src/repro/tensor/scratch.py"]
+        """))
+        config = load_config(tmp_path)
+        assert config.alloc_paths == ("src/repro/compile",
+                                      "src/repro/tensor/scratch.py")
+        assert config.rule_applies("alloc", "src/repro/compile/plan.py")
+        assert config.rule_applies("alloc", "src/repro/tensor/scratch.py")
+        assert not config.rule_applies("alloc", "src/repro/tensor/ops.py")
 
 
 class TestReportMechanics:

@@ -1,0 +1,78 @@
+"""Unit tests for liveness analysis and arena packing."""
+
+import numpy as np
+import pytest
+
+from repro.inspect import compute_liveness, plan_arena
+from repro.inspect.liveness import ARENA_ALIGN
+
+
+class TestComputeLiveness:
+    def test_birth_to_last_read(self):
+        events = [((), ("a",)), (("a",), ("b",)), (("b",), ("c",))]
+        intervals = compute_liveness(events)
+        assert intervals["a"] == [0, 1]
+        assert intervals["b"] == [1, 2]
+        assert intervals["c"] == [2, 2]
+
+    def test_rewrite_extends_lifetime(self):
+        events = [((), ("a",)), ((), ("b",)), (("b",), ("a",)),
+                  (("a",), ("c",))]
+        assert compute_liveness(events)["a"] == [0, 3]
+
+    def test_reads_of_unwritten_keys_ignored(self):
+        events = [(("input",), ("a",)), (("a", "input"), ("b",))]
+        intervals = compute_liveness(events)
+        assert "input" not in intervals
+        assert intervals["a"] == [0, 1]
+
+    def test_empty(self):
+        assert compute_liveness([]) == {}
+
+
+class TestPlanArena:
+    def test_disjoint_lifetimes_share_offsets(self):
+        intervals = {"a": [0, 1], "b": [2, 3]}
+        sizes = {"a": 100, "b": 100}
+        offsets, total = plan_arena(intervals, sizes)
+        assert offsets["a"] == offsets["b"] == 0
+        assert total == 100
+
+    def test_overlapping_lifetimes_do_not_collide(self):
+        intervals = {"a": [0, 2], "b": [1, 3]}
+        sizes = {"a": 100, "b": 100}
+        offsets, total = plan_arena(intervals, sizes)
+        span_a = (offsets["a"], offsets["a"] + 100)
+        span_b = (offsets["b"], offsets["b"] + 100)
+        assert span_a[1] <= span_b[0] or span_b[1] <= span_a[0]
+        assert total >= 100 + ARENA_ALIGN
+
+    def test_offsets_are_aligned(self):
+        intervals = {"a": [0, 2], "b": [0, 2], "c": [0, 2]}
+        sizes = {"a": 17, "b": 33, "c": 65}
+        offsets, _total = plan_arena(intervals, sizes)
+        for offset in offsets.values():
+            assert offset % ARENA_ALIGN == 0
+
+    def test_total_never_exceeds_unpacked_sum(self):
+        rng = np.random.default_rng(0)
+        intervals, sizes = {}, {}
+        for i in range(40):
+            birth = int(rng.integers(0, 30))
+            intervals[i] = [birth, birth + int(rng.integers(0, 8))]
+            sizes[i] = int(rng.integers(1, 5000))
+        offsets, total = plan_arena(intervals, sizes)
+        padded = sum(-(-s // ARENA_ALIGN) * ARENA_ALIGN
+                     for s in sizes.values())
+        assert total <= padded
+        # Pairwise: overlapping lifetimes never share bytes.
+        keys = list(offsets)
+        for i, a in enumerate(keys):
+            for b in keys[i + 1:]:
+                (ba, da), (bb, db) = intervals[a], intervals[b]
+                if ba <= db and bb <= da:  # lifetimes overlap
+                    assert (offsets[a] + sizes[a] <= offsets[b]
+                            or offsets[b] + sizes[b] <= offsets[a])
+
+    def test_empty(self):
+        assert plan_arena({}, {}) == ({}, 0)

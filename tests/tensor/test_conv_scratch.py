@@ -1,0 +1,173 @@
+"""Pooled im2col scratch: bitwise conv results, zero steady-state alloc."""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad
+from repro.tensor.conv import conv2d
+from repro.tensor.scratch import ScratchPool, default_pool
+
+
+def reference_conv2d(x, weight, bias=None, stride=1, padding=0):
+    """Freshly-allocated im2col conv with the same contraction layout.
+
+    Builds the identical (rows, ck) x (ck, C_out) GEMM as the pooled
+    implementation but with throwaway arrays, so pooling must not change
+    a single bit.  (Plain ``np.tensordot`` picks a different internal
+    operand order and can differ at the ULP level, so it is only an
+    ``allclose`` cross-check, not the bitwise reference.)
+    """
+    sh, sw = (stride, stride) if isinstance(stride, int) else stride
+    ph, pw = (padding, padding) if isinstance(padding, int) else padding
+    from numpy.lib.stride_tricks import sliding_window_view
+
+    n, c_in, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    x_pad = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x
+    h_out = (h + 2 * ph - kh) // sh + 1
+    w_out = (w + 2 * pw - kw) // sw + 1
+    windows = sliding_window_view(x_pad, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    col = np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5))
+    col = col.reshape(n * h_out * w_out, c_in * kh * kw)
+    w_packed = np.ascontiguousarray(weight.transpose(1, 2, 3, 0))
+    w_packed = w_packed.reshape(c_in * kh * kw, c_out)
+    out = (col @ w_packed).reshape(n, h_out, w_out, c_out).transpose(0, 3, 1, 2)
+    if bias is not None:
+        out = out + bias[None, :, None, None]
+    return np.ascontiguousarray(out)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+CASES = [
+    # (stride, padding, bias)
+    (1, 0, False),
+    (1, 1, True),
+    (2, 1, False),
+    ((1, 2), (2, 0), True),
+]
+
+
+class TestBitwiseEquality:
+    @pytest.mark.parametrize("stride,padding,use_bias", CASES)
+    def test_matches_tensordot_reference(self, rng, stride, padding,
+                                         use_bias):
+        x = rng.standard_normal((3, 4, 9, 8))
+        w = rng.standard_normal((5, 4, 3, 3))
+        b = rng.standard_normal(5) if use_bias else None
+        with no_grad():
+            got = conv2d(Tensor(x), Tensor(w),
+                         None if b is None else Tensor(b),
+                         stride=stride, padding=padding)
+        expected = reference_conv2d(x, w, b, stride=stride, padding=padding)
+        np.testing.assert_array_equal(got.data, expected)
+        # Cross-check against tensordot (different operand order: ULPs).
+        from numpy.lib.stride_tricks import sliding_window_view
+
+        sh, sw = (stride, stride) if isinstance(stride, int) else stride
+        ph, pw = (padding, padding) if isinstance(padding, int) else padding
+        x_pad = (np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+                 if (ph or pw) else x)
+        windows = sliding_window_view(x_pad, (3, 3),
+                                      axis=(2, 3))[:, :, ::sh, ::sw]
+        loose = np.tensordot(windows, w,
+                             axes=([1, 4, 5], [1, 2, 3])).transpose(0, 3, 1, 2)
+        if b is not None:
+            loose = loose + b[None, :, None, None]
+        np.testing.assert_allclose(got.data, loose, atol=1e-12)
+
+    def test_explicit_pool_matches_default(self, rng):
+        x = rng.standard_normal((2, 3, 7, 7))
+        w = rng.standard_normal((4, 3, 3, 3))
+        pool = ScratchPool()
+        with no_grad():
+            via_default = conv2d(Tensor(x), Tensor(w), padding=1).data
+            via_explicit = conv2d(Tensor(x), Tensor(w), padding=1,
+                                  scratch=pool).data
+        np.testing.assert_array_equal(via_default, via_explicit)
+        # The explicit pool now holds the im2col/weight/GEMM workspaces.
+        assert len(pool) == 3
+        assert {tag for tag, _, _ in pool._buffers} == {
+            "conv2d.col", "conv2d.weight", "conv2d.gemm"}
+
+    def test_gradients_match_with_and_without_pool(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6))
+        w = rng.standard_normal((4, 3, 3, 3))
+        b = rng.standard_normal(4)
+
+        def run(**kwargs):
+            xt = Tensor(x.copy(), requires_grad=True)
+            wt = Tensor(w.copy(), requires_grad=True)
+            bt = Tensor(b.copy(), requires_grad=True)
+            out = conv2d(xt, wt, bt, stride=1, padding=1, **kwargs)
+            (out * out).mean().backward()
+            return xt.grad.copy(), wt.grad.copy(), bt.grad.copy()
+
+        for a, c in zip(run(), run(scratch=ScratchPool())):
+            np.testing.assert_array_equal(a, c)
+
+
+class TestScratchReuse:
+    def test_repeat_calls_reuse_pool_buffers(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        w = rng.standard_normal((4, 3, 3, 3))
+        pool = ScratchPool()
+        with no_grad():
+            for _ in range(5):
+                conv2d(Tensor(x), Tensor(w), padding=1, scratch=pool)
+        # 5 calls x 3 workspaces, but only 3 allocations ever happen.
+        assert len(pool) == 3
+        assert pool.requested_bytes == 5 * pool.nbytes
+        assert pool.reuse_pct() == pytest.approx(80.0)
+
+    def test_distinct_shapes_get_distinct_buffers(self, rng):
+        pool = ScratchPool()
+        a = pool.get("conv2d.col", (2, 3, 4), np.float64)
+        b = pool.get("conv2d.col", (2, 3, 5), np.float64)
+        c = pool.get("conv2d.col", (2, 3, 4), np.float32)
+        again = pool.get("conv2d.col", (2, 3, 4), np.float64)
+        assert a is again
+        assert a is not b and a is not c
+
+    def test_steady_state_scratch_allocations_are_zero(self, rng):
+        """Regression (tracemalloc): warm pooled convs stop allocating
+        im2col workspaces; only the output tensor is materialised."""
+        x = rng.standard_normal((4, 8, 16, 16))
+        w = rng.standard_normal((16, 8, 3, 3))
+        xt, wt = Tensor(x), Tensor(w)
+        pool = ScratchPool()
+        with no_grad():
+            warm = conv2d(xt, wt, padding=1, scratch=pool)
+            conv2d(xt, wt, padding=1, scratch=pool)
+
+            workspace_bytes = pool.nbytes
+            out_bytes = warm.data.nbytes
+            assert workspace_bytes > 4 * out_bytes  # scratch dominates
+
+            tracemalloc.start()
+            base = tracemalloc.take_snapshot()
+            for _ in range(3):
+                conv2d(xt, wt, padding=1, scratch=pool)
+            stats = tracemalloc.take_snapshot().compare_to(base, "filename")
+            tracemalloc.stop()
+        grown = sum(max(s.size_diff, 0) for s in stats)
+        # 3 outputs (+ padded copies + trace noise) but no new workspaces:
+        # well under a single im2col buffer.
+        assert grown < workspace_bytes // 2
+        assert len(pool) == 3
+
+    def test_default_pool_is_thread_local_and_persistent(self):
+        import threading
+
+        main_pool = default_pool()
+        assert default_pool() is main_pool
+        seen = []
+        thread = threading.Thread(target=lambda: seen.append(default_pool()))
+        thread.start()
+        thread.join()
+        assert seen[0] is not main_pool

@@ -162,7 +162,10 @@ class TestOpProfiler:
                                  "parallel_steps", "parallel_reduce_s",
                                  "prefetch_stall_s", "serve_batches",
                                  "serve_batch_s", "serve_requests",
-                                 "serve_queue_wait_s"}
+                                 "serve_queue_wait_s", "forward_alloc_bytes",
+                                 "compile_plans", "compile_plan_s",
+                                 "arena_bytes", "arena_reuse_pct",
+                                 "compiled_steps"}
         assert snapshot["grad_alloc_bytes"] > 0
         assert snapshot["ops"]["conv2d"]["calls"] == 1
         rendered = format_op_summary(snapshot, limit=2)
