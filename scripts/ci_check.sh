@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests plus smoke-mode perf benchmarks, so every run
 # produces fresh perf snapshots (BENCH_profiling.json,
-# BENCH_throughput.json, BENCH_parallel.json, BENCH_serve.json).  The throughput bench
+# BENCH_throughput.json, BENCH_parallel.json, BENCH_serve.json,
+# BENCH_stream.json).  The throughput bench
 # doubles as a perf regression gate: it fails unless the float32 +
 # in-place-optimizer path is faster than the float64 baseline; the
 # parallel bench gates the worker pool's gradient-equivalence contract
@@ -63,5 +64,21 @@ echo "== serve-latency bench (smoke) =="
 # the p99 latency gate self-disables on single-CPU hosts and records
 # the reason in the snapshot instead.
 python benchmarks/bench_serve_latency.py --mode smoke --out BENCH_serve.json
+
+echo "== streaming suite =="
+# Disruption-tolerant runtime: ingest ordering/quarantine/gaps, drift
+# vs spike, degradation ladder, warm retrain + hot swap, clean-stream
+# bit-identity (tests/stream/, docs/streaming.md).
+python -m pytest tests/stream tests/serve/test_window_cache.py -q
+
+echo "== stream-robustness bench (smoke) =="
+# Always gates the clean-stream identity (live model forecasts ==
+# offline build_samples -> predict_scaled, max|err| exactly 0) and the
+# level-shift recovery contract (adaptive recovers to <= 1.1x its
+# pre-disruption nrmse while the frozen arm stays broken); the retrain
+# wall-clock budget self-disables on single-CPU hosts and records the
+# reason in the snapshot instead.
+python benchmarks/bench_stream_robustness.py --mode smoke \
+    --out BENCH_stream.json
 
 echo "ci_check: OK"

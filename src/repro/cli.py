@@ -294,6 +294,92 @@ def _cmd_serve(args):
     return 0
 
 
+def _cmd_stream(args):
+    """Replay a disruption scenario through the streaming runtime."""
+    import json
+    import tempfile
+
+    import numpy as np
+
+    from repro.data.windows import build_samples
+    from repro.stream import simulate as sim
+    from repro.training import Trainer
+
+    scenario = sim.make_scenario(args.scenario, seed=args.seed)
+    state = sim.train_offline(scenario, epochs=args.epochs, seed=args.seed)
+    adaptive = not args.frozen
+    with tempfile.TemporaryDirectory(prefix="repro-stream-") as ckpt_dir:
+        runtime = sim.build_runtime(scenario, state, adaptive=adaptive,
+                                    checkpoint_dir=ckpt_dir, seed=args.seed)
+        with runtime:
+            results = sim.run_scenario(scenario, runtime)
+            telemetry = runtime.telemetry()
+    report = sim.evaluate_results(scenario, results)
+
+    # Clean-stream correctness gate: every model-sourced live forecast
+    # must be bit-identical to the offline build_samples ->
+    # predict_scaled path on the same interval.
+    max_err = None
+    if args.scenario == "clean":
+        scaler = sim.fit_scaler(scenario)
+        reference_model = sim.make_model(scenario.grid, scenario.periodicity,
+                                         seed=args.seed)
+        reference_model.load_state_dict(state)
+        trainer = Trainer(reference_model)
+        scaled = scaler.transform(scenario.flows)
+        max_err = 0.0
+        for result, _ in results:
+            if result.source != "model":
+                continue
+            batch = build_samples(scaled, scenario.periodicity,
+                                  [result.index])
+            offline = scaler.inverse_transform(
+                np.asarray(trainer.predict_scaled(batch))[0])
+            max_err = max(max_err,
+                          float(np.abs(result.flows - offline).max()))
+        report["max_abs_error_vs_offline"] = max_err
+
+    if args.format == "json":
+        report["telemetry"] = telemetry
+        print(json.dumps(report, indent=2, default=str))
+    else:
+        print(f"stream scenario {scenario.name!r}: {scenario.description}")
+        print(f"mode: {'adaptive' if adaptive else 'frozen'}  seed: "
+              f"{args.seed}  live ticks forecast: {report['ticks_forecast']}")
+        for segment in ("pre", "post", "recovery"):
+            stats = report[segment]
+            if stats is None:
+                continue
+            print(f"{segment:>9}: {stats['ticks']:3d} ticks  "
+                  f"rmse {stats['rmse']:.3f}  nrmse {stats['nrmse']:.4f}")
+        print("sources: " + ", ".join(
+            f"{name}={count}" for name, count in
+            sorted(report["sources"].items())))
+        ingest = telemetry["ingest"]
+        print(f"ingest: {ingest['counts']['emitted']} emitted, "
+              f"{ingest['counts']['gaps']} gaps, "
+              f"{ingest['counts']['quarantined']} quarantined, "
+              f"{ingest['counts']['reordered']} reordered")
+        print(f"drift: {telemetry['drift']['drifts']} confirmed, "
+              f"{telemetry['drift']['spikes']} spikes; "
+              f"retrains {telemetry['retrains']}, "
+              f"retrain failures {len(telemetry['retrain_failures'])}, "
+              f"masked cells {telemetry['masked_cells']}")
+        serve = telemetry["serve"]
+        print(f"serve: generation {serve['generation']}, staleness "
+              f"{serve['staleness_ticks']} ticks, degraded "
+              f"{serve['degraded']}")
+        if max_err is not None:
+            print(f"clean stream == offline predict_scaled: max|err| "
+                  f"{max_err:.3g}")
+
+    if max_err is not None and max_err > 0.0:
+        print(f"error: live forecasts diverge from the offline pipeline "
+              f"(max|err| {max_err:.3g} > 0)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_experiment(args):
     runner = EXPERIMENTS.get(args.name)
     if runner is None:
@@ -474,6 +560,25 @@ def build_parser():
                         "--replicas 0; bit-identical to eager)")
     p.add_argument("--format", default="text", choices=("text", "json"))
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "stream",
+        help="replay a disruption scenario through the streaming "
+             "runtime; report segmented accuracy, fault telemetry, and "
+             "the clean-stream correctness gate")
+    p.add_argument("--scenario", default="clean",
+                   help="disruption scenario "
+                        "(clean, late, dropout, corrupt, outage, "
+                        "level_shift, closure, surge)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--epochs", type=int, default=8,
+                   help="offline pre-training epochs before the live "
+                        "segment starts (default: 8)")
+    p.add_argument("--frozen", action="store_true",
+                   help="disable drift adaptation (the comparison arm); "
+                        "default is the adaptive runtime")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("experiment", help="regenerate one paper table/figure")
     p.add_argument("name", help=f"one of: {', '.join(EXPERIMENTS)}")

@@ -33,6 +33,13 @@ class PatternConfig:
     events: list = field(default_factory=list)
     # (interval, factor) level shift.
     level_shift: tuple = None
+    # Disruption injectors (docs/streaming.md): road closures kill a
+    # cell's flows for a window — (start, duration, row, col) — and
+    # demand surges multiply them — (start, duration, row, col,
+    # factor).  Both apply after the harmonic base and events, before
+    # noise, so the disrupted regime still carries realistic jitter.
+    closures: list = field(default_factory=list)
+    surges: list = field(default_factory=list)
 
 
 def _spatial_profile(grid, rng):
@@ -92,6 +99,14 @@ def generate_pattern_flows(grid: GridSpec, num_intervals, config=None, seed=0):
         stop = min(interval + duration, num_intervals)
         flows[interval:stop, 1, row, col] += magnitude
         flows[interval:stop, 0, row, col] += magnitude * 0.5
+
+    for start, duration, row, col in config.closures:
+        stop = min(start + duration, num_intervals)
+        flows[start:stop, :, row, col] = 0.0
+
+    for start, duration, row, col, factor in config.surges:
+        stop = min(start + duration, num_intervals)
+        flows[start:stop, :, row, col] *= factor
 
     flows += rng.normal(0.0, config.noise_std, size=flows.shape)
     np.maximum(flows, 0.0, out=flows)

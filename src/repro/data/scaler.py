@@ -30,11 +30,39 @@ class MinMaxScaler:
         self.high = high
         self.data_min = None
         self.data_max = None
+        # Raw (pre-degeneracy-adjustment) bounds, kept so update() can
+        # fold new data in exactly as a full refit on the concatenation
+        # would: the degenerate-range fix below rewrites data_max, and
+        # folding into the *adjusted* bound would drift from a refit.
+        self._raw_min = None
+        self._raw_max = None
 
     @property
     def fitted(self):
         """Whether :meth:`fit` has been called."""
         return self.data_min is not None
+
+    @staticmethod
+    def _validate(data, method):
+        data = np.asarray(data)
+        if data.size == 0:
+            raise ValueError(f"MinMaxScaler.{method} received an empty array")
+        if not np.isfinite(data).all():
+            nans = int(np.isnan(data).sum())
+            infs = int(np.isinf(data).sum())
+            raise ValueError(
+                f"MinMaxScaler.{method}: data contains non-finite values "
+                f"({nans} NaN, {infs} Inf of {data.size}); clean or mask "
+                "the flows before scaling"
+            )
+        return data
+
+    def _apply_bounds(self):
+        self.data_min = self._raw_min
+        self.data_max = self._raw_max
+        if self.data_max == self.data_min:
+            # Degenerate constant data: avoid dividing by zero.
+            self.data_max = self.data_min + 1.0
 
     def fit(self, data):
         """Record the global min/max of ``data`` (train split only).
@@ -44,22 +72,30 @@ class MinMaxScaler:
         propagates through min/max), so the pipeline fails loudly at
         the source instead.
         """
-        data = np.asarray(data)
-        if data.size == 0:
-            raise ValueError("MinMaxScaler.fit received an empty array")
-        if not np.isfinite(data).all():
-            nans = int(np.isnan(data).sum())
-            infs = int(np.isinf(data).sum())
-            raise ValueError(
-                f"MinMaxScaler.fit: data contains non-finite values "
-                f"({nans} NaN, {infs} Inf of {data.size}); clean or mask "
-                "the flows before scaling"
-            )
-        self.data_min = float(data.min())
-        self.data_max = float(data.max())
-        if self.data_max == self.data_min:
-            # Degenerate constant data: avoid dividing by zero.
-            self.data_max = self.data_min + 1.0
+        data = self._validate(data, "fit")
+        self._raw_min = float(data.min())
+        self._raw_max = float(data.max())
+        self._apply_bounds()
+        return self
+
+    def update(self, data):
+        """Widen the fitted bounds with new data (rolling re-fit).
+
+        Streaming re-training must not silently reuse stale
+        normalization bounds: after a level shift the new regime can
+        exceed the training-time range, clipping every transformed
+        window against the tanh head's asymptotes.  ``update`` folds a
+        new window of raw flows into the fitted min/max — the result is
+        **bit-identical** to calling :meth:`fit` on the concatenation
+        of everything seen so far, because the raw (pre-degeneracy-
+        adjustment) bounds are what the new extrema fold into.  Bounds
+        only ever widen; already-transformed arrays stay valid.
+        """
+        self._require_fitted()
+        data = self._validate(data, "update")
+        self._raw_min = min(self._raw_min, float(data.min()))
+        self._raw_max = max(self._raw_max, float(data.max()))
+        self._apply_bounds()
         return self
 
     def transform(self, data):

@@ -26,6 +26,12 @@ Rules (see ``docs/static_analysis.md`` for the catalog):
   paths whose contract is zero allocations per step (PR 7's compiled
   arenas); one-time plan-build allocations are suppressed in place
   with ``# lint: ignore[alloc]``.
+* ``bounded-buffer`` — ``collections.deque(...)`` constructed without
+  ``maxlen=`` under the configured ``bounded-buffer-paths`` prefixes
+  (the streaming runtime by default).  A stream runs forever; any
+  unbounded tick/error/quarantine buffer is a slow memory leak that
+  only shows up days into a deployment.  Every long-lived buffer in
+  ``repro.stream`` must declare its bound at construction.
 
 Configuration lives in ``[tool.repro.lint]`` in ``pyproject.toml``;
 individual lines can be suppressed with a ``# lint: ignore[rule]``
@@ -47,7 +53,8 @@ __all__ = ["LintFinding", "LintConfig", "LintReport", "lint_paths",
            "load_config", "ALL_RULES"]
 
 ALL_RULES = ("dtype-policy", "gradcheck-coverage", "optimizer-out",
-             "mutable-default", "fork-discipline", "alloc")
+             "mutable-default", "fork-discipline", "alloc",
+             "bounded-buffer")
 
 #: numpy constructors that allocate *new* float arrays with a float64
 #: default.  ``*_like``/``asarray`` variants inherit their input dtype
@@ -75,6 +82,9 @@ _ALLOC_FUNCS = frozenset(
      "ones_like", "full_like", "array", "arange", "eye", "copy",
      "concatenate", "stack", "matmul", "where", "mean", "sum"}
     | _OUT_REQUIRED_FUNCS)
+
+#: Long-running stream modules where every deque must be bounded.
+_DEFAULT_BOUNDED_BUFFER_PATHS = ("src/repro/stream",)
 
 _DEFAULT_DTYPE_POLICY_PATHS = (
     "src/repro/tensor", "src/repro/nn", "src/repro/core",
@@ -109,6 +119,8 @@ class LintConfig:
     # Zero-allocation hot paths for the ``alloc`` rule; opt-in (empty
     # by default) because most code is allowed to allocate freely.
     alloc_paths: tuple = ()
+    # Forever-running modules where every deque must declare maxlen=.
+    bounded_buffer_paths: tuple = _DEFAULT_BOUNDED_BUFFER_PATHS
     per_path_ignores: dict = None
 
     def __post_init__(self):
@@ -126,6 +138,9 @@ class LintConfig:
                        for p in self.dtype_policy_paths)
         if rule == "alloc":
             return any(rel_path.startswith(p) for p in self.alloc_paths)
+        if rule == "bounded-buffer":
+            return any(rel_path.startswith(p)
+                       for p in self.bounded_buffer_paths)
         return True
 
 
@@ -146,6 +161,8 @@ def load_config(root):
         dtype_policy_paths=tuple(
             table.get("dtype-policy-paths", _DEFAULT_DTYPE_POLICY_PATHS)),
         alloc_paths=tuple(table.get("alloc-paths", ())),
+        bounded_buffer_paths=tuple(
+            table.get("bounded-buffer-paths", _DEFAULT_BOUNDED_BUFFER_PATHS)),
         per_path_ignores={
             prefix: frozenset(rules)
             for prefix, rules in table.get("per-path-ignores", {}).items()},
@@ -202,6 +219,10 @@ class _FileLinter(ast.NodeVisitor):
         # from-imports of process-creating entry points).
         self._mp_modules = {"multiprocessing"}
         self._mp_names = {}
+        # Names this file binds to collections.deque (for the
+        # bounded-buffer rule).
+        self._collections_modules = {"collections"}
+        self._deque_names = set()
 
     def _suppressed(self, line, rule):
         if 1 <= line <= len(self.source_lines):
@@ -224,6 +245,8 @@ class _FileLinter(ast.NodeVisitor):
         for alias in node.names:
             if alias.name.split(".")[0] == "multiprocessing":
                 self._mp_modules.add(alias.asname or alias.name)
+            if alias.name == "collections":
+                self._collections_modules.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node):
@@ -231,6 +254,10 @@ class _FileLinter(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in _FORK_FUNCS:
                     self._mp_names[alias.asname or alias.name] = alias.name
+        if node.module == "collections":
+            for alias in node.names:
+                if alias.name == "deque":
+                    self._deque_names.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     def _check_fork_discipline(self, node):
@@ -253,9 +280,31 @@ class _FileLinter(ast.NodeVisitor):
                 "shared-memory cleanup, and signal handling stay "
                 "centralised")
 
+    # -- bounded-buffer ------------------------------------------------
+    def _check_bounded_buffer(self, node):
+        func = node.func
+        is_deque = (isinstance(func, ast.Name)
+                    and func.id in self._deque_names)
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self._collections_modules
+                and func.attr == "deque"):
+            is_deque = True
+        if is_deque and not _has_keyword(node, "maxlen"):
+            # A positional maxlen (second arg) also satisfies the bound.
+            if len(node.args) >= 2:
+                return
+            self._emit(
+                "bounded-buffer", node,
+                "deque without maxlen= in a forever-running stream "
+                "module; an unbounded tick/error buffer grows without "
+                "limit on a live stream — declare the retention bound "
+                "at construction (deque(maxlen=...))")
+
     # -- dtype-policy / optimizer-out ----------------------------------
     def visit_Call(self, node):
         self._check_fork_discipline(node)
+        self._check_bounded_buffer(node)
         attr = _np_attr(node)
         if attr in _DTYPE_POLICY_FUNCS and not _has_keyword(node, "dtype"):
             self._emit(

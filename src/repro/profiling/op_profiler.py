@@ -116,6 +116,17 @@ class OpProfiler:
         self.arena_bytes = 0
         self.arena_reuse_pct = 0.0
         self.compiled_steps = 0
+        # Streaming counters (repro.stream): ticks ingested, gap frames
+        # carried forward, ticks quarantined, confirmed drifts, warm
+        # retrains (and their wall time), and forecasts answered by the
+        # degradation ladder instead of the model.
+        self.stream_ticks = 0
+        self.stream_gap_fills = 0
+        self.stream_quarantined = 0
+        self.stream_drifts = 0
+        self.stream_retrains = 0
+        self.stream_retrain_s = 0.0
+        self.stream_fallbacks = 0
         self._last = time.perf_counter()
 
     # -- hooks called by the tensor core ------------------------------
@@ -186,6 +197,25 @@ class OpProfiler:
         """One training/serving step executed via compiled replay."""
         self.compiled_steps += 1
 
+    def _record_stream_tick(self, gap_fills=0, quarantined=0):
+        """One tick processed by the stream runtime."""
+        self.stream_ticks += 1
+        self.stream_gap_fills += gap_fills
+        self.stream_quarantined += quarantined
+
+    def _record_stream_drift(self):
+        """The drift sentinel confirmed one sustained drift."""
+        self.stream_drifts += 1
+
+    def _record_stream_retrain(self, seconds):
+        """One warm re-training attempt took ``seconds`` wall time."""
+        self.stream_retrains += 1
+        self.stream_retrain_s += seconds
+
+    def _record_stream_fallback(self):
+        """One forecast was answered by the degradation ladder."""
+        self.stream_fallbacks += 1
+
     # -- reading results ----------------------------------------------
     @property
     def total_forward_s(self):
@@ -218,6 +248,13 @@ class OpProfiler:
         self.arena_bytes = 0
         self.arena_reuse_pct = 0.0
         self.compiled_steps = 0
+        self.stream_ticks = 0
+        self.stream_gap_fills = 0
+        self.stream_quarantined = 0
+        self.stream_drifts = 0
+        self.stream_retrains = 0
+        self.stream_retrain_s = 0.0
+        self.stream_fallbacks = 0
         self.mark()
 
     def as_dict(self):
@@ -243,6 +280,13 @@ class OpProfiler:
             "arena_bytes": self.arena_bytes,
             "arena_reuse_pct": self.arena_reuse_pct,
             "compiled_steps": self.compiled_steps,
+            "stream_ticks": self.stream_ticks,
+            "stream_gap_fills": self.stream_gap_fills,
+            "stream_quarantined": self.stream_quarantined,
+            "stream_drifts": self.stream_drifts,
+            "stream_retrains": self.stream_retrains,
+            "stream_retrain_s": self.stream_retrain_s,
+            "stream_fallbacks": self.stream_fallbacks,
         }
 
     def summary(self, limit=12):
@@ -308,6 +352,17 @@ def format_op_summary(op_profile, limit=12):
             f"request(s) ({requests / serve_batches:.1f} req/batch), "
             f"forward {batch_s * 1e3:.2f} ms, queue wait "
             f"{wait_s * 1e3:.2f} ms"
+        )
+    stream_ticks = op_profile.get("stream_ticks", 0)
+    if stream_ticks:
+        lines.append(
+            f"stream: {stream_ticks} tick(s), "
+            f"{op_profile.get('stream_gap_fills', 0)} gap fill(s), "
+            f"{op_profile.get('stream_quarantined', 0)} quarantined, "
+            f"{op_profile.get('stream_drifts', 0)} drift(s), "
+            f"{op_profile.get('stream_retrains', 0)} retrain(s) in "
+            f"{op_profile.get('stream_retrain_s', 0.0):.2f} s, "
+            f"{op_profile.get('stream_fallbacks', 0)} fallback(s)"
         )
     plans = op_profile.get("compile_plans", 0)
     if plans:

@@ -23,6 +23,18 @@ is an optimization, not an approximation — which
 ``tests/serve/test_window_cache.py`` pins across period and trend
 boundaries.
 
+**Gap contract** (streaming ingestion, ``docs/streaming.md``): a
+missing interval must still advance the stream clock, otherwise every
+later period/trend lag silently shifts off its calendar alignment.
+:meth:`WindowCache.push_gap` records one unobserved interval by
+carrying the last observed frame forward (zeros before the first
+frame) and flagging the slot as imputed; :meth:`imputed_counts`
+reports how many imputed frames the *next* sample would contain per
+sub-series, so callers can degrade or annotate forecasts built on
+filled history.  The carried-forward values are exactly what
+``build_samples`` would see on a history whose gaps were filled the
+same way — the contract changes bookkeeping, never the numerics.
+
 One cache covers every grid cell at once (frames are whole ``(2, H, W)``
 grids); per-cell forecasts slice the shared batched forward instead of
 assembling per-cell windows.
@@ -62,6 +74,11 @@ class WindowCache:
         self._ring = None       # (capacity,) + frame_shape
         self._closeness = None  # (L_c,) + frame_shape, rolling
         self._count = 0         # total frames observed
+        # Gap bookkeeping: which ring slots hold carry-forward fills
+        # rather than observations, plus the rolling closeness flags.
+        self._imputed_ring = None       # (capacity,) bool
+        self._closeness_imputed = None  # (L_c,) bool
+        self._gap_count = 0
 
     # ------------------------------------------------------------------
     @property
@@ -79,6 +96,18 @@ class WindowCache:
         """True once every sub-series window is fully populated."""
         return self._count >= self.capacity
 
+    @property
+    def gap_count(self):
+        """Total intervals recorded via :meth:`push_gap`."""
+        return self._gap_count
+
+    @property
+    def last_frame(self):
+        """Copy of the most recent frame, or ``None`` before any push."""
+        if self._count == 0:
+            return None
+        return self._ring[(self._count - 1) % self.capacity].copy()
+
     def _allocate(self, dtype):
         self._dtype = np.dtype(dtype)
         self._ring = np.zeros((self.capacity,) + self.frame_shape,
@@ -86,10 +115,18 @@ class WindowCache:
         self._closeness = np.zeros(
             (self.periodicity.len_closeness,) + self.frame_shape,
             dtype=self._dtype)
+        self._imputed_ring = np.zeros(self.capacity, dtype=bool)
+        self._closeness_imputed = np.zeros(
+            self.periodicity.len_closeness, dtype=bool)
 
     # ------------------------------------------------------------------
-    def push(self, frame):
-        """Observe one tick; returns the count of frames seen so far."""
+    def push(self, frame, observed=True):
+        """Observe one tick; returns the count of frames seen so far.
+
+        ``observed=False`` records the frame as an imputed fill (used by
+        :meth:`push_gap`); the values enter the windows normally but the
+        slot is flagged in :meth:`imputed_counts`.
+        """
         frame = np.asarray(frame)
         if frame.shape != self.frame_shape:
             raise ValueError(
@@ -98,12 +135,33 @@ class WindowCache:
             self._allocate(self._dtype if self._dtype is not None
                            else frame.dtype)
         self._ring[self._count % self.capacity] = frame
+        self._imputed_ring[self._count % self.capacity] = not observed
         # Rolling closeness: shift one slot left, newest frame last —
         # matches Eq. (3)'s [i - L_c, ..., i - 1] ordering.
         self._closeness[:-1] = self._closeness[1:]
         self._closeness[-1] = frame
+        self._closeness_imputed[:-1] = self._closeness_imputed[1:]
+        self._closeness_imputed[-1] = not observed
         self._count += 1
         return self._count
+
+    def push_gap(self):
+        """Record one unobserved interval (the gap contract).
+
+        The stream clock advances by one tick — keeping every later
+        period/trend lag calendar-aligned — and the last observed frame
+        is carried forward as the fill value (zeros when the gap
+        precedes any observation).  The slot is flagged imputed.
+        """
+        if self._ring is None or self._count == 0:
+            if self._ring is None:
+                self._allocate(self._dtype if self._dtype is not None
+                               else np.float64)
+            fill = np.zeros(self.frame_shape, dtype=self._dtype)
+        else:
+            fill = self._ring[(self._count - 1) % self.capacity]
+        self._gap_count += 1
+        return self.push(fill, observed=False)
 
     def extend(self, frames):
         """Push a sequence of ticks (e.g. warm-up from stored history)."""
@@ -116,6 +174,28 @@ class WindowCache:
         """Stack the ring frames at absolute indices ``next_index - lag``."""
         positions = (self._count - lags) % self.capacity
         return self._ring[positions]
+
+    def imputed_counts(self):
+        """Imputed-frame counts the *next* sample would contain.
+
+        Returns ``{"closeness": n_c, "period": n_p, "trend": n_t}`` —
+        how many of each sub-series' frames are carry-forward fills
+        rather than observations.  All zeros on a clean stream.
+        """
+        if not self.ready:
+            raise ValueError(
+                f"window not ready: {self._count} of {self.capacity} "
+                "warm-up ticks observed")
+        p = self.periodicity
+        period_lags = np.arange(p.len_period, 0, -1) * p.period_lag
+        trend_lags = np.arange(p.len_trend, 0, -1) * p.trend_lag
+        return {
+            "closeness": int(self._closeness_imputed.sum()),
+            "period": int(self._imputed_ring[
+                (self._count - period_lags) % self.capacity].sum()),
+            "trend": int(self._imputed_ring[
+                (self._count - trend_lags) % self.capacity].sum()),
+        }
 
     def sample(self):
         """The size-1 :class:`SampleBatch` forecasting :attr:`next_index`.

@@ -117,6 +117,14 @@ class ForecastServer:
         self.stats = LatencyStats()
         self._forward_lock = threading.Lock()
         self._generation = 0
+        # Staleness / degraded-mode telemetry (repro.stream): a stream
+        # clock counting ticks observed, the clock value when the
+        # serving weights were installed, and an operator flag naming
+        # why the model's answers are currently suspect (drift
+        # confirmed, retrain in flight, swap failed, ...).
+        self._ticks_seen = 0
+        self._generation_tick = 0
+        self._degraded_reason = None
         self._pool = None
         self._compiler = None
         if self.config.compile:
@@ -232,7 +240,19 @@ class ForecastServer:
             raise ValueError("streaming needs periodicity + frame_shape")
         if self.scaler is not None:
             frame = self.scaler.transform(frame)
+        self._ticks_seen += 1
         return self.cache.push(frame)
+
+    def note_tick(self):
+        """Advance the staleness clock without touching the cache.
+
+        The stream runtime (:mod:`repro.stream`) maintains its own
+        raw-frame :class:`WindowCache` and uses the server only for
+        forwards and hot swaps; it calls this per ingested tick so
+        :attr:`staleness_ticks` still measures weight age.
+        """
+        self._ticks_seen += 1
+        return self._ticks_seen
 
     def forecast_next(self):
         """Forecast the next unobserved interval from the cached windows.
@@ -267,11 +287,40 @@ class ForecastServer:
         """
         state = read_weights(path)
         if self._pool is not None:
-            return self._pool.install(state)
-        with self._forward_lock:
-            self.model.load_state_dict(state)
-            self._generation += 1
-            return self._generation
+            generation = self._pool.install(state)
+        else:
+            with self._forward_lock:
+                self.model.load_state_dict(state)
+                self._generation += 1
+                generation = self._generation
+        self._generation_tick = self._ticks_seen
+        return generation
+
+    # ------------------------------------------------------------------
+    # Staleness / degraded mode (repro.stream)
+    # ------------------------------------------------------------------
+    @property
+    def staleness_ticks(self):
+        """Stream ticks observed since the serving weights were installed."""
+        return self._ticks_seen - self._generation_tick
+
+    @property
+    def degraded(self):
+        """The active degradation reason, or ``None`` when healthy."""
+        return self._degraded_reason
+
+    def mark_degraded(self, reason):
+        """Flag the model's answers as suspect (e.g. confirmed drift).
+
+        The server keeps answering — degradation is a *telemetry* state
+        consumed by the stream runtime's fallback ladder, not a refusal
+        to serve.  ``reason`` names why (shown in :meth:`snapshot`).
+        """
+        self._degraded_reason = str(reason)
+
+    def clear_degraded(self):
+        """Clear the degradation flag (e.g. after a successful swap)."""
+        self._degraded_reason = None
 
     # ------------------------------------------------------------------
     def snapshot(self):
@@ -282,6 +331,8 @@ class ForecastServer:
             "replicas": self.config.replicas,
             "max_batch": self.config.max_batch,
             "max_wait_ms": self.config.max_wait_ms,
+            "staleness_ticks": self.staleness_ticks,
+            "degraded": self._degraded_reason,
         })
         if self._pool is not None:
             snap["shared_mib"] = round(self._pool.shared_bytes / 2**20, 3)

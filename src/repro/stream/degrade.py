@@ -1,0 +1,97 @@
+"""Graceful-degradation forecasters for the streaming runtime.
+
+When the model is stale, mid-retrain, or a swap just failed, the
+server must still answer — with an honest, cheaper estimate rather
+than a silent error or a suspect neural forecast.  These are the
+streaming counterparts of :mod:`repro.baselines.naive`: the batch
+baselines re-slice a full offline history per call, while these
+maintain O(1) state per tick and never look at more than the current
+frame.
+
+The ladder (:class:`~repro.stream.runtime.StreamRuntime` walks it top
+to bottom, serving the first ready rung):
+
+1. the neural model — healthy weights, warm windows;
+2. :class:`StreamingHistoricalAverage` — per time-of-day-slot EMA of
+   observed frames: knows the diurnal shape, blind to this morning;
+3. :class:`StreamingPersistence` — the last observed frame: blind to
+   everything but one tick old at most;
+4. zeros — only before the very first observation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StreamingHistoricalAverage", "StreamingPersistence"]
+
+
+class StreamingHistoricalAverage:
+    """Per-slot EMA of observed frames (time-of-day climatology).
+
+    ``update`` folds an observed frame into the EMA for its
+    time-of-day slot (``index % samples_per_day``); ``predict``
+    returns that slot's EMA.  Gap fills must *not* be folded — a
+    carried-forward frame would teach the climatology that missing
+    intervals look like their predecessors.
+    """
+
+    def __init__(self, samples_per_day, frame_shape, beta=0.85):
+        if samples_per_day < 1:
+            raise ValueError(
+                f"samples_per_day must be >= 1; got {samples_per_day}")
+        if not 0.0 <= beta < 1.0:
+            raise ValueError(f"beta must be in [0, 1); got {beta}")
+        self.samples_per_day = int(samples_per_day)
+        self.frame_shape = tuple(int(s) for s in frame_shape)
+        self.beta = float(beta)
+        self._slots = np.zeros((self.samples_per_day,) + self.frame_shape)
+        self._seen = np.zeros(self.samples_per_day, dtype=np.int64)
+
+    def update(self, index, frame):
+        """Fold one *observed* frame into its time-of-day slot."""
+        slot = int(index) % self.samples_per_day
+        frame = np.asarray(frame, dtype=np.float64)
+        if self._seen[slot] == 0:
+            self._slots[slot] = frame
+        else:
+            self._slots[slot] = (self.beta * self._slots[slot]
+                                 + (1.0 - self.beta) * frame)
+        self._seen[slot] += 1
+        return self
+
+    def ready(self, index):
+        """Whether the slot for ``index`` has ever been observed."""
+        return bool(self._seen[int(index) % self.samples_per_day] > 0)
+
+    def predict(self, index):
+        """Climatology forecast for interval ``index`` (copy)."""
+        slot = int(index) % self.samples_per_day
+        if self._seen[slot] == 0:
+            raise ValueError(
+                f"no observations yet for time-of-day slot {slot}")
+        return self._slots[slot].copy()
+
+
+class StreamingPersistence:
+    """Forecast = the last observed frame (one-tick memory)."""
+
+    def __init__(self, frame_shape):
+        self.frame_shape = tuple(int(s) for s in frame_shape)
+        self._last = None
+
+    def update(self, frame):
+        """Record the newest observed frame."""
+        self._last = np.asarray(frame, dtype=np.float64).copy()
+        return self
+
+    @property
+    def ready(self):
+        """Whether any frame has been observed."""
+        return self._last is not None
+
+    def predict(self):
+        """The last observed frame (copy); raises before any update."""
+        if self._last is None:
+            raise ValueError("no frame observed yet")
+        return self._last.copy()

@@ -1,0 +1,498 @@
+"""The streaming runtime: ingest → windows → forecast → adapt.
+
+:class:`StreamRuntime` is the facade tying the pieces together around
+a :class:`~repro.serve.server.ForecastServer`:
+
+- ticks enter through a :class:`~repro.stream.ingest.StreamIngestor`
+  (watermark reordering, quarantine, gap declaration);
+- ordered intervals maintain a **raw-frame**
+  :class:`~repro.serve.cache.WindowCache` plus the bounded rolling
+  history the warm-retrain path fits on.  Frames are cached raw and
+  scaled at sample-assembly time: min-max scaling is elementwise, so
+  transform-then-slice and slice-then-transform are bitwise identical
+  — and caching raw keeps every cached window valid when adaptation
+  widens the scaler bounds mid-stream;
+- each model forecast is scored against the truth tick that later
+  arrives for its interval; the error feeds a
+  :class:`~repro.stream.drift.DriftSentinel`;
+- confirmed drift triggers bounded warm re-training
+  (:func:`~repro.stream.adapt.warm_retrain`) and a generation-counted
+  hot swap; while the model is flagged, retraining, or the swap
+  failed, forecasts come from the degradation ladder
+  (:mod:`repro.stream.degrade`) with the reason attached.
+
+Clean-stream guarantee: on an in-order, complete, uncorrupted stream
+the runtime's model forecasts are **bit-identical** to the offline
+``Trainer.predict_scaled`` on ``build_samples`` at the same index —
+pinned by ``tests/stream/test_runtime.py`` and enforced in CI by
+``benchmarks/bench_stream_robustness.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.data.windows import SampleBatch
+from repro.metrics import rmse
+from repro.profiling import get_active_profiler
+from repro.serve.cache import WindowCache
+from repro.serve.server import ForecastServer, ServeConfig
+from repro.stream.adapt import AdaptationConfig, AdaptationError, warm_retrain
+from repro.stream.degrade import StreamingHistoricalAverage, StreamingPersistence
+from repro.stream.drift import DriftSentinel
+from repro.stream.ingest import StreamIngestor
+from repro.stream.ticks import Tick
+
+__all__ = ["ForecastResult", "StreamConfig", "StreamRuntime"]
+
+# Failure-reason audit log bound (same discipline as the quarantine).
+_MAX_FAILURE_RECORDS = 64
+
+
+@dataclass
+class StreamConfig:
+    """Streaming runtime knobs (docs/streaming.md)."""
+
+    watermark: int = 4          # reorder tolerance, intervals
+    history: int = 512          # rolling raw-frame window (retrain data)
+    # Weights older than this many ticks are served through the
+    # fallback ladder with reason "stale".  None disables the check —
+    # a model only goes stale relative to drift, which the sentinel
+    # already watches.
+    staleness_limit: int | None = None
+    auto_adapt: bool = True     # retrain + swap on confirmed drift
+    adapt_retry: int = 8        # ticks between retries after a failure
+    # Post-swap probation: the next `probation_ticks` scored errors
+    # must average within `recovery_factor` x the pre-drift baseline,
+    # else another adaptation round fires — up to `max_adapt_rounds`
+    # per drift event.  One bounded retrain often under-corrects on a
+    # window still dominated by the old regime; probation iterates
+    # until the held-out error statistics actually recover.
+    recovery_factor: float = 1.2
+    probation_ticks: int = 10
+    max_adapt_rounds: int = 3
+    # Drift sentinel knobs (see repro.stream.drift for semantics).
+    drift_beta: float = 0.98
+    drift_slack: float = 0.5
+    drift_threshold: float = 8.0
+    drift_increment_cap: float = 3.0
+    drift_spike_z: float = 6.0
+    drift_warmup: int = 16
+    hist_avg_beta: float = 0.85
+    adaptation: AdaptationConfig = field(default_factory=AdaptationConfig)
+
+    def __post_init__(self):
+        if self.history < 8:
+            raise ValueError(f"history must be >= 8; got {self.history}")
+        if self.adapt_retry < 1:
+            raise ValueError(
+                f"adapt_retry must be >= 1; got {self.adapt_retry}")
+        if self.staleness_limit is not None and self.staleness_limit < 1:
+            raise ValueError(
+                f"staleness_limit must be >= 1; got {self.staleness_limit}")
+        if self.recovery_factor < 1.0:
+            raise ValueError(
+                f"recovery_factor must be >= 1; got {self.recovery_factor}")
+        if self.probation_ticks < 1 or self.max_adapt_rounds < 1:
+            raise ValueError(
+                "probation_ticks and max_adapt_rounds must be >= 1; got "
+                f"{self.probation_ticks}, {self.max_adapt_rounds}")
+
+
+@dataclass
+class ForecastResult:
+    """One answered forecast, with provenance.
+
+    ``source`` is the ladder rung that answered: ``"model"``,
+    ``"historical_average"``, ``"persistence"``, or ``"zeros"``.
+    ``reason`` is ``None`` for a healthy model answer, else why the
+    ladder was used.  ``imputed`` counts carry-forward frames per
+    sub-series in the window the forecast was built on (model answers
+    only).
+    """
+
+    index: int
+    flows: np.ndarray
+    source: str
+    reason: str | None = None
+    staleness: int = 0
+    generation: int = 0
+    imputed: dict = None
+
+    @property
+    def degraded(self):
+        """Whether the answer came from the fallback ladder."""
+        return self.source != "model"
+
+
+class StreamRuntime:
+    """Disruption-tolerant streaming forecasts over one flow stream.
+
+    Parameters
+    ----------
+    model:
+        The offline-trained serving model (the repo's forecaster
+        protocol).
+    scaler:
+        The fitted :class:`~repro.data.scaler.MinMaxScaler` from
+        offline training; adaptation widens it in place.
+    periodicity, frame_shape, samples_per_day:
+        Stream geometry — must match what the model was trained with.
+    config:
+        A :class:`StreamConfig`; defaults apply when omitted.
+    model_factory:
+        Zero-argument callable building a fresh, architecture-identical
+        model; required for warm re-training (``auto_adapt``).
+    checkpoint_dir:
+        Where retrain checkpoints are written before the hot swap;
+        required for warm re-training.
+    serve_config:
+        Optional :class:`~repro.serve.server.ServeConfig`; must keep
+        ``replicas=0`` (warm restarts seed from the in-process
+        serving weights).
+    """
+
+    def __init__(self, model, scaler, periodicity, frame_shape,
+                 samples_per_day, config: StreamConfig = None,
+                 model_factory=None, checkpoint_dir=None,
+                 serve_config: ServeConfig = None):
+        self.config = config if config is not None else StreamConfig()
+        if serve_config is None:
+            serve_config = ServeConfig(max_wait_ms=0.0)
+        if serve_config.replicas != 0:
+            raise ValueError(
+                "StreamRuntime requires replicas=0: warm re-training "
+                "seeds candidates from the in-process serving weights")
+        self.scaler = scaler
+        self.periodicity = periodicity
+        self.frame_shape = tuple(int(s) for s in frame_shape)
+        self.model_factory = model_factory
+        self.checkpoint_dir = checkpoint_dir
+        self.server = ForecastServer(model, serve_config)
+        self.ingestor = StreamIngestor(frame_shape,
+                                       watermark=self.config.watermark)
+        self.cache = WindowCache(periodicity, frame_shape, dtype=np.float64)
+        self.history = deque(maxlen=self.config.history)
+        self.drift = DriftSentinel(
+            ema_beta=self.config.drift_beta, slack=self.config.drift_slack,
+            threshold=self.config.drift_threshold,
+            increment_cap=self.config.drift_increment_cap,
+            spike_z=self.config.drift_spike_z,
+            warmup=self.config.drift_warmup)
+        self.hist_avg = StreamingHistoricalAverage(
+            samples_per_day, frame_shape, beta=self.config.hist_avg_beta)
+        self.persistence = StreamingPersistence(frame_shape)
+        self._last_model_forecast = None  # (index, flows) awaiting truth
+        self._adapt_cooldown = 0
+        # Probation state: the pre-drift error level to recover to,
+        # the post-swap errors collected so far, and how many
+        # adaptation rounds this drift event has spent.
+        self._recovery_target = None
+        self._probation_errors = None
+        self._adapt_rounds = 0
+        self.masked_cells = 0
+        self.retrains = 0
+        self.retrain_failures = deque(maxlen=_MAX_FAILURE_RECORDS)
+        self.fallbacks = {}  # source -> count
+        self.drift_events = []  # indices where drift was confirmed
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Start the serving stack; returns ``self``."""
+        self.server.start()
+        return self
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def close(self):
+        """Drain and stop the serving stack."""
+        self.server.close()
+
+    def warm_start(self, flows):
+        """Seed the windows from stored history before going live.
+
+        ``flows`` is the raw ``(T, 2, H, W)`` tail the model trained
+        on; interval ``i`` of the stream clock is ``flows[i]``.  Must
+        be called before any tick is ingested.  Warm-start frames do
+        not age the weights (:attr:`ForecastServer.staleness_ticks`
+        stays 0 — the model has already seen them).
+        """
+        if self.cache.count or self.ingestor.next_index:
+            raise RuntimeError("warm_start must precede any ingestion")
+        flows = np.asarray(flows, dtype=np.float64)
+        for index in range(len(flows)):
+            frame = flows[index]
+            self.cache.push(frame)
+            self.history.append(frame.copy())
+            self.hist_avg.update(index, frame)
+            self.persistence.update(frame)
+        self.ingestor = StreamIngestor(self.frame_shape,
+                                       watermark=self.config.watermark,
+                                       start_index=len(flows))
+        return self
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, tick: Tick):
+        """Feed one arrival; applies every interval it releases.
+
+        Returns the list of applied ``("tick"|"gap", index)`` pairs (a
+        quarantined arrival applies nothing).
+        """
+        applied = []
+        for kind, index, frame in self.ingestor.offer(tick):
+            self._apply(kind, index, frame)
+            applied.append((kind, index))
+        return applied
+
+    def flush(self):
+        """Apply everything still pending in the ingestor."""
+        applied = []
+        for kind, index, frame in self.ingestor.flush():
+            self._apply(kind, index, frame)
+            applied.append((kind, index))
+        return applied
+
+    def _apply(self, kind, index, frame):
+        """Advance the stream clock by one ordered interval."""
+        profiler = get_active_profiler()
+        self.server.note_tick()
+        if kind == "gap":
+            self.cache.push_gap()
+            fill = self.cache.last_frame
+            self.history.append(fill)
+            # Climatology and persistence track *observations* only: a
+            # carry-forward fill teaches them nothing.
+            if profiler is not None:
+                profiler._record_stream_tick(gap_fills=1)
+        else:
+            frame = self._mask_fill(frame)
+            self._score(index, frame)
+            self.cache.push(frame)
+            self.history.append(frame.copy())
+            self.hist_avg.update(index, frame)
+            self.persistence.update(frame)
+            if profiler is not None:
+                profiler._record_stream_tick()
+        if self._adapt_cooldown > 0:
+            self._adapt_cooldown -= 1
+            if (self._adapt_cooldown == 0 and self.config.auto_adapt
+                    and self.server.degraded is not None):
+                self.adapt()
+
+    def _mask_fill(self, frame):
+        """Fill missing sensor cells (NaN) with their last known value."""
+        mask = np.isnan(frame)
+        if not mask.any():
+            return frame
+        self.masked_cells += int(mask.sum())
+        base = self.cache.last_frame
+        if base is None:
+            base = np.zeros(self.frame_shape)
+        return np.where(mask, base, frame)
+
+    def _score(self, index, truth):
+        """Feed the drift sentinel once truth arrives for a forecast."""
+        if (self._last_model_forecast is None
+                or self._last_model_forecast[0] != index):
+            return
+        _, predicted = self._last_model_forecast
+        self._last_model_forecast = None
+        error = rmse(predicted, truth)
+        baseline_before = self.drift.baseline_mean if self.drift.armed else None
+        state = self.drift.observe(error)
+        if state != "drift" and self._probation_errors is not None:
+            self._probation_errors.append(error)
+            if len(self._probation_errors) >= self.config.probation_ticks:
+                self._finish_probation()
+        if state == "drift":
+            profiler = get_active_profiler()
+            if profiler is not None:
+                profiler._record_stream_drift()
+            self.drift_events.append(index)
+            if self.config.auto_adapt:
+                # The EMA baseline excludes spikes, so at confirmation
+                # it still describes the pre-drift error level — the
+                # target post-retrain probation must recover to.
+                if baseline_before is not None:
+                    self._recovery_target = (self.config.recovery_factor
+                                             * baseline_before)
+                self._probation_errors = None
+                self._adapt_rounds = 0
+                # Degrade now, retrain after `fresh_ticks` more ticks:
+                # retraining the instant drift is confirmed would fit
+                # on a window that barely contains the new regime.
+                # The fallback ladder answers in the meantime.
+                self.server.mark_degraded(
+                    f"drift confirmed at tick {index} "
+                    f"(cusum {self.drift.cusum:.2f})")
+                fresh = self.config.adaptation.fresh_ticks
+                if fresh > 0:
+                    self._adapt_cooldown = fresh
+                else:
+                    self.adapt()
+            # Without auto-adapt the model keeps serving (frozen arm):
+            # the drift is recorded, nothing can fix it.
+            self.drift.rearm()
+
+    def _finish_probation(self):
+        """Judge a completed post-swap probation window."""
+        errors = self._probation_errors
+        self._probation_errors = None
+        mean_error = float(np.mean(errors))
+        if (self._recovery_target is None
+                or mean_error <= self._recovery_target
+                or self._adapt_rounds >= self.config.max_adapt_rounds):
+            # Recovered (or out of rounds: accept what we have rather
+            # than retraining forever on the same window).
+            self._recovery_target = None
+            return
+        self.server.mark_degraded(
+            f"recovery insufficient: post-swap error {mean_error:.3f} > "
+            f"target {self._recovery_target:.3f} "
+            f"(round {self._adapt_rounds}/{self.config.max_adapt_rounds})")
+        self._adapt_cooldown = self.config.adaptation.fresh_ticks or 1
+
+    # ------------------------------------------------------------------
+    # Forecasting
+    # ------------------------------------------------------------------
+    def forecast(self):
+        """Answer for the next unobserved interval, from the ladder.
+
+        Never raises on a degraded stack: the answer always comes from
+        the best rung currently able to answer, with provenance.
+        """
+        index = self.cache.next_index
+        reason = None
+        if not self.cache.ready:
+            reason = "warmup: windows not yet populated"
+        elif self.server.degraded is not None:
+            reason = self.server.degraded
+        elif (self.config.staleness_limit is not None
+              and self.server.staleness_ticks > self.config.staleness_limit):
+            reason = (f"stale: weights {self.server.staleness_ticks} ticks "
+                      f"old (limit {self.config.staleness_limit})")
+        if reason is None:
+            flows = self._model_forecast()
+            self._last_model_forecast = (index, flows)
+            return ForecastResult(
+                index=index, flows=flows, source="model",
+                staleness=self.server.staleness_ticks,
+                generation=self.server.generation,
+                imputed=self.cache.imputed_counts())
+        return self._fallback(index, reason)
+
+    def _model_forecast(self):
+        """Scaled forward through the server on the raw windows."""
+        sample = self.cache.sample()
+        closeness = self.scaler.transform(sample.closeness)
+        scaled = SampleBatch(
+            closeness=closeness,
+            period=self.scaler.transform(sample.period),
+            trend=self.scaler.transform(sample.trend),
+            # The target is the unobserved interval being forecast; a
+            # zero placeholder in the transform dtype keeps the batch
+            # homogeneous without inventing values.
+            target=np.zeros_like(sample.target, dtype=closeness.dtype),
+            indices=sample.indices)
+        prediction = self.server.forecast(scaled)[0]
+        return self.scaler.inverse_transform(prediction)
+
+    def _fallback(self, index, reason):
+        """Walk the degradation ladder below the model."""
+        profiler = get_active_profiler()
+        if profiler is not None:
+            profiler._record_stream_fallback()
+        if self.hist_avg.ready(index):
+            source, flows = "historical_average", self.hist_avg.predict(index)
+        elif self.persistence.ready:
+            source, flows = "persistence", self.persistence.predict()
+        else:
+            source, flows = "zeros", np.zeros(self.frame_shape)
+        self.fallbacks[source] = self.fallbacks.get(source, 0) + 1
+        return ForecastResult(
+            index=index, flows=flows, source=source, reason=reason,
+            staleness=self.server.staleness_ticks,
+            generation=self.server.generation)
+
+    # ------------------------------------------------------------------
+    # Adaptation
+    # ------------------------------------------------------------------
+    def adapt(self):
+        """Warm-retrain on the rolling window and hot-swap on success.
+
+        Returns ``True`` on a completed swap.  Every failure mode —
+        missing factory/checkpoint dir, short history, divergence,
+        failed validation gate, corrupt checkpoint, swap error — lands
+        in :attr:`retrain_failures`, leaves the server degraded, and
+        schedules a retry; it never propagates to the caller.
+        """
+        profiler = get_active_profiler()
+        started = perf_counter()
+        try:
+            if self.model_factory is None or self.checkpoint_dir is None:
+                raise AdaptationError(
+                    "adaptation needs model_factory and checkpoint_dir")
+            self.server.mark_degraded("retraining")
+            path = os.path.join(self.checkpoint_dir, "stream-retrain.npz")
+            path, _history, candidate_rmse, serving_rmse = warm_retrain(
+                self.server.model, self.model_factory,
+                np.asarray(self.history), self.scaler, self.periodicity,
+                config=self.config.adaptation, checkpoint_path=path)
+            try:
+                self.server.load_checkpoint(path)
+            except Exception as error:
+                raise AdaptationError(f"hot swap failed: {error}") from error
+        except AdaptationError as error:
+            self.retrain_failures.append(str(error))
+            self.server.mark_degraded(f"retrain failed: {error}")
+            self._adapt_cooldown = self.config.adapt_retry
+            return False
+        finally:
+            if profiler is not None:
+                profiler._record_stream_retrain(perf_counter() - started)
+        self.retrains += 1
+        self._adapt_rounds += 1
+        self.server.clear_degraded()
+        self.drift.rearm()
+        self._last_model_forecast = None
+        # Open the probation window: the next scored errors decide
+        # whether this round actually recovered the error level.
+        if self._recovery_target is not None:
+            self._probation_errors = []
+        return True
+
+    # ------------------------------------------------------------------
+    def telemetry(self):
+        """JSON-able runtime state across every subsystem."""
+        return {
+            "ingest": self.ingestor.telemetry(),
+            "drift": self.drift.report(),
+            "drift_events": list(self.drift_events),
+            "serve": self.server.snapshot(),
+            "cache": {
+                "count": self.cache.count,
+                "ready": self.cache.ready,
+                "gap_count": self.cache.gap_count,
+                "imputed": (self.cache.imputed_counts()
+                            if self.cache.ready else None),
+            },
+            "history_len": len(self.history),
+            "masked_cells": self.masked_cells,
+            "fallbacks": dict(self.fallbacks),
+            "retrains": self.retrains,
+            "retrain_failures": list(self.retrain_failures),
+        }

@@ -1,0 +1,46 @@
+"""Tick records: the unit of streaming ingestion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Tick", "QuarantineRecord"]
+
+
+@dataclass
+class Tick:
+    """One stream observation: a flow frame stamped with its interval.
+
+    ``index`` is the absolute interval index on the stream clock (the
+    same clock :func:`~repro.data.windows.build_samples` indexes into),
+    ``frame`` the raw ``(2, H, W)`` flow grid.  ``NaN`` cells mean a
+    sensor failed to report for that interval — they are masked and
+    filled downstream, not treated as corruption.  ``meta`` carries
+    free-form provenance (feed id, arrival time) and is never
+    interpreted by the runtime.
+    """
+
+    index: int
+    frame: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class QuarantineRecord:
+    """Why one tick was refused: kept for audit, never replayed.
+
+    ``reason`` is a stable machine-readable code (``"late"``,
+    ``"duplicate"``, ``"bad_shape"``, ``"corrupt"``, ``"bad_index"``);
+    ``detail`` the human-readable specifics.
+    """
+
+    index: int
+    reason: str
+    detail: str = ""
+
+    def as_dict(self):
+        """Plain-dict view (JSON-serialisable telemetry)."""
+        return {"index": self.index, "reason": self.reason,
+                "detail": self.detail}

@@ -34,6 +34,10 @@ class History:
     best_val_rmse: float = float("inf")
     stopped_early: bool = False
     interrupted: bool = False
+    # Set when TrainConfig.max_steps ended the fit mid-run: the step
+    # budget, not convergence or early stopping, decided the stop
+    # (bounded warm re-training, docs/streaming.md).
+    budget_exhausted: bool = False
     peak_tape_bytes: int = 0
     op_profile: dict = None
     sentinel: dict = None

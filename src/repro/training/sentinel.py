@@ -150,6 +150,22 @@ class DivergenceSentinel:
         return event
 
     # ------------------------------------------------------------------
+    def rearm(self):
+        """Reset the spike baseline and re-enter warmup.
+
+        Called after a rollback restore (and by the streaming adapter
+        after a successful hot swap): the restored weights × backed-off
+        learning rate produce a different grad-norm distribution, so
+        the old EMA is no longer a valid spike baseline.  Spike
+        detection re-arms only after ``warmup`` fresh healthy steps;
+        the first healthy step after a rearm re-seeds the EMA with its
+        own norm (cold start), exactly like step one of a run.
+        Non-finite detection is unaffected — it never needs a baseline.
+        """
+        self._healthy_steps = 0
+        self._norm_ema = 0.0
+        self.last_norm = None
+
     def note_rollback(self):
         """Count one rollback; raise once the budget is exhausted."""
         self.rollbacks += 1

@@ -101,6 +101,12 @@ class TrainConfig:
     # Pinpoint the op introducing a NaN/Inf by running the whole fit
     # under repro.tensor.detect_anomaly() (slow; debugging only).
     detect_anomaly: bool = False
+    # Hard step budget for this fit: stop after this many steps
+    # (applied or sentinel-dropped), even mid-epoch.  The warm-restart
+    # path online adaptation uses (docs/streaming.md): a rolling
+    # re-train must return in bounded time, not run `epochs` to the
+    # end.  None (default) leaves the fit unbounded.
+    max_steps: int | None = None
     # Periodic durable checkpoints: every `checkpoint_every` epochs into
     # `checkpoint_dir`, keeping the newest `keep_last` plus a pinned
     # best snapshot.  `resume=True` restarts fit() from the newest
@@ -138,6 +144,8 @@ class TrainConfig:
             raise ValueError(
                 f"unknown sentinel policy {self.sentinel!r}; choose from "
                 f"{POLICIES} or None")
+        if self.max_steps is not None and self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1; got {self.max_steps}")
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1; got {self.checkpoint_every}")
@@ -322,6 +330,8 @@ class Trainer:
                         self.model, self.optimizer, data.train,
                         config.batch_size, config.workers, seed=config.seed,
                         detect_anomaly=config.detect_anomaly))
+                steps_this_fit = 0
+                budget_exhausted = False
                 for epoch in range(start_epoch, config.epochs):
                     self.model.train()
                     if sentinel is not None and sentinel.policy == "rollback":
@@ -348,8 +358,14 @@ class Trainer:
                                 parameters, config, global_step, epoch,
                                 epoch_losses, epoch_regs)
                             global_step += 1
+                            steps_this_fit += 1
                             if step_done:
                                 num_batches += 1
+                            if (config.max_steps is not None
+                                    and steps_this_fit >= config.max_steps):
+                                budget_exhausted = True
+                                mid_epoch_stop = True
+                                break
                             if self._interrupt_requested:
                                 mid_epoch_stop = True
                                 break
@@ -404,6 +420,7 @@ class Trainer:
             for signum, old in old_handlers:
                 signal.signal(signum, old)
 
+        history.budget_exhausted = budget_exhausted
         if sentinel is not None:
             history.sentinel = sentinel.report()
         if engine is not None:
@@ -483,6 +500,9 @@ class Trainer:
             if snapshot is not None:
                 self._restore_snapshot(snapshot)
             self.optimizer.lr *= sentinel.lr_backoff
+            # Restored weights + backed-off lr shift the grad-norm
+            # distribution; the old EMA baseline no longer applies.
+            sentinel.rearm()
         if self.config.verbose:
             print(f"sentinel[{sentinel.policy}] step {event.step}: "
                   f"{event.kind} — {event.detail}")

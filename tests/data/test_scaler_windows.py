@@ -82,6 +82,55 @@ class TestScaler:
         np.testing.assert_allclose(recovered, data, atol=1e-9)
 
 
+class TestScalerUpdate:
+    """update(): rolling re-fit must equal a full refit bit-for-bit."""
+
+    def test_update_is_bit_identical_to_refit_on_concatenation(self):
+        rng = np.random.default_rng(11)
+        chunks = [rng.uniform(-3 * k - 1, 4 * k + 2, size=(20, 2, 3))
+                  for k in range(4)]
+        rolling = MinMaxScaler((-0.9, 0.9)).fit(chunks[0])
+        for chunk in chunks[1:]:
+            rolling.update(chunk)
+        refit = MinMaxScaler((-0.9, 0.9)).fit(np.concatenate(chunks))
+        assert rolling.data_min == refit.data_min
+        assert rolling.data_max == refit.data_max
+        probe = rng.uniform(-20, 20, size=(7, 2, 3))
+        assert np.array_equal(rolling.transform(probe),
+                              refit.transform(probe))
+        assert np.array_equal(rolling.inverse_transform(probe),
+                              refit.inverse_transform(probe))
+
+    def test_bounds_only_widen(self):
+        scaler = MinMaxScaler().fit(np.array([0.0, 10.0]))
+        scaler.update(np.array([3.0, 7.0]))  # inside: no-op
+        assert (scaler.data_min, scaler.data_max) == (0.0, 10.0)
+        scaler.update(np.array([-5.0, 12.0]))
+        assert (scaler.data_min, scaler.data_max) == (-5.0, 12.0)
+
+    def test_update_through_degenerate_bounds_matches_refit(self):
+        # fit() on constant data rewrites data_max (divide-by-zero
+        # guard); update() must fold into the *raw* bounds so the
+        # result still matches a refit on the concatenation.
+        rolling = MinMaxScaler().fit(np.full(5, 2.0))
+        assert rolling.data_max == 3.0  # degeneracy adjustment
+        rolling.update(np.array([2.5]))
+        refit = MinMaxScaler().fit(np.array([2.0] * 5 + [2.5]))
+        assert rolling.data_min == refit.data_min
+        assert rolling.data_max == refit.data_max
+
+    def test_update_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            MinMaxScaler().update(np.array([1.0]))
+
+    def test_update_rejects_non_finite(self):
+        scaler = MinMaxScaler().fit(np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="non-finite"):
+            scaler.update(np.array([np.nan]))
+        # A failed update leaves the bounds untouched.
+        assert (scaler.data_min, scaler.data_max) == (0.0, 1.0)
+
+
 def make_setup(num_intervals=800, f=48):
     mp = MultiPeriodicity(2, 1, 1, samples_per_day=f)
     flows = np.random.default_rng(0).uniform(0, 5, size=(num_intervals, 2, 3, 4))

@@ -166,7 +166,7 @@ class TestConfig:
         # a breaking change for pyproject configs and suppressions.
         assert ALL_RULES == ("dtype-policy", "gradcheck-coverage",
                              "optimizer-out", "mutable-default",
-                             "fork-discipline", "alloc")
+                             "fork-discipline", "alloc", "bounded-buffer")
 
 
 class TestForkDiscipline:
@@ -283,6 +283,84 @@ class TestAlloc:
         assert config.rule_applies("alloc", "src/repro/compile/plan.py")
         assert config.rule_applies("alloc", "src/repro/tensor/scratch.py")
         assert not config.rule_applies("alloc", "src/repro/tensor/ops.py")
+
+
+class TestBoundedBuffer:
+    """Every deque under repro.stream must declare its maxlen bound."""
+
+    def test_unbounded_deque_is_flagged_in_stream_paths(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            from collections import deque
+            buffer = deque()
+        """, rel="src/repro/stream/ingest.py")
+        assert [f.rule for f in report.findings] == ["bounded-buffer"]
+        assert "maxlen" in report.findings[0].message
+
+    def test_maxlen_keyword_passes(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            from collections import deque
+            buffer = deque(maxlen=64)
+        """, rel="src/repro/stream/ingest.py")
+        assert report.ok
+
+    def test_positional_maxlen_passes(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            from collections import deque
+            buffer = deque([], 64)
+        """, rel="src/repro/stream/ingest.py")
+        assert report.ok
+
+    def test_module_attribute_and_alias_are_flagged(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import collections
+            from collections import deque as dq
+            a = collections.deque()
+            b = dq()
+        """, rel="src/repro/stream/drift.py")
+        assert [f.rule for f in report.findings] == ["bounded-buffer"] * 2
+
+    def test_silent_outside_stream_paths(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            from collections import deque
+            buffer = deque()
+        """, rel="src/repro/training/trainer.py")
+        assert report.ok
+
+    def test_inline_suppression(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            from collections import deque
+            buffer = deque()  # lint: ignore[bounded-buffer]
+        """, rel="src/repro/stream/ingest.py")
+        assert report.ok
+
+    def test_unrelated_deque_name_passes(self, tmp_path):
+        # A local helper *called* deque is not collections.deque.
+        report = _lint_source(tmp_path, """
+            def deque_like():
+                return []
+            buffer = deque_like()
+        """, rel="src/repro/stream/ingest.py")
+        assert report.ok
+
+    def test_bounded_buffer_paths_loaded_from_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""
+            [tool.repro.lint]
+            bounded-buffer-paths = ["src/repro/stream", "src/repro/serve"]
+        """))
+        config = load_config(tmp_path)
+        assert config.bounded_buffer_paths == ("src/repro/stream",
+                                               "src/repro/serve")
+        assert config.rule_applies("bounded-buffer", "src/repro/serve/b.py")
+        assert not config.rule_applies("bounded-buffer", "src/repro/nn/a.py")
+
+    def test_stream_package_is_clean(self):
+        # The rule holds on the real package: no unbounded buffers.
+        from pathlib import Path
+        root = Path(__file__).resolve().parents[2]
+        report = lint_paths(
+            [root / "src/repro/stream"], root=root,
+            config=LintConfig(disabled=frozenset({"gradcheck-coverage"})))
+        assert report.ok, report.format_text()
 
 
 class TestReportMechanics:

@@ -183,3 +183,88 @@ class TestConfigValidation:
     def test_bad_checkpoint_every_rejected(self):
         with pytest.raises(ValueError, match="checkpoint_every"):
             TrainConfig(checkpoint_every=0, checkpoint_dir="x")
+
+
+class _Param:
+    def __init__(self, value):
+        self.grad = np.full(4, float(value))
+
+
+class TestEmaColdStart:
+    """The spike baseline's seeding semantics (PR 8 edge cases)."""
+
+    def test_first_healthy_step_seeds_ema_with_its_own_norm(self):
+        sentinel = DivergenceSentinel(policy="raise", spike_factor=10.0,
+                                      warmup=2)
+        assert sentinel.check(1.0, [_Param(3.0)], step=0, epoch=0) is None
+        # EMA == first norm exactly, not beta-decayed toward zero.
+        assert sentinel._norm_ema == pytest.approx(sentinel.last_norm)
+
+    def test_warmup_spike_does_not_poison_the_baseline(self):
+        # A huge norm during warmup is folded as "healthy" (nothing to
+        # compare against yet), but the EMA then tracks later normal
+        # steps instead of staying pinned at the outlier.
+        sentinel = DivergenceSentinel(policy="raise", spike_factor=10.0,
+                                      warmup=1)
+        assert sentinel.check(1.0, [_Param(1e6)], 0, 0) is None
+        seeded = sentinel._norm_ema
+        for step in range(1, 90):
+            result = sentinel.check(1.0, [_Param(1.0)], step, 0)
+            if result is not None:
+                pytest.fail(f"normal step flagged after warmup outlier: "
+                            f"{result.detail}")
+        assert sentinel._norm_ema < seeded * 1e-2
+
+    def test_zero_norm_baseline_never_divides_or_fires(self):
+        # All-zero gradients keep the EMA at 0; the spike check must
+        # stay quiet (guarded by _norm_ema > 0) rather than flag the
+        # first real gradient as infinitely spiky.
+        sentinel = DivergenceSentinel(policy="raise", spike_factor=10.0,
+                                      warmup=2)
+        for step in range(4):
+            assert sentinel.check(1.0, [_Param(0.0)], step, 0) is None
+        assert sentinel.check(1.0, [_Param(5.0)], 4, 0) is None
+
+
+class TestRearm:
+    """rearm() must behave exactly like step zero of a fresh run."""
+
+    def _warmed(self, warmup=3):
+        sentinel = DivergenceSentinel(policy="raise", spike_factor=10.0,
+                                      warmup=warmup)
+        for step in range(warmup + 1):
+            assert sentinel.check(1.0, [_Param(1.0)], step, 0) is None
+        return sentinel
+
+    def test_rearm_resets_baseline_and_reenters_warmup(self):
+        sentinel = self._warmed()
+        # Armed: a 100x norm fires against the ~1.0 baseline.
+        assert sentinel.check(1.0, [_Param(100.0)], 9, 0) is not None
+        sentinel.rearm()
+        assert sentinel._norm_ema == 0.0
+        assert sentinel.last_norm is None
+        # The same norm now passes: warmup restarted, no baseline.
+        assert sentinel.check(1.0, [_Param(100.0)], 10, 0) is None
+
+    def test_rearm_reseeds_ema_from_post_rollback_norms(self):
+        # After rollback + lr backoff the healthy norm scale changes;
+        # the re-seeded EMA must describe the new scale, so the new
+        # normal is not flagged against the old baseline.
+        sentinel = self._warmed()
+        sentinel.rearm()
+        for step in range(4):
+            assert sentinel.check(1.0, [_Param(50.0)], step, 1) is None
+        assert sentinel.check(1.0, [_Param(60.0)], 4, 1) is None
+        # ...but a genuine spike against the *new* baseline still fires.
+        assert sentinel.check(1.0, [_Param(5e4)], 5, 1) is not None
+
+    def test_rearm_keeps_nonfinite_detection_and_history(self):
+        sentinel = self._warmed()
+        assert sentinel.check(1.0, [_Param(100.0)], 9, 0) is not None
+        events_before = len(sentinel.events)
+        sentinel.rearm()
+        # Event history and counts survive; only the baseline resets.
+        assert len(sentinel.events) == events_before
+        assert sentinel.counts.get("grad_spike", 0) >= 1
+        assert sentinel.check(float("nan"), [_Param(1.0)], 10, 0).kind == \
+            "nonfinite_loss"

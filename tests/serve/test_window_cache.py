@@ -99,3 +99,94 @@ class TestWindowCache:
         cache = WindowCache(make_periodicity(), FRAME_SHAPE)
         with pytest.raises(ValueError, match="frame shape"):
             cache.push(np.zeros((2, 4, 3)))
+
+
+class TestGapContract:
+    """push_gap: carry-forward fill + imputation flags (PR 8).
+
+    The seed behavior simply never advanced the clock on a missing
+    interval, silently shifting every later period/trend lag off its
+    calendar alignment.  The contract now: a gap advances the clock,
+    fills with the last observed frame, and flags the slot so
+    imputed_counts() reports how much of each sub-series is filled.
+    """
+
+    def _filled_reference(self, flows, gaps):
+        """The history build_samples sees if gaps are carry-forward filled."""
+        filled = np.array(flows, copy=True)
+        for i in sorted(gaps):
+            filled[i] = filled[i - 1] if i > 0 else 0.0
+        return filled
+
+    def test_gap_windows_bit_identical_across_period_and_trend(self):
+        # Gaps placed so the fills traverse *every* sub-series as the
+        # stream advances: each gap sits exactly one period or trend
+        # lag behind some later target.  min_index=48, period_lag=8,
+        # trend_lag=24.
+        p = make_periodicity()
+        flows = make_stream(p.min_index + 60, seed=9)
+        gaps = {p.min_index + 5, p.min_index + 6, p.min_index + 30}
+        filled = self._filled_reference(flows, gaps)
+        cache = WindowCache(p, FRAME_SHAPE)
+        for i in range(len(flows)):
+            if cache.ready:
+                sample = cache.sample()
+                ref = build_samples(filled, p, [i])
+                assert np.array_equal(sample.closeness, ref.closeness), i
+                assert np.array_equal(sample.period, ref.period), i
+                assert np.array_equal(sample.trend, ref.trend), i
+            if i in gaps:
+                cache.push_gap()
+            else:
+                cache.push(flows[i])
+        assert cache.gap_count == len(gaps)
+
+    def test_gap_advances_clock_and_keeps_alignment(self):
+        # The regression pinned: after a gap, next_index must advance
+        # exactly like an observed tick, or every later lag shifts.
+        p = make_periodicity()
+        cache = WindowCache(p, FRAME_SHAPE)
+        cache.extend(make_stream(10, seed=1))
+        assert cache.next_index == 10
+        cache.push_gap()
+        assert cache.next_index == 11
+        assert cache.count == 11
+
+    def test_imputed_counts_traverse_subseries(self):
+        # One gap, then clean ticks: the imputation flag must appear in
+        # closeness immediately, then surface in the period window when
+        # the gap is exactly period_lag behind the target, and in the
+        # trend window at trend_lag behind — and be zero elsewhere.
+        p = make_periodicity()  # L_c=3, L_p=2 @ lag 8, L_t=2 @ lag 24
+        flows = make_stream(p.min_index + 50, seed=2)
+        cache = WindowCache(p, FRAME_SHAPE)
+        cache.extend(flows[:p.min_index])
+        gap_at = p.min_index
+        cache.push_gap()
+        for _ in range(48):
+            cache.push(flows[cache.next_index])
+            counts = cache.imputed_counts()
+            lag = cache.next_index - gap_at  # gap's lag behind the target
+            assert counts["closeness"] == (1 if lag <= 3 else 0), lag
+            assert counts["period"] == (1 if lag in (8, 16) else 0), lag
+            assert counts["trend"] == (1 if lag in (24, 48) else 0), lag
+
+    def test_gap_before_first_observation_fills_zeros(self):
+        p = make_periodicity()
+        cache = WindowCache(p, FRAME_SHAPE, dtype=np.float64)
+        cache.push_gap()
+        assert cache.count == 1
+        assert np.array_equal(cache.last_frame, np.zeros(FRAME_SHAPE))
+
+    def test_clean_stream_reports_zero_imputed(self):
+        p = make_periodicity()
+        cache = WindowCache(p, FRAME_SHAPE)
+        cache.extend(make_stream(p.min_index, seed=4))
+        assert cache.imputed_counts() == {"closeness": 0, "period": 0,
+                                          "trend": 0}
+        assert cache.gap_count == 0
+
+    def test_imputed_counts_before_warmup_raises(self):
+        cache = WindowCache(make_periodicity(), FRAME_SHAPE)
+        with pytest.raises(ValueError, match="not ready"):
+            cache.imputed_counts()

@@ -1,0 +1,303 @@
+"""StreamRuntime integration: ladder, staleness, masking, hot swap.
+
+Small geometry (2x2 grid, min_index 8) so every test runs a real model
+through the real server without the simulate-scale warmup cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MuseConfig, MUSENet
+from repro.data import MinMaxScaler, MultiPeriodicity, build_samples
+from repro.serve.server import ServeConfig
+from repro.stream import (
+    AdaptationConfig,
+    StreamConfig,
+    StreamRuntime,
+    Tick,
+)
+from repro.training import Trainer
+
+SHAPE = (2, 2, 2)
+SAMPLES_PER_DAY = 4
+
+
+def make_periodicity():
+    # min_index = max(2, 1*4, 1*8) = 8
+    return MultiPeriodicity(2, 1, 1, samples_per_day=SAMPLES_PER_DAY,
+                            trend_lag=8)
+
+
+def make_model(seed=0):
+    p = make_periodicity()
+    return MUSENet(MuseConfig(
+        len_closeness=p.len_closeness, len_period=p.len_period,
+        len_trend=p.len_trend, height=2, width=2, rep_channels=4,
+        latent_interactive=8, res_blocks=1, plus_channels=2,
+        decoder_hidden=8, gen_weight=0.05, seed=seed))
+
+
+def make_flows(ticks, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 10.0, size=(ticks,) + SHAPE)
+
+
+def make_runtime(flows_warm, config=None, model_factory=None,
+                 checkpoint_dir=None, seed=0):
+    scaler = MinMaxScaler((-0.9, 0.9)).fit(flows_warm)
+    runtime = StreamRuntime(
+        make_model(seed), scaler, make_periodicity(), SHAPE,
+        SAMPLES_PER_DAY, config=config, model_factory=model_factory,
+        checkpoint_dir=checkpoint_dir)
+    runtime.warm_start(flows_warm)
+    return runtime
+
+
+def live_tick(flows, index):
+    return Tick(index=index, frame=flows[index])
+
+
+class TestCleanStreamIdentity:
+    def test_live_forecasts_match_offline_pipeline_bitwise(self):
+        # The tentpole contract: on a clean stream the runtime's model
+        # answers equal build_samples -> predict_scaled exactly.
+        flows = make_flows(32)
+        warm = 20
+        runtime = make_runtime(flows[:warm])
+        trainer = Trainer(runtime.server.model)
+        scaled = runtime.scaler.transform(flows)
+        with runtime:
+            for index in range(warm, len(flows)):
+                result = runtime.forecast()
+                assert result.index == index
+                assert result.source == "model"
+                assert result.imputed == {"closeness": 0, "period": 0,
+                                          "trend": 0}
+                offline = runtime.scaler.inverse_transform(np.asarray(
+                    trainer.predict_scaled(
+                        build_samples(scaled, runtime.periodicity,
+                                      [index])))[0])
+                assert np.array_equal(result.flows, offline)
+                runtime.ingest(live_tick(flows, index))
+
+
+class TestDegradationLadder:
+    def test_ladder_walks_zeros_persistence_climatology(self):
+        p = make_periodicity()
+        flows = make_flows(16)
+        scaler = MinMaxScaler((-0.9, 0.9)).fit(flows)
+        runtime = StreamRuntime(make_model(), scaler, p, SHAPE,
+                                SAMPLES_PER_DAY)
+        with runtime:
+            # Nothing observed: the bottom rung answers.
+            result = runtime.forecast()
+            assert (result.source, result.index) == ("zeros", 0)
+            assert "warmup" in result.reason
+            assert not result.flows.any()
+            # One tick: persistence (slot 1 has no climatology yet).
+            runtime.ingest(live_tick(flows, 0))
+            result = runtime.forecast()
+            assert result.source == "persistence"
+            assert np.array_equal(result.flows, flows[0])
+            # A full day observed: climatology takes over.
+            for index in range(1, SAMPLES_PER_DAY + 1):
+                runtime.ingest(live_tick(flows, index))
+            result = runtime.forecast()
+            assert result.source == "historical_average"
+            assert result.degraded
+
+    def test_degraded_flag_routes_to_ladder_and_back(self):
+        flows = make_flows(24)
+        runtime = make_runtime(flows[:20])
+        with runtime:
+            assert runtime.forecast().source == "model"
+            runtime.server.mark_degraded("maintenance window")
+            result = runtime.forecast()
+            assert result.source == "historical_average"
+            assert result.reason == "maintenance window"
+            runtime.server.clear_degraded()
+            assert runtime.forecast().source == "model"
+
+    def test_staleness_limit_degrades_with_telemetry(self):
+        flows = make_flows(32)
+        config = StreamConfig(staleness_limit=3)
+        runtime = make_runtime(flows[:20], config=config)
+        with runtime:
+            # Warm-start does not age the weights.
+            assert runtime.server.staleness_ticks == 0
+            for index in range(20, 25):
+                runtime.ingest(live_tick(flows, index))
+            result = runtime.forecast()
+            assert result.source != "model"
+            assert result.reason.startswith("stale")
+            assert result.staleness == 5
+            assert runtime.server.snapshot()["staleness_ticks"] == 5
+
+
+class TestFaultHandling:
+    def test_nan_cells_are_masked_with_last_known_values(self):
+        flows = make_flows(24)
+        runtime = make_runtime(flows[:20])
+        with runtime:
+            frame = flows[20].copy()
+            frame[0, 1, 1] = np.nan
+            frame[1, 0, 0] = np.nan
+            runtime.ingest(Tick(index=20, frame=frame))
+            assert runtime.masked_cells == 2
+            filled = runtime.cache.last_frame
+            assert filled[0, 1, 1] == flows[19][0, 1, 1]
+            assert filled[1, 0, 0] == flows[19][1, 0, 0]
+            assert filled[0, 0, 0] == flows[20][0, 0, 0]
+
+    def test_gap_advances_clock_and_flags_windows(self):
+        flows = make_flows(32)
+        config = StreamConfig(watermark=1)
+        runtime = make_runtime(flows[:20], config=config)
+        with runtime:
+            # 20 never arrives; 21 forces the gap declaration.
+            applied = runtime.ingest(live_tick(flows, 21))
+            assert applied == [("gap", 20), ("tick", 21)]
+            assert runtime.cache.gap_count == 1
+            result = runtime.forecast()
+            assert result.source == "model"
+            assert result.index == 22
+            # The filled interval 20 sits at lag 2, inside L_c = 2.
+            assert result.imputed["closeness"] == 1
+
+    def test_quarantined_tick_changes_nothing(self):
+        flows = make_flows(24)
+        runtime = make_runtime(flows[:20])
+        with runtime:
+            before = runtime.cache.count
+            assert runtime.ingest(
+                Tick(index=20, frame=np.full(SHAPE, np.inf))) == []
+            assert runtime.cache.count == before
+            assert runtime.ingestor.counts["quarantined"] == 1
+
+
+class TestAdaptation:
+    CONFIG = StreamConfig(
+        history=64,
+        adaptation=AdaptationConfig(step_budget=4, epochs=1,
+                                    gate_factor=50.0, fresh_ticks=0))
+
+    def _adaptive_runtime(self, tmp_path, flows_warm):
+        return make_runtime(
+            flows_warm, config=self.CONFIG, model_factory=make_model,
+            checkpoint_dir=str(tmp_path))
+
+    def test_swap_failure_leaves_server_answering(self, tmp_path,
+                                                  monkeypatch):
+        # Retraining succeeds but the checkpoint read during the hot
+        # swap explodes: the failure is recorded, the server stays
+        # degraded, and forecasts keep flowing from the ladder.
+        flows = make_flows(32)
+        runtime = self._adaptive_runtime(tmp_path, flows[:24])
+        with runtime:
+            import repro.serve.server as server_mod
+
+            def broken_read(path):
+                raise RuntimeError("checkpoint store unreachable")
+
+            monkeypatch.setattr(server_mod, "read_weights", broken_read)
+            assert runtime.adapt() is False
+            assert runtime.retrains == 0
+            assert any("hot swap failed" in f
+                       for f in runtime.retrain_failures)
+            assert "retrain failed" in runtime.server.degraded
+            result = runtime.forecast()
+            assert result.degraded and result.source == "historical_average"
+            assert runtime.server.generation == 0
+            # The store recovers: the retry swaps and serving resumes.
+            monkeypatch.undo()
+            assert runtime.adapt() is True
+            assert runtime.retrains == 1
+            assert runtime.server.degraded is None
+            assert runtime.server.generation == 1
+            assert runtime.forecast().source == "model"
+
+    def test_swap_resets_staleness_clock(self, tmp_path):
+        flows = make_flows(40)
+        runtime = self._adaptive_runtime(tmp_path, flows[:24])
+        with runtime:
+            for index in range(24, 30):
+                runtime.ingest(live_tick(flows, index))
+            assert runtime.server.staleness_ticks == 6
+            assert runtime.adapt() is True
+            assert runtime.server.staleness_ticks == 0
+
+    def test_retrain_divergence_is_contained(self, tmp_path, monkeypatch):
+        # A diverging fit raises inside the trainer; adapt() must
+        # convert it into a recorded failure, never a crash.
+        flows = make_flows(32)
+        runtime = self._adaptive_runtime(tmp_path, flows[:24])
+        with runtime:
+            import repro.stream.runtime as runtime_mod
+
+            def exploding_retrain(*args, **kwargs):
+                from repro.stream.adapt import AdaptationError
+                raise AdaptationError("warm retrain diverged: boom")
+
+            monkeypatch.setattr(runtime_mod, "warm_retrain",
+                                exploding_retrain)
+            assert runtime.adapt() is False
+            assert any("diverged" in f for f in runtime.retrain_failures)
+            assert runtime.forecast().degraded
+
+    def test_missing_factory_is_a_recorded_failure(self, tmp_path):
+        flows = make_flows(32)
+        runtime = make_runtime(flows[:24], config=self.CONFIG)
+        with runtime:
+            assert runtime.adapt() is False
+            assert any("model_factory" in f
+                       for f in runtime.retrain_failures)
+
+    def test_failure_log_is_bounded(self, tmp_path):
+        from repro.stream.runtime import _MAX_FAILURE_RECORDS
+        flows = make_flows(32)
+        runtime = make_runtime(flows[:24], config=self.CONFIG)
+        with runtime:
+            for _ in range(_MAX_FAILURE_RECORDS + 5):
+                runtime.adapt()
+            assert len(runtime.retrain_failures) == _MAX_FAILURE_RECORDS
+
+
+class TestLifecycle:
+    def test_warm_start_after_ingest_raises(self):
+        flows = make_flows(24)
+        runtime = make_runtime(flows[:20])
+        with runtime:
+            runtime.ingest(live_tick(flows, 20))
+            with pytest.raises(RuntimeError, match="warm_start"):
+                runtime.warm_start(flows[:20])
+
+    def test_replicas_rejected(self):
+        flows = make_flows(12)
+        with pytest.raises(ValueError, match="replicas"):
+            StreamRuntime(make_model(), MinMaxScaler().fit(flows),
+                          make_periodicity(), SHAPE, SAMPLES_PER_DAY,
+                          serve_config=ServeConfig(replicas=2))
+
+    def test_telemetry_is_json_able_and_complete(self):
+        import json
+        flows = make_flows(24)
+        runtime = make_runtime(flows[:20])
+        with runtime:
+            runtime.ingest(live_tick(flows, 20))
+            t = runtime.telemetry()
+        json.dumps(t)
+        for key in ("ingest", "drift", "drift_events", "serve", "cache",
+                    "history_len", "masked_cells", "fallbacks",
+                    "retrains", "retrain_failures"):
+            assert key in t
+        assert t["serve"]["staleness_ticks"] == 1
+        assert t["cache"]["count"] == 21
+
+    def test_history_window_is_bounded(self):
+        flows = make_flows(40)
+        config = StreamConfig(history=16)
+        runtime = make_runtime(flows[:20], config=config)
+        with runtime:
+            for index in range(20, 30):
+                runtime.ingest(live_tick(flows, index))
+            assert len(runtime.history) == 16

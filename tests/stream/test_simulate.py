@@ -1,0 +1,135 @@
+"""Scenario construction: every disruption does what its name says."""
+
+import numpy as np
+import pytest
+
+from repro.stream import simulate as sim
+
+
+class TestScenarioMenu:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            sim.make_scenario("meteor")
+
+    @pytest.mark.parametrize("name", sim.SCENARIOS)
+    def test_shared_shape(self, name):
+        s = sim.make_scenario(name, seed=0)
+        grid, p = sim.stream_geometry()
+        assert s.flows.shape == (s.train_end + grid.intervals_for_days(10),
+                                 2, grid.height, grid.width)
+        assert s.train_end == grid.intervals_for_days(16)
+        assert s.periodicity.min_index <= s.train_end
+        assert s.description
+
+    def test_scenarios_are_reproducible(self):
+        a = sim.make_scenario("late", seed=3)
+        b = sim.make_scenario("late", seed=3)
+        assert np.array_equal(a.flows, b.flows)
+        assert [t.index for t in a.ticks] == [t.index for t in b.ticks]
+
+
+class TestDisruptions:
+    def test_clean_is_in_order_and_complete(self):
+        s = sim.make_scenario("clean")
+        assert [t.index for t in s.ticks] == list(range(s.train_end,
+                                                        len(s.flows)))
+        assert s.disruption_start == len(s.flows)
+        assert all(np.isfinite(t.frame).all() for t in s.ticks)
+
+    def test_late_shuffles_within_watermark_and_duplicates(self):
+        s = sim.make_scenario("late")
+        arrival = [t.index for t in s.ticks]
+        assert sorted(set(arrival)) == list(range(s.train_end, len(s.flows)))
+        assert len(arrival) == len(set(arrival)) + 4  # 4 duplicates
+        # Displacement never exceeds the default watermark of 4.
+        seen = {}
+        for position, index in enumerate(arrival):
+            seen.setdefault(index, position)
+        order = sorted(seen, key=seen.get)
+        for position, index in enumerate(order):
+            assert abs(index - order[0] - position) < 4
+
+    def test_dropout_injects_nan_cells_after_disruption(self):
+        s = sim.make_scenario("dropout")
+        nan_ticks = [t for t in s.ticks if np.isnan(t.frame).any()]
+        assert nan_ticks
+        assert all(t.index >= s.disruption_start for t in nan_ticks)
+        # Truth flows stay clean: NaN is an observation fault.
+        assert np.isfinite(s.flows).all()
+
+    def test_corrupt_injects_inf_and_negative(self):
+        s = sim.make_scenario("corrupt")
+        assert any(np.isinf(t.frame).any() for t in s.ticks)
+        assert any((t.frame[np.isfinite(t.frame)] < 0).any()
+                   for t in s.ticks)
+
+    def test_outage_drops_a_contiguous_run(self):
+        s = sim.make_scenario("outage")
+        present = {t.index for t in s.ticks}
+        missing = sorted(set(range(s.train_end, len(s.flows))) - present)
+        assert missing == list(range(s.disruption_start,
+                                     s.disruption_start + 6))
+
+    def test_level_shift_scales_post_disruption_flows(self):
+        shifted = sim.make_scenario("level_shift")
+        base = sim.make_scenario("clean")
+        pre = slice(0, shifted.disruption_start)
+        assert shifted.flows[pre].mean() == pytest.approx(
+            base.flows[pre].mean(), rel=0.05)
+        assert (shifted.flows[shifted.disruption_start:].mean()
+                > 1.3 * base.flows[base.disruption_start - 80:].mean())
+
+    def test_closure_kills_one_cell(self):
+        s = sim.make_scenario("closure")
+        base = sim.make_scenario("clean")
+        window = slice(s.disruption_start, s.disruption_start + 16)
+        # Only jitter noise survives in the closed cell (std 1.0).
+        assert s.flows[window][:, :, 1, 2].mean() < 1.0
+        assert (s.flows[window][:, :, 1, 2].mean()
+                < 0.2 * base.flows[window][:, :, 1, 2].mean())
+
+    def test_surge_scales_one_cell(self):
+        s = sim.make_scenario("surge")
+        base = sim.make_scenario("clean")
+        window = slice(s.disruption_start, s.disruption_start + 16)
+        assert (s.flows[window][:, :, 2, 1].mean()
+                > 2.0 * base.flows[window][:, :, 2, 1].mean())
+
+
+class TestEvaluation:
+    def _fake_results(self, scenario, value):
+        from repro.stream.runtime import ForecastResult
+        return [
+            (ForecastResult(index=i, flows=np.full(scenario.flows.shape[1:],
+                                                   value), source="model"),
+             scenario.flows[i])
+            for i in range(scenario.train_end, len(scenario.flows))
+        ]
+
+    def test_segments_split_at_the_disruption(self):
+        s = sim.make_scenario("level_shift")
+        report = sim.evaluate_results(s, self._fake_results(s, 1.0),
+                                      recovery_window=16)
+        total = len(s.flows) - s.train_end
+        post = len(s.flows) - s.disruption_start
+        assert report["pre"]["ticks"] == total - post
+        assert report["post"]["ticks"] == post
+        assert report["recovery"]["ticks"] == 16
+        assert report["sources"] == {"model": total}
+
+    def test_nrmse_normalizes_by_truth_scale(self):
+        # Doubling both prediction error and truth scale leaves nrmse
+        # unchanged — the property that makes pre/post comparable
+        # across a level shift.
+        s = sim.make_scenario("clean")
+        report = sim.evaluate_results(s, self._fake_results(s, 0.0))
+        doubled = sim.StreamScenario(
+            name=s.name, grid=s.grid, periodicity=s.periodicity,
+            flows=s.flows * 2.0, train_end=s.train_end, ticks=s.ticks,
+            disruption_start=s.disruption_start)
+        report2 = sim.evaluate_results(doubled,
+                                       self._fake_results(doubled, 0.0))
+        assert report2["pre"]["rmse"] == pytest.approx(
+            2.0 * report["pre"]["rmse"])
+        assert report2["pre"]["nrmse"] == pytest.approx(
+            report["pre"]["nrmse"])

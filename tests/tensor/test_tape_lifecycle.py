@@ -165,7 +165,10 @@ class TestOpProfiler:
                                  "serve_queue_wait_s", "forward_alloc_bytes",
                                  "compile_plans", "compile_plan_s",
                                  "arena_bytes", "arena_reuse_pct",
-                                 "compiled_steps"}
+                                 "compiled_steps", "stream_ticks",
+                                 "stream_gap_fills", "stream_quarantined",
+                                 "stream_drifts", "stream_retrains",
+                                 "stream_retrain_s", "stream_fallbacks"}
         assert snapshot["grad_alloc_bytes"] > 0
         assert snapshot["ops"]["conv2d"]["calls"] == 1
         rendered = format_op_summary(snapshot, limit=2)

@@ -196,6 +196,40 @@ class TestServeCommand:
         assert "served == offline predict_scaled" in out
 
 
+class TestStreamCommand:
+    def test_stream_parses_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.command == "stream"
+        assert args.scenario == "clean"
+        assert args.epochs == 8
+        assert args.frozen is False
+        assert args.format == "text"
+
+    def test_stream_unknown_scenario_exits_2(self, capsys):
+        assert main(["stream", "--scenario", "meteor"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unknown scenario" in err
+
+    def test_stream_clean_enforces_the_identity_gate(self, capsys):
+        assert main(["stream", "--scenario", "clean", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "stream scenario 'clean'" in out
+        assert "clean stream == offline predict_scaled: max|err| 0" in out
+        assert "sources: model=80" in out
+
+    def test_stream_corrupt_json_reports_fault_telemetry(self, capsys):
+        import json
+
+        assert main(["stream", "--scenario", "corrupt", "--frozen",
+                     "--epochs", "1", "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        counts = report["telemetry"]["ingest"]["counts"]
+        assert counts["quarantined"] == 5
+        assert counts["gaps"] == 5
+        assert report["ticks_forecast"] > 0
+
+
 class TestDatasetIO:
     def test_round_trip(self, tmp_path):
         dataset = load_dataset("nyc-bike", scale="tiny")
