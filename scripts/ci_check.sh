@@ -20,6 +20,10 @@ echo "== static analysis =="
 # interpretation model checker over MUSE-Net at paper shapes.  Both
 # exit 2 on findings, failing the gate (docs/static_analysis.md).
 python -m repro lint
+# Whole-program lock discipline over the threaded/forked stacks:
+# lock-order cycles, guarded-field escapes, fork-under-lock
+# (config in [tool.repro.lint]; exit 2 on findings).
+python -m repro check-concurrency
 python -m repro check-model MUSE-Net
 
 echo "== tier-1 tests =="
@@ -70,6 +74,31 @@ echo "== streaming suite =="
 # vs spike, degradation ladder, warm retrain + hot swap, clean-stream
 # bit-identity (tests/stream/, docs/streaming.md).
 python -m pytest tests/stream tests/serve/test_window_cache.py -q
+
+echo "== concurrency sanitizer pass (serve + parallel + stream) =="
+# Re-run the threaded suites with runtime lock instrumentation: the
+# conftest gate fails the run on any dynamic lock-order inversion,
+# fork-while-locked, long hold, or thread leaked past shutdown.
+# Schedule-perturbing stress sleeps only widen races when another
+# runnable thread exists, so the stress knob self-disables on
+# single-CPU hosts (the plain sanitizer detectors still run there).
+if [ "$(nproc)" -ge 2 ]; then
+    REPRO_TSAN=1 REPRO_TSAN_STRESS=1 REPRO_TSAN_SEED=0 \
+        python -m pytest tests/serve tests/parallel tests/stream -q
+else
+    echo "sanitizer stress mode disabled: schedule perturbation needs" \
+         ">= 2 CPUs to create real interleavings ($(nproc) CPU host);" \
+         "running detectors without stress sleeps"
+    REPRO_TSAN=1 python -m pytest tests/serve tests/parallel tests/stream -q
+fi
+
+echo "== sanitizer-overhead bench (smoke) =="
+# Gates that the disabled sanitizer factories cost <= 5% vs raw
+# threading primitives on the serve and stream workloads; the
+# wall-clock ratio gate self-disables on single-CPU hosts and records
+# the reason in the snapshot instead.
+python benchmarks/bench_concurrency_overhead.py --mode smoke \
+    --out BENCH_concurrency.json
 
 echo "== stream-robustness bench (smoke) =="
 # Always gates the clean-stream identity (live model forecasts ==

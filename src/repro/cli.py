@@ -461,6 +461,29 @@ def _cmd_lint(args):
     return 0 if report.ok else 2
 
 
+def _cmd_check_concurrency(args):
+    import json
+
+    from repro.inspect import check_concurrency, load_config
+
+    root = _repo_root()
+    paths = args.path or None
+    try:
+        config = load_config(root)
+        report = check_concurrency(paths, root=root, config=config)
+    except ValueError:
+        raise  # bad [tool.repro.lint] config -> exit 2 via main()
+    except Exception as exc:  # internal checker failure -> exit 1
+        print(f"error: check-concurrency failed: "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 2
+
+
 def build_parser():
     """Construct the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -614,6 +637,17 @@ def build_parser():
                    help="files or directories (default: src/repro)")
     p.add_argument("--format", default="text", choices=("text", "json"))
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "check-concurrency",
+        help="whole-program lock-discipline analysis over the threaded "
+             "serving/training stack (lock-order cycles, guarded-field "
+             "violations, fork-while-locked)")
+    p.add_argument("path", nargs="*",
+                   help="files or directories (default: the configured "
+                        "concurrency-paths)")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.set_defaults(func=_cmd_check_concurrency)
 
     return parser
 

@@ -9,9 +9,23 @@ Two layers, surfaced as ``repro check-model`` and ``repro lint``:
 * :func:`lint_paths` runs repo-specific AST rules (dtype policy,
   gradient-check coverage, optimizer ``out=`` contract, mutable
   defaults) over the source tree.
+
+A third layer, ``repro check-concurrency``, covers the threaded/forked
+serving and training stack: :func:`check_concurrency` is a
+whole-program lock-discipline pass (lock-order cycles, guarded-field
+violations, fork-while-locked) and :mod:`repro.inspect.sanitizer` is
+its runtime counterpart — instrumented lock/thread factories that
+detect dynamic lock-order inversions, fork/join hazards, and long
+holds on real executions (``REPRO_TSAN=1``).
 """
 
+from repro.inspect import sanitizer
 from repro.inspect.abstract import AbstractTensor, abstract_batch
+from repro.inspect.concurrency import (
+    CONCURRENCY_RULES,
+    ConcurrencyReport,
+    check_concurrency,
+)
 from repro.inspect.checker import (
     Finding,
     ModelReport,
@@ -35,5 +49,6 @@ __all__ = [
     "check_method", "check_model", "gradcheck_cases", "registered_ops",
     "Interval", "LintConfig", "LintFinding", "LintReport", "lint_paths",
     "load_config", "GraphTracer", "Trace", "TraceEvent",
-    "compute_liveness", "plan_arena",
+    "compute_liveness", "plan_arena", "CONCURRENCY_RULES",
+    "ConcurrencyReport", "check_concurrency", "sanitizer",
 ]

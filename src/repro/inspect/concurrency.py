@@ -1,0 +1,764 @@
+"""Whole-program lock-discipline analysis over the concurrent modules.
+
+The serving / parallel-training / streaming stack shares state across
+threads and forked replicas through a handful of per-class locks.
+This pass parses the configured ``concurrency-paths`` (see
+``[tool.repro.lint]``), builds a model of every class — which
+attributes are locks, which fields each method touches under which
+``with self._lock:`` scopes, which methods call which while holding —
+and checks three whole-program rules:
+
+* ``lock-order`` — the inter-module lock-acquisition graph: an edge
+  ``A -> B`` means some thread acquires ``B`` while holding ``A``
+  (directly, or through a call chain).  Any cycle is a potential
+  deadlock and is reported with the acquisition path of every edge in
+  the cycle; acquiring a non-reentrant ``Lock`` while already holding
+  it is reported as a self-deadlock.
+* ``guarded-field`` — infers which lock guards each instance field
+  (every non-lifecycle write happens under it, or at least two
+  accesses do) and flags accesses of the field outside that lock.
+  ``__init__``/``start`` run before the object is shared and are
+  exempt.  Intentional lock-free fast paths are declared either inline
+  (``# lint: ignore[guarded-field]``) or centrally in
+  ``[tool.repro.lint.guard-map]`` (``"Class.field" = "lock-free"``).
+* ``fork-safety`` — flags ``os.fork()`` / ``multiprocessing`` process
+  or pool construction reachable while any lock is held: the child
+  inherits a locked mutex whose owning thread does not exist there,
+  so the first acquisition in the child deadlocks forever.  (The
+  dynamic half — fork while a non-daemon *thread* is alive — needs
+  runtime knowledge and lives in :mod:`repro.inspect.sanitizer`.)
+
+Held-context is interprocedural two ways: acquisitions made by callees
+propagate to callers (fixpoint closure over ``self.method()`` and
+``self.attr.method()`` calls with known attribute types), and private
+helpers (``_name``) inherit the *intersection* of the lock sets held
+at their non-lifecycle intra-class call sites — so ``_recv`` in the
+replica pool, only ever called with the dispatch lock held, is
+analyzed as lock-protected without annotations.
+
+Run via ``repro check-concurrency`` (exit 0 clean / 2 findings / 1
+internal error, ``--format json``); CI keeps it always-on next to
+``repro lint``.  Findings share the lint ``rule/path/line/message``
+shape and suppression syntax.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .lint import LintFinding, load_config
+
+__all__ = ["CONCURRENCY_RULES", "ConcurrencyReport", "check_concurrency"]
+
+CONCURRENCY_RULES = ("lock-order", "guarded-field", "fork-safety")
+
+#: Constructors recognised as lock attributes, mapped to reentrancy
+#: kind.  ``threading.Condition()`` with no lock argument wraps an
+#: RLock; the sanitizer factory wraps a plain Lock.
+_LOCK_CTORS = {
+    ("threading", "Lock"): "lock",
+    ("threading", "RLock"): "rlock",
+    ("threading", "Condition"): "condition",
+    ("sanitizer", "create_lock"): "lock",
+    ("sanitizer", "create_rlock"): "rlock",
+    ("sanitizer", "create_condition"): "condition",
+}
+
+#: Methods that run before (or while) the object is published to other
+#: threads: construction and single-threaded startup.  Exempt from
+#: guarded-field (not from fork-safety or lock-order).
+_LIFECYCLE_METHODS = frozenset({"__init__", "__enter__", "start"})
+
+_MP_FORK_ATTRS = frozenset({"Process", "Pool"})
+
+
+@dataclass
+class _Access:
+    field: str
+    kind: str           # "read" | "write"
+    method: str
+    held: frozenset     # lock attr names held at the access
+    line: int
+
+
+@dataclass
+class _Acquire:
+    lock: str           # lock attr name being acquired
+    held: frozenset     # lock attr names already held
+    method: str
+    line: int
+
+
+@dataclass
+class _CallSite:
+    target_attr: str    # None for self.m(), else the attribute name
+    method: str
+    caller: str
+    held: frozenset
+    line: int
+
+
+@dataclass
+class _Fork:
+    desc: str
+    held: frozenset
+    method: str
+    line: int
+
+
+@dataclass
+class _ClassModel:
+    name: str
+    path: str
+    line: int
+    locks: dict = field(default_factory=dict)       # attr -> (kind, line)
+    attr_types: dict = field(default_factory=dict)  # attr -> class name
+    methods: set = field(default_factory=set)
+    acquires: list = field(default_factory=list)    # [_Acquire]
+    accesses: list = field(default_factory=list)    # [_Access]
+    calls: list = field(default_factory=list)       # [_CallSite]
+    forks: list = field(default_factory=list)       # [_Fork]
+
+
+# ----------------------------------------------------------------------
+# Per-file extraction
+# ----------------------------------------------------------------------
+class _ModuleImports:
+    """Names a module binds to threading/sanitizer/multiprocessing."""
+
+    def __init__(self, tree):
+        self.threading = {"threading"}
+        self.sanitizer = {"sanitizer"}
+        self.mp = {"multiprocessing"}
+        self.lock_ctor_names = {}   # bare name -> kind
+        self.fork_names = set()     # bare names that construct processes
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    base = alias.name.split(".")[0]
+                    bound = alias.asname or alias.name
+                    if base == "threading":
+                        self.threading.add(bound)
+                    elif base == "multiprocessing":
+                        self.mp.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                base = node.module.split(".")[0]
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if node.module == "threading":
+                        kind = _LOCK_CTORS.get(("threading", alias.name))
+                        if kind:
+                            self.lock_ctor_names[bound] = kind
+                    elif node.module.endswith("sanitizer"):
+                        kind = _LOCK_CTORS.get(("sanitizer", alias.name))
+                        if kind:
+                            self.lock_ctor_names[bound] = kind
+                    elif alias.name == "sanitizer":
+                        self.sanitizer.add(bound)
+                    if base == "multiprocessing" and alias.name in \
+                            _MP_FORK_ATTRS:
+                        self.fork_names.add(bound)
+
+    def lock_kind(self, call):
+        """Reentrancy kind if ``call`` constructs a lock, else None."""
+        func = call.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value,
+                                                          ast.Name):
+            if func.value.id in self.threading:
+                return _LOCK_CTORS.get(("threading", func.attr))
+            if func.value.id in self.sanitizer:
+                return _LOCK_CTORS.get(("sanitizer", func.attr))
+        elif isinstance(func, ast.Name):
+            return self.lock_ctor_names.get(func.id)
+        return None
+
+
+def _self_attr(node):
+    """``'x'`` when ``node`` is the expression ``self.x``, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+class _MethodExtractor:
+    """Walk one method body tracking the ``with self.lock:`` held set."""
+
+    def __init__(self, model, imports, method_name):
+        self.model = model
+        self.imports = imports
+        self.method = method_name
+        # Locals bound to multiprocessing contexts within this method
+        # (``ctx = multiprocessing.get_context("fork")``).
+        self._mp_locals = set()
+
+    # -- helpers -------------------------------------------------------
+    def _is_fork_call(self, call):
+        func = call.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value,
+                                                          ast.Name):
+            if func.value.id == "os" and func.attr == "fork":
+                return "os.fork()"
+            if (func.attr in _MP_FORK_ATTRS
+                    and (func.value.id in self.imports.mp
+                         or func.value.id in self._mp_locals)):
+                return f"{func.value.id}.{func.attr}(...)"
+        elif isinstance(func, ast.Name) and func.id in self.imports.fork_names:
+            return f"{func.id}(...)"
+        return None
+
+    def _note_mp_local(self, stmt):
+        if not isinstance(stmt, ast.Assign):
+            return
+        value = stmt.value
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "get_context"
+                and isinstance(value.func.value, ast.Name)
+                and value.func.value.id in self.imports.mp):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self._mp_locals.add(target.id)
+
+    # -- statement walk ------------------------------------------------
+    def walk(self, stmts, held):
+        for stmt in stmts:
+            self._note_mp_local(stmt)
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = set(held)
+                for item in stmt.items:
+                    attr = _self_attr(item.context_expr)
+                    if attr is not None and attr in self.model.locks:
+                        self.model.acquires.append(_Acquire(
+                            lock=attr, held=frozenset(inner),
+                            method=self.method,
+                            line=item.context_expr.lineno))
+                        inner.add(attr)
+                    else:
+                        self._scan_expr(item.context_expr, frozenset(held))
+                self.walk(stmt.body, frozenset(inner))
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested def runs later, possibly on another thread:
+                # the current held set is meaningless for its body, so
+                # we neither assume it nor analyze the body (keep
+                # thread targets as methods, not closures).
+                continue
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._scan_expr(stmt.iter, held)
+                self._scan_expr(stmt.target, held)
+                self.walk(stmt.body, held)
+                self.walk(stmt.orelse, held)
+            elif isinstance(stmt, ast.While):
+                self._scan_expr(stmt.test, held)
+                self.walk(stmt.body, held)
+                self.walk(stmt.orelse, held)
+            elif isinstance(stmt, ast.If):
+                self._scan_expr(stmt.test, held)
+                self.walk(stmt.body, held)
+                self.walk(stmt.orelse, held)
+            elif isinstance(stmt, ast.Try):
+                self.walk(stmt.body, held)
+                for handler in stmt.handlers:
+                    self.walk(handler.body, held)
+                self.walk(stmt.orelse, held)
+                self.walk(stmt.finalbody, held)
+            else:
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.expr):
+                        self._scan_expr(child, held)
+
+    # -- expression scan -----------------------------------------------
+    def _scan_expr(self, node, held):
+        held = frozenset(held)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._scan_call(sub, held)
+            elif isinstance(sub, ast.Attribute):
+                self._maybe_access(sub, held)
+            elif isinstance(sub, (ast.Lambda,)):
+                # Same reasoning as nested defs: runs later.
+                pass
+
+    def _scan_call(self, call, held):
+        desc = self._is_fork_call(call)
+        if desc is not None:
+            self.model.forks.append(_Fork(
+                desc=desc, held=held, method=self.method, line=call.lineno))
+        func = call.func
+        attr = _self_attr(func)
+        if attr is not None:
+            # self.m(...): an intra-class call, not a field access —
+            # unless the name is not a method (a stored callable).
+            if attr in self.model.methods:
+                self.model.calls.append(_CallSite(
+                    target_attr=None, method=attr, caller=self.method,
+                    held=held, line=call.lineno))
+            return
+        if (isinstance(func, ast.Attribute)
+                and _self_attr(func.value) is not None):
+            base = _self_attr(func.value)
+            self.model.calls.append(_CallSite(
+                target_attr=base, method=func.attr, caller=self.method,
+                held=held, line=call.lineno))
+
+    def _maybe_access(self, node, held):
+        attr = _self_attr(node)
+        if attr is None or attr in self.model.locks:
+            return
+        kind = "write" if isinstance(node.ctx, (ast.Store, ast.Del)) \
+            else "read"
+        self.model.accesses.append(_Access(
+            field=attr, kind=kind, method=self.method, held=held,
+            line=node.lineno))
+
+
+def _extract_classes(tree, rel_path, imports):
+    models = []
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        model = _ClassModel(name=node.name, path=rel_path, line=node.lineno)
+        methods = [n for n in node.body
+                   if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+        model.methods = {m.name for m in methods}
+        # Pass A: lock attributes and attribute types from assignments
+        # anywhere in the class — ``self.x = threading.Lock()``,
+        # ``self.x = SomeClass(...)``, or ``self.x = param`` where the
+        # parameter carries a class annotation.
+        for method in methods:
+            annotations = {}
+            for arg in (method.args.posonlyargs + method.args.args
+                        + method.args.kwonlyargs):
+                note = arg.annotation
+                if isinstance(note, ast.Name):
+                    annotations[arg.arg] = note.id
+                elif (isinstance(note, ast.Constant)
+                        and isinstance(note.value, str)):
+                    annotations[arg.arg] = note.value
+            for sub in ast.walk(method):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                for target in sub.targets:
+                    attr = _self_attr(target)
+                    if attr is None:
+                        continue
+                    if (isinstance(sub.value, ast.Name)
+                            and sub.value.id in annotations):
+                        model.attr_types.setdefault(
+                            attr, annotations[sub.value.id])
+                        continue
+                    if not isinstance(sub.value, ast.Call):
+                        continue
+                    kind = imports.lock_kind(sub.value)
+                    if kind is not None:
+                        model.locks.setdefault(attr, (kind, sub.lineno))
+                        continue
+                    func = sub.value.func
+                    cls_name = None
+                    if isinstance(func, ast.Name):
+                        cls_name = func.id
+                    elif isinstance(func, ast.Attribute):
+                        cls_name = func.attr
+                    if cls_name and cls_name[:1].isupper():
+                        model.attr_types.setdefault(attr, cls_name)
+        # Pass B: held-set tracking through every method body.
+        for method in methods:
+            extractor = _MethodExtractor(model, imports, method.name)
+            extractor.walk(method.body, frozenset())
+        models.append(model)
+    return models
+
+
+# ----------------------------------------------------------------------
+# Whole-program analysis
+# ----------------------------------------------------------------------
+class _Program:
+    def __init__(self, models, sources, config):
+        self.models = models
+        self.sources = sources          # rel_path -> source lines
+        self.config = config
+        self.by_name = {}
+        for model in models:
+            self.by_name.setdefault(model.name, model)
+        # (class, private method) -> [call sites from within the class]
+        self.intra_calls = {}
+        for model in models:
+            for call in model.calls:
+                if call.target_attr is None:
+                    key = (model.name, call.method)
+                    self.intra_calls.setdefault(key, []).append(call)
+        self._closure_memo = {}
+        self._context_memo = {}
+        self.findings = []
+        self.edges = {}                 # (qa, qb) -> witness dict
+
+    # -- plumbing ------------------------------------------------------
+    def qual(self, model, lock_attr):
+        return f"{model.name}.{lock_attr}"
+
+    def lock_kind(self, qname):
+        cls_name, _, attr = qname.partition(".")
+        model = self.by_name.get(cls_name)
+        if model is None:
+            return "lock"
+        return model.locks.get(attr, ("lock", 0))[0]
+
+    def _suppressed(self, rel_path, line, rule):
+        lines = self.sources.get(rel_path, ())
+        if 1 <= line <= len(lines):
+            return f"lint: ignore[{rule}]" in lines[line - 1]
+        return False
+
+    def _emit(self, rule, rel_path, line, message):
+        if not self.config.rule_applies(rule, rel_path):
+            return
+        if self._suppressed(rel_path, line, rule):
+            return
+        self.findings.append(LintFinding(
+            rule=rule, path=rel_path, line=line, message=message))
+
+    def _resolve_callee(self, model, call):
+        if call.target_attr is None:
+            return model if call.method in model.methods else None
+        cls_name = model.attr_types.get(call.target_attr)
+        if cls_name is None:
+            return None
+        callee = self.by_name.get(cls_name)
+        if callee is not None and call.method in callee.methods:
+            return callee
+        return None
+
+    # -- interprocedural closures --------------------------------------
+    def closure(self, model, method, _stack=frozenset()):
+        """Locks acquired and forks performed by ``method`` or callees.
+
+        Returns ``(acquired, forks)`` where ``acquired`` maps the
+        qualified lock name to a witness string and ``forks`` is a
+        list of ``(desc, path, line)``.
+        """
+        key = (model.name, method)
+        if key in self._closure_memo:
+            return self._closure_memo[key]
+        if key in _stack:
+            return {}, []
+        acquired, forks = {}, []
+        for acq in model.acquires:
+            if acq.method != method:
+                continue
+            acquired.setdefault(
+                self.qual(model, acq.lock),
+                f"{model.path}:{acq.line} ({model.name}.{method})")
+        for fork in model.forks:
+            if fork.method == method:
+                forks.append((fork.desc, model.path, fork.line))
+        for call in model.calls:
+            if call.caller != method:
+                continue
+            callee = self._resolve_callee(model, call)
+            if callee is None:
+                continue
+            sub_acq, sub_forks = self.closure(
+                callee, call.method, _stack | {key})
+            for qname, witness in sub_acq.items():
+                acquired.setdefault(
+                    qname,
+                    f"{model.path}:{call.line} ({model.name}.{method} -> "
+                    f"{witness})")
+            for desc, fpath, fline in sub_forks:
+                forks.append((
+                    f"{desc} via {callee.name}.{call.method}()",
+                    model.path, call.line))
+        self._closure_memo[key] = (acquired, forks)
+        return acquired, forks
+
+    def context(self, model, method, _stack=frozenset()):
+        """Locks a private method can assume held at entry.
+
+        The intersection of the effective held sets at every
+        non-lifecycle intra-class call site; public methods and
+        dunders assume nothing.
+        """
+        if not method.startswith("_") or method.startswith("__"):
+            return frozenset()
+        key = (model.name, method)
+        if key in self._context_memo:
+            return self._context_memo[key]
+        if key in _stack:
+            return frozenset()
+        sites = [c for c in self.intra_calls.get(key, ())
+                 if c.caller not in _LIFECYCLE_METHODS
+                 and c.caller != method]
+        parts = []
+        for site in sites:
+            held = frozenset(self.qual(model, h) for h in site.held)
+            parts.append(held | self.context(model, site.caller,
+                                             _stack | {key}))
+        result = frozenset.intersection(*parts) if parts else frozenset()
+        self._context_memo[key] = result
+        return result
+
+    def effective_held(self, model, method, held):
+        return (frozenset(self.qual(model, h) for h in held)
+                | self.context(model, method))
+
+    # -- rule: lock-order ----------------------------------------------
+    def build_edges(self):
+        for model in self.models:
+            for acq in model.acquires:
+                target = self.qual(model, acq.lock)
+                held = self.effective_held(model, acq.method, acq.held)
+                for qheld in held:
+                    self._add_edge(
+                        qheld, target,
+                        f"{model.path}:{acq.line} ({model.name}.{acq.method} "
+                        f"acquires {target} while holding {qheld})",
+                        model.path, acq.line)
+            for call in model.calls:
+                held = self.effective_held(model, call.caller, call.held)
+                if not held:
+                    continue
+                callee = self._resolve_callee(model, call)
+                if callee is None:
+                    continue
+                acquired, _ = self.closure(callee, call.method)
+                for qname, witness in acquired.items():
+                    for qheld in held:
+                        self._add_edge(
+                            qheld, qname,
+                            f"{model.path}:{call.line} "
+                            f"({model.name}.{call.caller} holds {qheld} "
+                            f"and calls {witness})",
+                            model.path, call.line)
+
+    def _add_edge(self, qa, qb, witness, path, line):
+        if qa == qb:
+            if self.lock_kind(qa) != "rlock":
+                self._emit(
+                    "lock-order", path, line,
+                    f"self-deadlock: non-reentrant lock '{qa}' acquired "
+                    f"while already held — {witness}")
+            return
+        self.edges.setdefault(
+            (qa, qb), {"witness": witness, "path": path, "line": line})
+
+    def report_cycles(self):
+        # Tarjan SCC over the lock-order digraph; every SCC with more
+        # than one node contains at least one cycle.
+        graph = {}
+        for (qa, qb) in self.edges:
+            graph.setdefault(qa, set()).add(qb)
+            graph.setdefault(qb, set())
+        index, low, on_stack, stack = {}, {}, set(), []
+        sccs, counter = [], [0]
+
+        def strongconnect(node):
+            index[node] = low[node] = counter[0]
+            counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for succ in graph[node]:
+                if succ not in index:
+                    strongconnect(succ)
+                    low[node] = min(low[node], low[succ])
+                elif succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+
+        for node in sorted(graph):
+            if node not in index:
+                strongconnect(node)
+        for component in sccs:
+            if len(component) < 2:
+                continue
+            members = set(component)
+            cycle_edges = [
+                (qa, qb, info) for (qa, qb), info in sorted(
+                    self.edges.items())
+                if qa in members and qb in members]
+            paths = "; ".join(
+                f"{qa} -> {qb} [{info['witness']}]"
+                for qa, qb, info in cycle_edges)
+            anchor = cycle_edges[0][2]
+            self._emit(
+                "lock-order", anchor["path"], anchor["line"],
+                "potential deadlock: lock-acquisition cycle through "
+                f"{{{', '.join(sorted(members))}}}: {paths} — two threads "
+                "entering these paths concurrently can each hold the lock "
+                "the other needs")
+
+    # -- rule: guarded-field -------------------------------------------
+    def check_guarded_fields(self):
+        for model in self.models:
+            if not model.locks:
+                continue
+            fields = {}
+            for access in model.accesses:
+                fields.setdefault(access.field, []).append(access)
+            for fname in sorted(fields):
+                if self.config.guard_map.get(
+                        f"{model.name}.{fname}") == "lock-free":
+                    continue
+                accesses = [a for a in fields[fname]
+                            if a.method not in _LIFECYCLE_METHODS]
+                writes = [a for a in accesses if a.kind == "write"]
+                if not writes:
+                    continue
+                eff = {id(a): self.effective_held(model, a.method, a.held)
+                       for a in accesses}
+                guard, guard_score = None, -1
+                for lock_attr in model.locks:
+                    qlock = self.qual(model, lock_attr)
+                    locked = sum(qlock in eff[id(a)] for a in accesses)
+                    locked_writes = sum(qlock in eff[id(w)] for w in writes)
+                    # Evidence that qlock guards the field: at least one
+                    # deliberate locked write, or repeated locked
+                    # accesses.  A single incidental locked read is not
+                    # enough to infer a guard.
+                    if locked_writes >= 1 or locked >= 2:
+                        if locked > guard_score:
+                            guard, guard_score = qlock, locked
+                if guard is None:
+                    continue
+                for access in accesses:
+                    if guard in eff[id(access)]:
+                        continue
+                    self._emit(
+                        "guarded-field", model.path, access.line,
+                        f"field '{model.name}.{fname}' is guarded by "
+                        f"'{guard}' but this {access.kind} in "
+                        f"{model.name}.{access.method}() does not hold it; "
+                        "take the lock, or declare the lock-free fast "
+                        "path in [tool.repro.lint.guard-map] "
+                        f'("{model.name}.{fname}" = "lock-free") or with '
+                        "# lint: ignore[guarded-field]")
+
+    # -- rule: fork-safety ---------------------------------------------
+    def check_fork_safety(self):
+        for model in self.models:
+            for fork in model.forks:
+                held = self.effective_held(model, fork.method, fork.held)
+                if held:
+                    self._emit(
+                        "fork-safety", model.path, fork.line,
+                        f"{fork.desc} in {model.name}.{fork.method}() "
+                        f"while holding {sorted(held)}: the forked child "
+                        "inherits the locked mutex with no owner thread "
+                        "to release it — first child acquisition "
+                        "deadlocks")
+            for call in model.calls:
+                held = self.effective_held(model, call.caller, call.held)
+                if not held:
+                    continue
+                callee = self._resolve_callee(model, call)
+                if callee is None:
+                    continue
+                _, forks = self.closure(callee, call.method)
+                for desc, _fpath, _fline in forks:
+                    self._emit(
+                        "fork-safety", model.path, call.line,
+                        f"call to {callee.name}.{call.method}() while "
+                        f"holding {sorted(held)} reaches {desc}: the "
+                        "forked child inherits the locked mutex with no "
+                        "owner thread to release it")
+
+    def run(self):
+        self.build_edges()
+        self.report_cycles()
+        self.check_guarded_fields()
+        self.check_fork_safety()
+        self.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return self.findings
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+@dataclass
+class ConcurrencyReport:
+    """Outcome of one whole-program concurrency check."""
+
+    findings: list
+    files_checked: int
+    classes: int
+    locks: int
+    order_edges: int
+
+    @property
+    def ok(self):
+        return not self.findings
+
+    def to_dict(self):
+        return {"ok": self.ok, "files_checked": self.files_checked,
+                "classes": self.classes, "locks": self.locks,
+                "order_edges": self.order_edges,
+                "findings": [f.to_dict() for f in self.findings]}
+
+    def format_text(self):
+        lines = [str(f) for f in self.findings]
+        lines.append(
+            f"check-concurrency: {self.files_checked} files, "
+            f"{self.classes} classes, {self.locks} locks, "
+            f"{self.order_edges} order edge(s), "
+            f"{len(self.findings)} finding(s)")
+        return "\n".join(lines)
+
+
+def check_concurrency(paths=None, root=".", config=None):
+    """Run the lock-discipline pass; returns a ConcurrencyReport.
+
+    ``paths`` defaults to the configured ``concurrency-paths``
+    (relative to ``root``); non-existent defaults are skipped so the
+    checker works on partial trees.
+    """
+    config = config if config is not None else load_config(root)
+    root_path = Path(root).resolve()
+    if paths is None:
+        paths = [root_path / p for p in config.concurrency_paths]
+        paths = [p for p in paths if p.exists()]
+    files = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.exists():
+            files.append(path)
+    models, sources = [], {}
+    for path in files:
+        resolved = Path(path).resolve()
+        try:
+            rel_path = str(resolved.relative_to(root_path))
+        except ValueError:
+            rel_path = str(resolved)
+        source = Path(path).read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            report = ConcurrencyReport(
+                findings=[LintFinding(rule="parse-error", path=rel_path,
+                                      line=exc.lineno or 0,
+                                      message=str(exc.msg))],
+                files_checked=len(files), classes=0, locks=0, order_edges=0)
+            return report
+        sources[rel_path] = source.splitlines()
+        imports = _ModuleImports(tree)
+        models.extend(_extract_classes(tree, rel_path, imports))
+    program = _Program(models, sources, config)
+    findings = program.run()
+    return ConcurrencyReport(
+        findings=findings,
+        files_checked=len(files),
+        classes=len(models),
+        locks=sum(len(m.locks) for m in models),
+        order_edges=len(program.edges),
+    )

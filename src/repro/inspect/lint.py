@@ -32,6 +32,18 @@ Rules (see ``docs/static_analysis.md`` for the catalog):
   unbounded tick/error/quarantine buffer is a slow memory leak that
   only shows up days into a deployment.  Every long-lived buffer in
   ``repro.stream`` must declare its bound at construction.
+* ``thread-discipline`` — ``threading.Thread``/``create_thread`` spawns
+  without an explicit ``daemon=`` and ``.join()`` calls with no bound.
+  A thread whose daemon-ness is implicit inherits it from its spawner,
+  and an unbounded join means one hung worker hangs CI forever; spawn
+  sites must decide both explicitly (``repro.inspect.sanitizer.
+  join_thread`` reports an error on timeout).
+
+The whole-program lock-discipline rules (``lock-order``,
+``guarded-field``, ``fork-safety``) live in
+:mod:`repro.inspect.concurrency` and run under
+``repro check-concurrency``; they share this module's config
+(``concurrency-paths``, ``guard-map``) and suppression syntax.
 
 Configuration lives in ``[tool.repro.lint]`` in ``pyproject.toml``;
 individual lines can be suppressed with a ``# lint: ignore[rule]``
@@ -54,7 +66,7 @@ __all__ = ["LintFinding", "LintConfig", "LintReport", "lint_paths",
 
 ALL_RULES = ("dtype-policy", "gradcheck-coverage", "optimizer-out",
              "mutable-default", "fork-discipline", "alloc",
-             "bounded-buffer")
+             "bounded-buffer", "thread-discipline")
 
 #: numpy constructors that allocate *new* float arrays with a float64
 #: default.  ``*_like``/``asarray`` variants inherit their input dtype
@@ -85,6 +97,15 @@ _ALLOC_FUNCS = frozenset(
 
 #: Long-running stream modules where every deque must be bounded.
 _DEFAULT_BOUNDED_BUFFER_PATHS = ("src/repro/stream",)
+
+#: Modules whose lock/thread/fork discipline the whole-program
+#: concurrency pass (repro.inspect.concurrency) analyzes by default:
+#: everything that spawns threads, forks replicas, or shares state
+#: across them.
+_DEFAULT_CONCURRENCY_PATHS = (
+    "src/repro/serve", "src/repro/parallel", "src/repro/stream",
+    "src/repro/training",
+)
 
 _DEFAULT_DTYPE_POLICY_PATHS = (
     "src/repro/tensor", "src/repro/nn", "src/repro/core",
@@ -121,11 +142,19 @@ class LintConfig:
     alloc_paths: tuple = ()
     # Forever-running modules where every deque must declare maxlen=.
     bounded_buffer_paths: tuple = _DEFAULT_BOUNDED_BUFFER_PATHS
+    # Modules the whole-program lock-discipline pass analyzes.
+    concurrency_paths: tuple = _DEFAULT_CONCURRENCY_PATHS
+    # "Class.field" -> "lock-free" declarations: intentional unguarded
+    # fast paths the guarded-field rule must not flag (e.g. the serving
+    # generation counter read by telemetry without the forward lock).
+    guard_map: dict = None
     per_path_ignores: dict = None
 
     def __post_init__(self):
         if self.per_path_ignores is None:
             self.per_path_ignores = {}
+        if self.guard_map is None:
+            self.guard_map = {}
 
     def rule_applies(self, rule, rel_path):
         if rule in self.disabled:
@@ -152,10 +181,20 @@ def load_config(root):
     with open(pyproject, "rb") as handle:
         data = tomllib.load(handle)
     table = data.get("tool", {}).get("repro", {}).get("lint", {})
-    unknown = set(table.get("disable", ())) - set(ALL_RULES)
+    from .concurrency import CONCURRENCY_RULES
+
+    known = set(ALL_RULES) | set(CONCURRENCY_RULES)
+    unknown = set(table.get("disable", ())) - known
     if unknown:
         raise ValueError(
             f"[tool.repro.lint] disables unknown rules: {sorted(unknown)}")
+    guard_map = dict(table.get("guard-map", {}))
+    bad = {field: why for field, why in guard_map.items()
+           if why != "lock-free"}
+    if bad:
+        raise ValueError(
+            "[tool.repro.lint.guard-map] entries must declare 'lock-free' "
+            f"(the only supported policy); got: {bad}")
     return LintConfig(
         disabled=frozenset(table.get("disable", ())),
         dtype_policy_paths=tuple(
@@ -163,6 +202,9 @@ def load_config(root):
         alloc_paths=tuple(table.get("alloc-paths", ())),
         bounded_buffer_paths=tuple(
             table.get("bounded-buffer-paths", _DEFAULT_BOUNDED_BUFFER_PATHS)),
+        concurrency_paths=tuple(
+            table.get("concurrency-paths", _DEFAULT_CONCURRENCY_PATHS)),
+        guard_map=guard_map,
         per_path_ignores={
             prefix: frozenset(rules)
             for prefix, rules in table.get("per-path-ignores", {}).items()},
@@ -223,6 +265,11 @@ class _FileLinter(ast.NodeVisitor):
         # bounded-buffer rule).
         self._collections_modules = {"collections"}
         self._deque_names = set()
+        # Names bound to threading / the sanitizer factories (for the
+        # thread-discipline rule).
+        self._threading_modules = {"threading"}
+        self._sanitizer_modules = {"sanitizer"}
+        self._thread_ctor_names = {}
 
     def _suppressed(self, line, rule):
         if 1 <= line <= len(self.source_lines):
@@ -247,6 +294,8 @@ class _FileLinter(ast.NodeVisitor):
                 self._mp_modules.add(alias.asname or alias.name)
             if alias.name == "collections":
                 self._collections_modules.add(alias.asname or alias.name)
+            if alias.name == "threading":
+                self._threading_modules.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node):
@@ -258,6 +307,20 @@ class _FileLinter(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name == "deque":
                     self._deque_names.add(alias.asname or alias.name)
+        if node.module == "threading":
+            for alias in node.names:
+                if alias.name == "Thread":
+                    self._thread_ctor_names[alias.asname or alias.name] = \
+                        "threading.Thread"
+        if node.module and node.module.endswith("sanitizer"):
+            for alias in node.names:
+                if alias.name == "create_thread":
+                    self._thread_ctor_names[alias.asname or alias.name] = \
+                        "sanitizer.create_thread"
+        if node.module == "repro.inspect":
+            for alias in node.names:
+                if alias.name == "sanitizer":
+                    self._sanitizer_modules.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     def _check_fork_discipline(self, node):
@@ -301,10 +364,39 @@ class _FileLinter(ast.NodeVisitor):
                 "limit on a live stream — declare the retention bound "
                 "at construction (deque(maxlen=...))")
 
+    # -- thread-discipline ---------------------------------------------
+    def _check_thread_discipline(self, node):
+        func = node.func
+        ctor = None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if (func.value.id in self._threading_modules
+                    and func.attr == "Thread"):
+                ctor = "threading.Thread"
+            elif (func.value.id in self._sanitizer_modules
+                    and func.attr == "create_thread"):
+                ctor = "sanitizer.create_thread"
+        elif isinstance(func, ast.Name) and func.id in self._thread_ctor_names:
+            ctor = self._thread_ctor_names[func.id]
+        if ctor is not None and not _has_keyword(node, "daemon"):
+            self._emit(
+                "thread-discipline", node,
+                f"{ctor}(...) without an explicit daemon=; implicit "
+                "daemon-ness is inherited from the spawning thread — "
+                "decide it at the spawn site")
+        if (isinstance(func, ast.Attribute) and func.attr == "join"
+                and not node.args and not node.keywords):
+            self._emit(
+                "thread-discipline", node,
+                "unbounded .join(); one hung worker hangs the caller "
+                "forever — use join(timeout=...) (or "
+                "repro.inspect.sanitizer.join_thread, which reports an "
+                "error on timeout)")
+
     # -- dtype-policy / optimizer-out ----------------------------------
     def visit_Call(self, node):
         self._check_fork_discipline(node)
         self._check_bounded_buffer(node)
+        self._check_thread_discipline(node)
         attr = _np_attr(node)
         if attr in _DTYPE_POLICY_FUNCS and not _has_keyword(node, "dtype"):
             self._emit(

@@ -1,0 +1,496 @@
+"""Runtime concurrency sanitizer: instrumented locks, threads, and forks.
+
+The serving and parallel-training stack is held together by a small
+set of disciplines — consistent lock acquisition order, fields touched
+only under their guarding lock, no fork while a lock is held, every
+thread joined with a bound.  :mod:`repro.inspect.concurrency` proves
+what it can statically; this module checks the *dynamic* side on real
+executions of the test suites:
+
+* **lock-order inversions** — the sanitizer records the dynamic
+  acquisition graph (``A`` held while ``B`` is acquired); observing
+  both ``A -> B`` and ``B -> A`` on any pair of lock *objects* is a
+  potential deadlock even if this run happened not to hang.
+* **fork while holding a lock** — a ``fork()`` while the calling
+  thread holds any sanitized lock duplicates a locked mutex into the
+  child, where it can never be released (the owning thread does not
+  exist there).  Detected through :func:`os.register_at_fork`.
+* **fork while a sanitized non-daemon thread is alive** — the thread
+  does not survive the fork but any lock or buffer it owned does.
+* **unjoined threads at shutdown** — a sanitized thread still alive
+  when the session finalizes.
+* **long holds** — a lock held longer than ``hold_warn_s`` (a serving
+  lock held across a blocking call is a latency cliff).
+
+Production code never pays for this: the ``create_*`` factories return
+the *bare* :mod:`threading` primitives unless a sanitizer session is
+active, so the disabled hot path is byte-for-byte the stock lock.  A
+session is activated either explicitly::
+
+    with sanitizer.enabled(stress=True, seed=0) as session:
+        ...  # construct and exercise the system under test
+    assert not session.findings
+
+or for a whole process with ``REPRO_TSAN=1`` (CI runs the serve /
+parallel / stream suites this way; ``tests/conftest.py`` fails the
+session on findings).  ``REPRO_TSAN_STRESS=1`` additionally enables
+**schedule perturbation**: a seeded per-thread random sleep before
+every acquisition, which drives the scheduler toward the interleavings
+that hand-written tests never hit.  Findings use the same
+``rule/path/line/message`` shape as ``repro lint`` (see
+``docs/static_analysis.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import threading
+import time
+import weakref
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "SanitizerFinding", "SanitizerSession", "enabled", "active_session",
+    "ensure_env_session", "create_lock", "create_rlock",
+    "create_condition", "create_thread", "join_thread",
+]
+
+_ENV_ENABLE = "REPRO_TSAN"
+_ENV_STRESS = "REPRO_TSAN_STRESS"
+_ENV_SEED = "REPRO_TSAN_SEED"
+_ENV_HOLD = "REPRO_TSAN_HOLD_S"
+
+#: The active session, or None.  Written only from enabled()/
+#: ensure_env_session() on the orchestrating thread; instrumented
+#: primitives read it once per operation.
+_SESSION = None
+_SESSION_GUARD = threading.Lock()
+_FORK_HOOK_INSTALLED = False
+
+
+@dataclass
+class SanitizerFinding:
+    """One dynamic concurrency violation, in the ``repro lint`` shape."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    thread: str = ""
+
+    def to_dict(self):
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message, "thread": self.thread}
+
+    def __str__(self):
+        return (f"{self.path}:{self.line}: {self.rule}: {self.message} "
+                f"[thread {self.thread}]")
+
+
+def _call_site():
+    """``(path, line)`` of the nearest caller outside this module."""
+    frame = sys._getframe(1)
+    here = __file__
+    while frame is not None and frame.f_code.co_filename == here:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - interpreter internals only
+        return "<unknown>", 0
+    return frame.f_code.co_filename, frame.f_lineno
+
+
+class SanitizerSession:
+    """State of one sanitizer run: held-lock stacks, order graph, findings."""
+
+    def __init__(self, stress=False, seed=0, hold_warn_s=5.0,
+                 max_sleep_ms=2.0):
+        self.stress = bool(stress)
+        self.seed = int(seed)
+        self.hold_warn_s = float(hold_warn_s)
+        self.max_sleep_s = float(max_sleep_ms) / 1e3
+        self.findings = []
+        self._meta = threading.Lock()   # guards findings/_edges/_threads
+        self._edges = {}                # (serial_a, serial_b) -> witness
+        self._threads = []              # (weakref, name, daemon, site)
+        self._local = threading.local()
+        self._serials = iter(range(1, 1 << 62)).__next__
+        self.locks_created = 0
+        self.acquisitions = 0
+
+    # -- per-thread held stack -----------------------------------------
+    def _held(self):
+        stack = getattr(self._local, "held", None)
+        if stack is None:
+            stack = self._local.held = []
+        return stack
+
+    def _rng(self):
+        rng = getattr(self._local, "rng", None)
+        if rng is None:
+            name = threading.current_thread().name
+            rng = self._local.rng = random.Random(
+                self.seed ^ zlib.crc32(name.encode()))
+        return rng
+
+    def _record(self, rule, message, path="<runtime>", line=0):
+        finding = SanitizerFinding(
+            rule=rule, path=path, line=line, message=message,
+            thread=threading.current_thread().name)
+        with self._meta:
+            self.findings.append(finding)
+        return finding
+
+    # -- lock protocol hooks (called by the San* wrappers) -------------
+    def before_acquire(self, lock):
+        if self.stress and self.max_sleep_s > 0:
+            time.sleep(self._rng().random() * self.max_sleep_s)
+
+    def after_acquire(self, lock):
+        path, line = _call_site()
+        site = f"{path}:{line}"
+        held = self._held()
+        thread = threading.current_thread().name
+        with self._meta:
+            self.acquisitions += 1
+            for entry in held:
+                edge = (entry["serial"], lock.serial)
+                if edge not in self._edges:
+                    self._edges[edge] = (thread, entry["site"], site,
+                                         entry["name"], lock.name)
+                reverse = self._edges.get((lock.serial, entry["serial"]))
+                if reverse is not None:
+                    r_thread, r_first, r_second, _, _ = reverse
+                    self.findings.append(SanitizerFinding(
+                        rule="lock-order", path=path, line=line,
+                        thread=thread,
+                        message=(
+                            f"lock-order inversion: '{entry['name']}' then "
+                            f"'{lock.name}' here ({entry['site']} -> {site}) "
+                            f"but '{lock.name}' then '{entry['name']}' on "
+                            f"thread {r_thread} ({r_first} -> {r_second}); "
+                            "two threads taking these paths concurrently "
+                            "deadlock")))
+        held.append({"serial": lock.serial, "name": lock.name,
+                     "site": site, "t0": time.perf_counter()})
+
+    def after_release(self, lock):
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index]["serial"] == lock.serial:
+                entry = held.pop(index)
+                duration = time.perf_counter() - entry["t0"]
+                if duration > self.hold_warn_s:
+                    path, line = _call_site()
+                    self._record(
+                        "long-hold",
+                        f"lock '{lock.name}' held for {duration:.2f}s "
+                        f"(warn threshold {self.hold_warn_s:.2f}s); a lock "
+                        "held across blocking work stalls every waiter",
+                        path=path, line=line)
+                return
+        # Release without a matching acquire in this session (e.g. lock
+        # handed across threads): not a discipline we model — ignore.
+
+    # -- thread / fork hooks -------------------------------------------
+    def register_thread(self, thread, site):
+        with self._meta:
+            self._threads.append((weakref.ref(thread), thread.name,
+                                  bool(thread.daemon), site))
+
+    def on_fork(self):
+        held = self._held()
+        if held:
+            names = ", ".join(f"'{e['name']}' (acquired {e['site']})"
+                              for e in held)
+            path, line = _call_site()
+            self._record(
+                "fork-safety",
+                f"fork while holding {names}: the child inherits the "
+                "locked mutex with no owning thread to ever release it",
+                path=path, line=line)
+        with self._meta:
+            live = [(name, site) for ref, name, daemon, site in self._threads
+                    if not daemon and ref() is not None
+                    and ref().is_alive()]
+        for name, site in live:
+            self._record(
+                "fork-safety",
+                f"fork while non-daemon thread '{name}' (started {site}) "
+                "is alive: the thread does not exist in the child but "
+                "every lock or buffer it owned does")
+
+    def finalize(self):
+        """End-of-session checks; returns the accumulated findings."""
+        with self._meta:
+            leftovers = [(name, site)
+                         for ref, name, _daemon, site in self._threads
+                         if ref() is not None and ref().is_alive()]
+        for name, site in leftovers:
+            self._record(
+                "unjoined-thread",
+                f"thread '{name}' (started {site}) still alive at "
+                "sanitizer shutdown; join every worker with a bounded "
+                "timeout so a hung thread cannot outlive its owner")
+        return list(self.findings)
+
+    # -- reporting -----------------------------------------------------
+    def report(self):
+        """JSON-able summary in the ``repro lint`` report shape."""
+        return {
+            "ok": not self.findings,
+            "stress": self.stress,
+            "seed": self.seed,
+            "locks": self.locks_created,
+            "acquisitions": self.acquisitions,
+            "order_edges": len(self._edges),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def format_text(self):
+        lines = [str(f) for f in self.findings]
+        lines.append(
+            f"sanitizer: {self.locks_created} lock(s), "
+            f"{self.acquisitions} acquisition(s), "
+            f"{len(self._edges)} order edge(s), "
+            f"{len(self.findings)} finding(s)")
+        return "\n".join(lines)
+
+
+class _SanLockBase:
+    """Shared protocol of the instrumented lock wrappers.
+
+    The wrapper reports to whatever session is active *at use time*, so
+    a lock created in one ``enabled()`` block and exercised in a later
+    one is still tracked.  With no active session every method is a
+    plain delegation.
+    """
+
+    _KIND = "lock"
+
+    def __init__(self, name=None):
+        self._lock = self._make_inner()
+        session = _SESSION
+        self.serial = session._serials() if session else 0
+        if session is not None:
+            session.locks_created += 1
+        path, line = _call_site()
+        self.name = name or f"{self._KIND}@{os.path.basename(path)}:{line}"
+
+    def _make_inner(self):
+        return threading.Lock()
+
+    def acquire(self, blocking=True, timeout=-1):
+        session = _SESSION
+        if session is not None and blocking:
+            session.before_acquire(self)
+        got = self._lock.acquire(blocking, timeout)
+        if got and session is not None:
+            session.after_acquire(self)
+        return got
+
+    def release(self):
+        session = _SESSION
+        self._lock.release()
+        if session is not None:
+            session.after_release(self)
+
+    def locked(self):
+        return self._lock.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+        return False
+
+    def __repr__(self):
+        return f"<Sanitized{self._KIND.capitalize()} {self.name!r}>"
+
+
+class SanLock(_SanLockBase):
+    _KIND = "lock"
+
+
+class SanRLock(_SanLockBase):
+    _KIND = "rlock"
+
+    def __init__(self, name=None):
+        super().__init__(name)
+        self._depth_local = threading.local()
+
+    def _make_inner(self):
+        return threading.RLock()
+
+    def acquire(self, blocking=True, timeout=-1):
+        depth = getattr(self._depth_local, "depth", 0)
+        session = _SESSION
+        if session is not None and blocking and depth == 0:
+            session.before_acquire(self)
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            self._depth_local.depth = depth + 1
+            # Only the outermost acquire is an ordering event; the
+            # whole point of an RLock is that re-entry cannot deadlock.
+            if session is not None and depth == 0:
+                session.after_acquire(self)
+        return got
+
+    def release(self):
+        depth = getattr(self._depth_local, "depth", 1)
+        self._lock.release()
+        self._depth_local.depth = depth - 1
+        session = _SESSION
+        if session is not None and depth == 1:
+            session.after_release(self)
+
+    def _is_owned(self):
+        return self._lock._is_owned()
+
+
+def create_lock(name=None):
+    """A mutex: sanitized when a session is active, else a bare Lock."""
+    if _SESSION is None:
+        return threading.Lock()
+    return SanLock(name)
+
+
+def create_rlock(name=None):
+    """A reentrant mutex: sanitized when a session is active."""
+    if _SESSION is None:
+        return threading.RLock()
+    return SanRLock(name)
+
+
+def create_condition(name=None, lock=None):
+    """A condition variable over a (sanitized) lock.
+
+    ``wait()`` releases and reacquires through the wrapper, so the
+    held-lock bookkeeping stays correct across the wait.
+    """
+    if _SESSION is None:
+        return threading.Condition(lock)
+    return threading.Condition(lock if lock is not None else SanLock(name))
+
+
+def create_thread(*, target, name, daemon, args=()):
+    """A :class:`threading.Thread` registered with the active session.
+
+    ``daemon`` is mandatory by signature — the ``thread-discipline``
+    lint rule enforces the same at call sites using the bare API — and
+    sanitized sessions flag any registered thread still alive at
+    :meth:`SanitizerSession.finalize`.
+    """
+    thread = threading.Thread(target=target, name=name, daemon=daemon,
+                              args=args)
+    session = _SESSION
+    if session is not None:
+        path, line = _call_site()
+        session.register_thread(thread, f"{path}:{line}")
+    return thread
+
+
+def join_thread(thread, timeout, what=None):
+    """Bounded join with a reported error on timeout; True when joined.
+
+    The caller decides whether a stuck thread is fatal; this helper
+    guarantees the hang is *visible* — as a sanitizer finding when a
+    session is active, and always on stderr — instead of CI silently
+    waiting forever on an unbounded ``join()``.
+    """
+    thread.join(timeout)
+    if not thread.is_alive():
+        return True
+    label = what or f"thread '{thread.name}'"
+    message = (f"{label} did not stop within {timeout:.1f}s; "
+               "continuing shutdown without it")
+    session = _SESSION
+    if session is not None:
+        path, line = _call_site()
+        session._record("unjoined-thread", message, path=path, line=line)
+    print(f"warning: {message}", file=sys.stderr)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Session management
+# ----------------------------------------------------------------------
+def _install_fork_hook():
+    global _FORK_HOOK_INSTALLED
+    with _SESSION_GUARD:
+        if _FORK_HOOK_INSTALLED:
+            return
+        if hasattr(os, "register_at_fork"):
+            os.register_at_fork(before=_before_fork)
+        _FORK_HOOK_INSTALLED = True
+
+
+def _before_fork():
+    session = _SESSION
+    if session is not None:
+        session.on_fork()
+
+
+def active_session():
+    """The active :class:`SanitizerSession`, or ``None``."""
+    return _SESSION
+
+
+@contextmanager
+def enabled(stress=False, seed=0, hold_warn_s=5.0, max_sleep_ms=2.0):
+    """Activate the sanitizer for the dynamic extent of the block.
+
+    Locks and threads must be *created* through the ``create_*``
+    factories inside the block (or under ``REPRO_TSAN``) to be
+    tracked; primitives created while disabled are bare stdlib objects
+    and stay invisible.  Yields the session so the caller can assert
+    on ``session.findings`` after :meth:`~SanitizerSession.finalize`
+    runs at exit.
+    """
+    global _SESSION
+    _install_fork_hook()
+    with _SESSION_GUARD:
+        if _SESSION is not None:
+            raise RuntimeError("a sanitizer session is already active")
+        session = SanitizerSession(stress=stress, seed=seed,
+                                   hold_warn_s=hold_warn_s,
+                                   max_sleep_ms=max_sleep_ms)
+        _SESSION = session
+    try:
+        yield session
+    finally:
+        session.finalize()
+        with _SESSION_GUARD:
+            _SESSION = None
+
+
+def ensure_env_session():
+    """Activate a process-wide session from ``REPRO_TSAN`` env config.
+
+    Idempotent; returns the session (or ``None`` when the env flag is
+    unset).  Used by ``tests/conftest.py`` so a plain ``REPRO_TSAN=1
+    pytest tests/serve`` run sanitizes every suite it executes and
+    fails on findings at session teardown.
+    """
+    global _SESSION
+    if not os.environ.get(_ENV_ENABLE):
+        return None
+    with _SESSION_GUARD:
+        if _SESSION is None:
+            _SESSION = SanitizerSession(
+                stress=bool(os.environ.get(_ENV_STRESS)),
+                seed=int(os.environ.get(_ENV_SEED, "0")),
+                hold_warn_s=float(os.environ.get(_ENV_HOLD, "5.0")))
+        session = _SESSION
+    _install_fork_hook()
+    return session
+
+
+# Auto-enable under the environment flag so any entry point (pytest,
+# the CLI, a benchmark) picks up instrumentation without code changes.
+if os.environ.get(_ENV_ENABLE):  # pragma: no cover - env-dependent
+    ensure_env_session()

@@ -56,6 +56,7 @@ from time import perf_counter
 import numpy as np
 
 from repro.data.windows import SampleBatch
+from repro.inspect import sanitizer
 from repro.parallel.blas import limit_blas_threads
 from repro.parallel.sharding import epoch_batches, shard_bounds
 from repro.parallel.shm import SharedArrayBlock
@@ -316,7 +317,7 @@ class ParallelEngine:
         for slot in range(self.num_slots):
             free.put(slot)
         stop_event = threading.Event()
-        producer = threading.Thread(
+        producer = sanitizer.create_thread(
             target=self._produce, args=(order, free, filled, stop_event),
             name="repro-prefetch", daemon=True)
         producer.start()
@@ -367,7 +368,12 @@ class ParallelEngine:
             stop_event.set()
             # Unblock a producer waiting on a free slot, then drain.
             free.put(None)
-            producer.join(timeout=5.0)
+            # Reported (not raised: this is a finally block and must
+            # not mask an in-flight exception) — the producer is a
+            # daemon, so a hang here can never hang CI, but it must
+            # never be silent either.
+            sanitizer.join_thread(producer, timeout=5.0,
+                                  what="prefetch producer")
 
     def _produce(self, order, free, filled, stop_event):
         """Producer thread: gather global batches into free ring slots."""

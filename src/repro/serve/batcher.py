@@ -24,11 +24,12 @@ closes its batching window immediately.
 from __future__ import annotations
 
 import queue
-import threading
 from concurrent.futures import Future
+from concurrent.futures import InvalidStateError
 from time import perf_counter
 
 from repro.data.windows import SampleBatch
+from repro.inspect import sanitizer
 
 __all__ = ["MicroBatcher"]
 
@@ -75,30 +76,62 @@ class MicroBatcher:
         self.max_wait = float(max_wait_ms) / 1e3
         self._on_batch = on_batch
         self._queue = queue.Queue()
+        # Guards _closed and orders submissions against the shutdown
+        # sentinel: a submit that saw _closed == False has its request
+        # in the queue *before* close() enqueues the sentinel, so the
+        # consumer's drain always reaches it.
+        self._lock = sanitizer.create_lock("MicroBatcher._lock")
         self._closed = False
-        self._thread = threading.Thread(target=self._run,
-                                        name="repro-serve-batcher",
-                                        daemon=True)
+        self._thread = sanitizer.create_thread(target=self._run,
+                                               name="repro-serve-batcher",
+                                               daemon=True)
         self._thread.start()
 
     # ------------------------------------------------------------------
     def submit(self, batch: SampleBatch):
         """Enqueue one request; returns a future resolving to its rows."""
-        if self._closed:
-            raise RuntimeError("batcher is closed")
         if len(batch) == 0:
             raise ValueError("cannot serve an empty request")
         request = _Request(batch)
-        self._queue.put(request)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queue.put(request)
         return request.future
 
     def close(self):
-        """Stop the consumer after draining already-queued requests."""
-        if self._closed:
-            return
-        self._closed = True
-        self._queue.put(None)
-        self._thread.join(timeout=10.0)
+        """Stop the consumer after draining already-queued requests.
+
+        Every future returned by :meth:`submit` is resolved: requests
+        enqueued before close are served (the sentinel sits behind
+        them), and any request that slips past a hung consumer is
+        failed explicitly in the post-join sweep rather than left
+        pending forever.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(None)
+        sanitizer.join_thread(self._thread, timeout=10.0,
+                              what="micro-batcher consumer")
+        # The consumer exits on the sentinel (re-queued if it arrived
+        # mid-window), so anything still queued was never served —
+        # possible only if the consumer hung or died.  Fail those
+        # futures instead of stranding their callers.
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is None:
+                continue
+            try:
+                leftover.future.set_exception(
+                    RuntimeError("batcher closed before serving this "
+                                 "request"))
+            except InvalidStateError:  # pragma: no cover - lost race
+                pass
 
     def __enter__(self):
         return self
@@ -119,7 +152,17 @@ class MicroBatcher:
         """
         first = self._queue.get()
         if first is None:
-            return None
+            # An accepted request can legally sit *behind* the shutdown
+            # sentinel: the overflow path below re-queues a request that
+            # was already admitted.  Serve it before honouring the
+            # sentinel so close() never strands an accepted future.
+            try:
+                first = self._queue.get_nowait()
+            except queue.Empty:
+                return None
+            if first is None:  # pragma: no cover - double sentinel
+                return None
+            self._queue.put(None)
         window = [first]
         samples = len(first.batch)
         deadline = perf_counter() + self.max_wait

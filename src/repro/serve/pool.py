@@ -27,11 +27,11 @@ from __future__ import annotations
 
 import multiprocessing
 import signal
-import threading
 
 import numpy as np
 
 from repro.data.windows import SampleBatch
+from repro.inspect import sanitizer
 from repro.parallel.blas import limit_blas_threads
 from repro.parallel.engine import ParallelWorkerError
 from repro.parallel.sharding import shard_bounds
@@ -96,7 +96,7 @@ class ReplicaPool:
         self._total = cursor
 
         self._template = template
-        self._lock = threading.Lock()
+        self._lock = sanitizer.create_lock("ReplicaPool._lock")
         self._param_block = None
         self._io_block = None
         self._procs = []
@@ -166,42 +166,52 @@ class ReplicaPool:
         return False
 
     def close(self):
-        """Drain the replicas and release shared memory (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        for conn in self._conns:
-            try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-        for proc in self._procs:
-            if proc.is_alive():  # pragma: no cover - hung replica
-                proc.terminate()
-                proc.join(timeout=1.0)
-            if proc.is_alive():  # pragma: no cover - unkillable replica
-                proc.kill()
-                proc.join(timeout=1.0)
-        for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover
-                pass
-        self._conns = []
-        self._procs = []
-        if self._param_block is not None:
-            # Re-privatise the weights so the model outlives the pool.
-            for param in self._params:
-                if param.data.base is not None:
-                    param.data = param.data.copy()
-                param.grad = None
-            self._param_block.close()
-            self._param_block = None
-        if self._io_block is not None:
-            self._io_block.close()
-            self._io_block = None
+        """Drain the replicas and release shared memory (idempotent).
+
+        The whole teardown runs under the dispatch lock: a concurrent
+        :meth:`predict` either completes against the live pool before
+        teardown starts, or observes ``_closed`` and raises cleanly —
+        it can never see half-closed pipes or an unmapped parameter
+        block mid-request.  Replicas never take this lock, so holding
+        it across the bounded joins cannot deadlock.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for conn in self._conns:
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=5.0)
+            for proc in self._procs:
+                if proc.is_alive():  # pragma: no cover - hung replica
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+                if proc.is_alive():  # pragma: no cover - unkillable
+                    proc.kill()
+                    proc.join(timeout=1.0)
+            for conn in self._conns:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            self._conns = []
+            self._procs = []
+            if self._param_block is not None:
+                # Re-privatise the weights so the model outlives the
+                # pool.
+                for param in self._params:
+                    if param.data.base is not None:
+                        param.data = param.data.copy()
+                    param.grad = None
+                self._param_block.close()
+                self._param_block = None
+            if self._io_block is not None:
+                self._io_block.close()
+                self._io_block = None
 
     # ------------------------------------------------------------------
     # Serving
@@ -209,9 +219,10 @@ class ReplicaPool:
     @property
     def generation(self):
         """Parameter-buffer generation (bumps once per checkpoint install)."""
-        if self._param_block is None:
-            raise RuntimeError("pool is not running")
-        return int(self._param_block["generation"][0])
+        with self._lock:
+            if self._param_block is None:
+                raise RuntimeError("pool is not running")
+            return int(self._param_block["generation"][0])
 
     def predict(self, batch: SampleBatch):
         """One batched forward, sharded across the replicas.
@@ -230,7 +241,9 @@ class ReplicaPool:
         with self._lock:
             if self._closed or not self._started:
                 raise RuntimeError("pool is not running")
-            generation = self.generation
+            # Inline read: the generation property takes the (non-
+            # reentrant) dispatch lock, which this thread already holds.
+            generation = int(self._param_block["generation"][0])
             generations = set()
             pieces = []
             for begin in range(0, n, self.max_batch):
@@ -306,8 +319,11 @@ class ReplicaPool:
         _tensor_core._set_trace_hook(None)
         blas_mode = limit_blas_threads(self.blas_threads)
         self.model.eval()
-        io = self._io_block.arrays
-        gen = self._param_block["generation"]
+        # Forked child: the parent's dispatch lock has no meaning here —
+        # BSP message ordering (parent sends "predict" only while every
+        # replica is idle) is what excludes concurrent access.
+        io = self._io_block.arrays  # lint: ignore[guarded-field]
+        gen = self._param_block["generation"]  # lint: ignore[guarded-field]
         conn.send(("ready", rank, blas_mode))
         while True:
             try:

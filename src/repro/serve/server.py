@@ -32,12 +32,12 @@ served rows equal the single-request offline forward
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.data.windows import SampleBatch
+from repro.inspect import sanitizer
 from repro.profiling import get_active_profiler
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import WindowCache
@@ -115,7 +115,7 @@ class ForecastServer:
         parameters = model.parameters() if hasattr(model, "parameters") else []
         self._dtype = parameters[0].data.dtype if parameters else None
         self.stats = LatencyStats()
-        self._forward_lock = threading.Lock()
+        self._forward_lock = sanitizer.create_lock("ForecastServer._forward_lock")
         self._generation = 0
         # Staleness / degraded-mode telemetry (repro.stream): a stream
         # clock counting ticks observed, the clock value when the

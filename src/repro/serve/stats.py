@@ -13,10 +13,11 @@ cheap enough to sit on the serving hot path.
 
 from __future__ import annotations
 
-import threading
 from time import perf_counter
 
 import numpy as np
+
+from repro.inspect import sanitizer
 
 __all__ = ["LatencyStats"]
 
@@ -25,7 +26,7 @@ class LatencyStats:
     """Accumulates request latencies and micro-batch shapes."""
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = sanitizer.create_lock("LatencyStats._lock")
         self._latencies = []      # seconds, one per completed request
         self._queue_waits = []    # seconds, one per completed request
         self._batch_sizes = []    # coalesced requests per forward

@@ -20,6 +20,7 @@ implemented in the sibling modules (:mod:`repro.tensor.ops`,
 from __future__ import annotations
 
 import contextlib
+import threading
 from time import perf_counter
 
 import numpy as np
@@ -34,7 +35,12 @@ __all__ = [
     "as_tensor",
 ]
 
-_GRAD_ENABLED = True
+# Grad mode is *per thread* (torch semantics): a serving thread inside
+# ``no_grad()`` must not switch off tape recording for a concurrent
+# training step — with a process-global flag, the stream runtime's warm
+# retrain raced live eval-mode forecasts and crashed in backward().
+# Threads start in the default (enabled) state.
+_GRAD_MODE = threading.local()
 _DEFAULT_DTYPE = np.float64
 
 # Active op profiler (see repro.profiling).  Kept here, not in the
@@ -151,25 +157,30 @@ def default_dtype(dtype):
 
 
 def is_grad_enabled():
-    """Return ``True`` when operations should record the autodiff tape."""
-    return _GRAD_ENABLED
+    """Return ``True`` when operations should record the autodiff tape.
+
+    The flag is thread-local: disabling gradients on one thread never
+    affects tape recording on any other.
+    """
+    return getattr(_GRAD_MODE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables gradient recording.
+    """Context manager that disables gradient recording on this thread.
 
     Inside the block every operation behaves like plain numpy: outputs
     have ``requires_grad=False`` and no backward closures are created.
-    Use it for evaluation loops and data preprocessing.
+    Use it for evaluation loops and data preprocessing.  The state is
+    per-thread, so an eval loop cannot disable the tape under a
+    concurrently-running training step.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_MODE.enabled = previous
 
 
 class Tensor:

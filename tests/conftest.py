@@ -1,0 +1,35 @@
+"""Repo-wide pytest wiring: the runtime concurrency-sanitizer gate.
+
+With ``REPRO_TSAN=1`` in the environment, :mod:`repro.inspect.sanitizer`
+activates a process-wide session at import, every lock/thread the
+serving and training stack creates through the ``create_*`` factories
+is instrumented, and this fixture fails the pytest session if any
+dynamic finding (lock-order inversion, fork-while-locked, unjoined
+thread, long hold) accumulated across the suites.  CI runs the serve /
+parallel / stream suites this way (``scripts/ci_check.sh``); add
+``REPRO_TSAN_STRESS=1`` for seeded schedule perturbation.
+
+Without the env flag this file is inert — the factories hand out bare
+:mod:`threading` primitives and no fixture logic runs.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _repro_tsan_gate():
+    if not os.environ.get("REPRO_TSAN"):
+        yield
+        return
+    from repro.inspect import sanitizer
+
+    session = sanitizer.ensure_env_session()
+    yield
+    findings = session.finalize()
+    if findings:
+        lines = "\n".join(f"  {f}" for f in findings)
+        pytest.fail(
+            f"concurrency sanitizer recorded {len(findings)} finding(s) "
+            f"across this run:\n{lines}", pytrace=False)

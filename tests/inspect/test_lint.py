@@ -166,7 +166,8 @@ class TestConfig:
         # a breaking change for pyproject configs and suppressions.
         assert ALL_RULES == ("dtype-policy", "gradcheck-coverage",
                              "optimizer-out", "mutable-default",
-                             "fork-discipline", "alloc", "bounded-buffer")
+                             "fork-discipline", "alloc", "bounded-buffer",
+                             "thread-discipline")
 
 
 class TestForkDiscipline:
@@ -389,3 +390,56 @@ class TestReportMechanics:
         report = lint_paths([root / "src" / "repro"], root=root)
         assert report.ok, "\n" + report.format_text()
         assert report.files_checked > 100
+
+
+class TestThreadDiscipline:
+    def test_thread_without_daemon_is_flagged(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import threading
+            t = threading.Thread(target=print, name="t")
+        """, rel="src/repro/serve/mod.py")
+        assert [f.rule for f in report.findings] == ["thread-discipline"]
+
+    def test_from_import_thread_is_flagged(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            from threading import Thread
+            t = Thread(target=print, name="t")
+        """, rel="src/repro/serve/mod.py")
+        assert [f.rule for f in report.findings] == ["thread-discipline"]
+
+    def test_create_thread_without_daemon_is_flagged(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            from repro.inspect import sanitizer
+            t = sanitizer.create_thread(target=print, name="t")
+        """, rel="src/repro/serve/mod.py")
+        assert [f.rule for f in report.findings] == ["thread-discipline"]
+
+    def test_explicit_daemon_passes(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import threading
+            t = threading.Thread(target=print, name="t", daemon=True)
+        """, rel="src/repro/serve/mod.py")
+        assert report.ok
+
+    def test_unbounded_join_is_flagged(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import threading
+            t = threading.Thread(target=print, name="t", daemon=True)
+            t.join()
+        """, rel="src/repro/serve/mod.py")
+        assert [f.rule for f in report.findings] == ["thread-discipline"]
+        assert "join" in report.findings[0].message
+
+    def test_bounded_join_passes(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            import threading
+            t = threading.Thread(target=print, name="t", daemon=True)
+            t.join(timeout=5.0)
+        """, rel="src/repro/serve/mod.py")
+        assert report.ok
+
+    def test_str_join_with_argument_is_not_flagged(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            text = ", ".join(["a", "b"])
+        """, rel="src/repro/serve/mod.py")
+        assert report.ok

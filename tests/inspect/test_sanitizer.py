@@ -1,0 +1,311 @@
+"""Runtime concurrency sanitizer: detectors, factories, stress mode."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.inspect import sanitizer
+
+# These tests open their own sanitizer sessions; under REPRO_TSAN the
+# process-wide env session already holds the slot (and several cases
+# here *intentionally* produce findings, which would fail the env
+# session's end-of-run gate).
+pytestmark = pytest.mark.skipif(
+    bool(os.environ.get("REPRO_TSAN")),
+    reason="REPRO_TSAN env session is active; sanitizer self-tests "
+           "need exclusive session control")
+
+
+def _run_thread(target, name):
+    thread = sanitizer.create_thread(target=target, name=name, daemon=True)
+    thread.start()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    return thread
+
+
+class TestDisabledFactories:
+    def test_factories_return_bare_primitives(self):
+        # No active session: zero-overhead stock objects, not wrappers.
+        assert sanitizer.active_session() is None
+        assert type(sanitizer.create_lock()) is type(threading.Lock())
+        assert type(sanitizer.create_rlock()) is type(threading.RLock())
+        assert isinstance(sanitizer.create_condition(),
+                          threading.Condition)
+        thread = sanitizer.create_thread(target=lambda: None, name="t",
+                                         daemon=True)
+        assert type(thread) is threading.Thread
+        assert thread.daemon
+
+    def test_bare_lock_still_works_as_context_manager(self):
+        lock = sanitizer.create_lock("x")
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+
+
+class TestLockOrderInversion:
+    def test_opposite_order_on_two_threads_is_flagged(self):
+        # The seeded dynamic deadlock: thread 1 takes A then B, thread 2
+        # takes B then A.  Run sequentially — no timing luck needed: the
+        # order *graph* convicts, not an actual hang.
+        with sanitizer.enabled() as session:
+            a = sanitizer.create_lock("A")
+            b = sanitizer.create_lock("B")
+
+            def ab():
+                with a:
+                    with b:
+                        pass
+
+            def ba():
+                with b:
+                    with a:
+                        pass
+
+            _run_thread(ab, "t-ab")
+            _run_thread(ba, "t-ba")
+        rules = [f.rule for f in session.findings]
+        assert rules == ["lock-order"], session.format_text()
+        finding = session.findings[0]
+        assert "'A'" in finding.message and "'B'" in finding.message
+        assert finding.thread == "t-ba"
+
+    def test_consistent_order_is_clean(self):
+        with sanitizer.enabled() as session:
+            a = sanitizer.create_lock("A")
+            b = sanitizer.create_lock("B")
+
+            def ab():
+                with a:
+                    with b:
+                        pass
+
+            _run_thread(ab, "t-1")
+            _run_thread(ab, "t-2")
+        assert not session.findings, session.format_text()
+
+    def test_same_name_different_objects_do_not_alias(self):
+        # Edges key on lock identity, not display name: two unrelated
+        # locks that happen to share a name must not fabricate a cycle.
+        with sanitizer.enabled() as session:
+            a1 = sanitizer.create_lock("L")
+            a2 = sanitizer.create_lock("L")
+            outer = sanitizer.create_lock("outer")
+
+            def one():
+                with outer:
+                    with a1:
+                        pass
+
+            def two():
+                with a2:
+                    with outer:
+                        pass
+
+            _run_thread(one, "t-1")
+            _run_thread(two, "t-2")
+        assert not session.findings, session.format_text()
+
+    def test_rlock_reentry_is_not_an_inversion(self):
+        with sanitizer.enabled() as session:
+            r = sanitizer.create_rlock("R")
+            with r:
+                with r:
+                    pass
+        assert not session.findings, session.format_text()
+
+
+class TestForkSafety:
+    def test_fork_while_holding_lock_is_flagged(self):
+        with sanitizer.enabled() as session:
+            lock = sanitizer.create_lock("held-over-fork")
+            with lock:
+                pid = os.fork()
+                if pid == 0:  # pragma: no cover - child exits immediately
+                    os._exit(0)
+                os.waitpid(pid, 0)
+        rules = [f.rule for f in session.findings]
+        assert rules == ["fork-safety"], session.format_text()
+        assert "held-over-fork" in session.findings[0].message
+
+    def test_fork_with_no_lock_held_is_clean(self):
+        with sanitizer.enabled() as session:
+            lock = sanitizer.create_lock("released-before-fork")
+            with lock:
+                pass
+            pid = os.fork()
+            if pid == 0:  # pragma: no cover - child exits immediately
+                os._exit(0)
+            os.waitpid(pid, 0)
+        assert not session.findings, session.format_text()
+
+    def test_fork_while_nondaemon_sanitized_thread_alive(self):
+        with sanitizer.enabled() as session:
+            gate = threading.Event()
+            thread = sanitizer.create_thread(target=gate.wait,
+                                             name="pre-fork-worker",
+                                             daemon=False)
+            thread.start()
+            try:
+                pid = os.fork()
+                if pid == 0:  # pragma: no cover - child exits immediately
+                    os._exit(0)
+                os.waitpid(pid, 0)
+            finally:
+                gate.set()
+                thread.join(timeout=5.0)
+        rules = [f.rule for f in session.findings]
+        assert "fork-safety" in rules, session.format_text()
+        assert any("pre-fork-worker" in f.message
+                   for f in session.findings)
+
+
+class TestShutdownAndHolds:
+    def test_unjoined_thread_at_finalize_is_flagged(self):
+        gate = threading.Event()
+        with sanitizer.enabled() as session:
+            thread = sanitizer.create_thread(target=gate.wait,
+                                             name="leaked-worker",
+                                             daemon=True)
+            thread.start()
+        try:
+            rules = [f.rule for f in session.findings]
+            assert rules == ["unjoined-thread"], session.format_text()
+            assert "leaked-worker" in session.findings[0].message
+        finally:
+            gate.set()
+            thread.join(timeout=5.0)
+
+    def test_joined_thread_is_clean(self):
+        with sanitizer.enabled() as session:
+            _run_thread(lambda: None, "quick-worker")
+        assert not session.findings, session.format_text()
+
+    def test_long_hold_is_flagged(self):
+        with sanitizer.enabled(hold_warn_s=0.01) as session:
+            lock = sanitizer.create_lock("slow")
+            with lock:
+                time.sleep(0.05)
+        rules = [f.rule for f in session.findings]
+        assert rules == ["long-hold"], session.format_text()
+
+    def test_join_thread_reports_on_timeout(self, capsys):
+        gate = threading.Event()
+        with sanitizer.enabled() as session:
+            thread = sanitizer.create_thread(target=gate.wait,
+                                             name="stuck-worker",
+                                             daemon=True)
+            thread.start()
+            try:
+                assert not sanitizer.join_thread(thread, timeout=0.05,
+                                                 what="stuck worker")
+            finally:
+                gate.set()
+                thread.join(timeout=5.0)
+        assert "stuck worker" in capsys.readouterr().err
+        assert any(f.rule == "unjoined-thread" for f in session.findings)
+
+    def test_join_thread_success_is_quiet(self, capsys):
+        thread = sanitizer.create_thread(target=lambda: None, name="ok",
+                                         daemon=True)
+        thread.start()
+        assert sanitizer.join_thread(thread, timeout=5.0)
+        assert capsys.readouterr().err == ""
+
+
+class TestConditionAndSessions:
+    def test_condition_wait_notify_tracks_held_state(self):
+        with sanitizer.enabled() as session:
+            cond = sanitizer.create_condition("CV")
+            served = []
+
+            def waiter():
+                with cond:
+                    cond.wait(timeout=5.0)
+                    served.append(1)
+
+            thread = sanitizer.create_thread(target=waiter, name="waiter",
+                                             daemon=True)
+            thread.start()
+            deadline = time.perf_counter() + 5.0
+            while time.perf_counter() < deadline:
+                with cond:
+                    cond.notify_all()
+                if served:
+                    break
+                time.sleep(0.005)
+            thread.join(timeout=5.0)
+            assert served == [1]
+        assert not session.findings, session.format_text()
+
+    def test_nested_sessions_are_rejected(self):
+        with sanitizer.enabled():
+            with pytest.raises(RuntimeError, match="already active"):
+                with sanitizer.enabled():
+                    pass  # pragma: no cover
+
+    def test_report_shape(self):
+        with sanitizer.enabled(stress=True, seed=7) as session:
+            lock = sanitizer.create_lock("L")
+            with lock:
+                pass
+        payload = session.report()
+        assert payload["ok"] is True
+        assert payload["stress"] is True
+        assert payload["seed"] == 7
+        assert payload["locks"] == 1
+        assert payload["acquisitions"] == 1
+        assert payload["findings"] == []
+
+    def test_finding_to_dict_matches_lint_shape(self):
+        finding = sanitizer.SanitizerFinding(
+            rule="lock-order", path="x.py", line=3, message="m",
+            thread="t")
+        assert finding.to_dict() == {
+            "rule": "lock-order", "path": "x.py", "line": 3,
+            "message": "m", "thread": "t"}
+
+
+class TestStressMode:
+    def test_stress_perturbation_is_deterministic_per_seed(self):
+        # Same seed + same thread names -> identical sleep sequences.
+        def draws(seed):
+            with sanitizer.enabled(stress=True, seed=seed) as session:
+                out = []
+
+                def worker():
+                    rng = session._rng()
+                    out.extend(rng.random() for _ in range(4))
+
+                _run_thread(worker, "stress-worker")
+            return out
+
+        assert draws(123) == draws(123)
+        assert draws(123) != draws(124)
+
+    def test_stress_mode_still_serves_correctly(self):
+        # Perturbed scheduling must change timing only, never results.
+        with sanitizer.enabled(stress=True, seed=0,
+                               max_sleep_ms=0.5) as session:
+            lock = sanitizer.create_lock("counter")
+            state = {"n": 0}
+
+            def bump():
+                for _ in range(25):
+                    with lock:
+                        state["n"] += 1
+
+            threads = [sanitizer.create_thread(target=bump,
+                                               name=f"bumper-{i}",
+                                               daemon=True)
+                       for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+                assert not thread.is_alive()
+            assert state["n"] == 100
+        assert not session.findings, session.format_text()

@@ -160,3 +160,84 @@ class TestMicroBatcher:
             assert len(waits) == len(latencies) == requests
             assert all(lat >= wait >= 0
                        for wait, lat in zip(waits, latencies))
+
+
+class TestShutdownAudit:
+    """No future returned by submit() may ever be left unresolved.
+
+    The seeded bug (pre-fix): submit() checked _closed and enqueued
+    without a lock, so a submit preempted between the check and the
+    put could land its request *behind* close()'s shutdown sentinel —
+    the consumer exited at the sentinel and the future stayed pending
+    forever.  submit/close now order through a lock and the consumer
+    drains past the sentinel, with a post-join sweep as backstop.
+    """
+
+    def test_request_behind_the_sentinel_is_still_resolved(self):
+        from repro.serve.batcher import _Request
+
+        gate = threading.Event()
+        forward = RecordingForward(gate=gate)
+        batcher = MicroBatcher(forward, max_batch=4, max_wait_ms=0.0)
+        first = batcher.submit(make_request([1]))
+        # Wait until the consumer owns the first window (blocked in the
+        # gated forward), so nothing is draining the queue.
+        deadline = 10.0
+        while not forward.sizes and deadline > 0:
+            if gate.wait(0):  # pragma: no cover - never set yet
+                break
+            threading.Event().wait(0.005)
+            deadline -= 0.005
+        closer = threading.Thread(target=batcher.close,
+                                  name="closer", daemon=True)
+        closer.start()
+        # Reproduce the preempted-submit interleaving deterministically:
+        # a request enqueued after close()'s sentinel, exactly what the
+        # unlocked submit() path used to allow.
+        raced = _Request(make_request([7]))
+        batcher._queue.put(raced)
+        gate.set()
+        closer.join(timeout=10.0)
+        assert not closer.is_alive()
+        assert first.result(timeout=10.0).shape == (1,) + SHAPE
+        # The raced future must be *resolved* — served (the consumer
+        # drains past the sentinel) or failed explicitly — never
+        # pending forever as before the fix.
+        assert raced.future.done()
+        if raced.future.exception() is None:
+            assert np.array_equal(raced.future.result(),
+                                  make_request([7]).target)
+
+    def test_submit_racing_close_never_strands_a_future(self):
+        # Many submitters race one close(); every future that submit()
+        # returned resolves promptly — with rows or with the explicit
+        # "batcher is closed" error — and none hangs.
+        for seed in range(3):
+            forward = RecordingForward()
+            batcher = MicroBatcher(forward, max_batch=8, max_wait_ms=0.5)
+            futures, errors = [], []
+            start = threading.Barrier(5)
+
+            def submitter(rank):
+                start.wait(timeout=10.0)
+                for i in range(10):
+                    try:
+                        futures.append(
+                            batcher.submit(make_request([rank * 100 + i])))
+                    except RuntimeError as exc:
+                        errors.append(str(exc))
+
+            threads = [threading.Thread(target=submitter, args=(rank,),
+                                        name=f"submit-{rank}", daemon=True)
+                       for rank in range(4)]
+            for thread in threads:
+                thread.start()
+            start.wait(timeout=10.0)
+            batcher.close()
+            for thread in threads:
+                thread.join(timeout=10.0)
+                assert not thread.is_alive()
+            for future in futures:
+                exc = future.exception(timeout=10.0)  # resolved, somehow
+                assert exc is None or isinstance(exc, RuntimeError)
+            assert all("closed" in message for message in errors)

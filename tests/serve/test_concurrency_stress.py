@@ -1,0 +1,193 @@
+"""Serving races re-run under sanitizer schedule perturbation.
+
+The base suites already assert the *functional* contracts (no torn
+generation, no stranded future, clean close).  These re-runs wrap the
+same scenarios in ``sanitizer.enabled(stress=True, seed=...)`` at
+elevated concurrency: every lock acquisition gets a seeded random
+sleep injected in front of it, which widens the race windows by orders
+of magnitude while keeping the schedule deterministic per seed.  Each
+test asserts the functional contract *and* that the sanitizer's own
+detectors (lock-order, fork-safety, long-hold, unjoined-thread) stayed
+silent under the perturbed schedule.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.inspect import sanitizer
+from repro.optim import Adam
+from repro.serve import ForecastServer, ReplicaPool, ServeConfig
+from repro.serve.batcher import MicroBatcher
+from repro.tensor import no_grad
+from repro.training import TrainConfig, Trainer, save_checkpoint
+
+from tests.serve.conftest import TinyForecaster
+
+# These tests open their own sanitizer sessions, which the process-wide
+# REPRO_TSAN env session would reject as nested.
+pytestmark = pytest.mark.skipif(
+    bool(os.environ.get("REPRO_TSAN")),
+    reason="stress re-runs open their own sanitizer sessions")
+
+
+def offline_reference(model, batch):
+    return Trainer(model, TrainConfig(eval_batch_size=4)).predict_scaled(batch)
+
+
+def _checkpoint(model, path):
+    save_checkpoint(str(path), model, Adam(model.parameters(), lr=1e-3))
+    return str(path)
+
+
+class TestSwapUnderFireStressed:
+    def test_hot_swap_under_perturbed_schedule(self, tiny_data, tmp_path):
+        # The TestHotSwap torn-state test at elevated concurrency (6
+        # clients vs 3) with stress sleeps in front of every lock
+        # acquisition — the server is built *inside* the session so its
+        # locks and consumer thread are the instrumented kind.
+        test = tiny_data.test
+        model = TinyForecaster(tiny_data, seed=0)
+        model_a = TinyForecaster(tiny_data, seed=0)
+        model_b = TinyForecaster(tiny_data, seed=9)
+        out_a = offline_reference(model_a, test.slice(0, 1))
+        out_b = offline_reference(model_b, test.slice(0, 1))
+        path_a = _checkpoint(model_a, tmp_path / "a.npz")
+        path_b = _checkpoint(model_b, tmp_path / "b.npz")
+
+        with sanitizer.enabled(stress=True, seed=1234,
+                               max_sleep_ms=0.5) as session:
+            config = ServeConfig(max_batch=4, max_wait_ms=0.5)
+            with ForecastServer(model, config) as server:
+                server.load_checkpoint(path_a)
+                stop = threading.Event()
+                torn = []
+
+                def client():
+                    while not stop.is_set():
+                        got = server.forecast(test.slice(0, 1))
+                        if not (np.allclose(got, out_a, atol=1e-9)
+                                or np.allclose(got, out_b, atol=1e-9)):
+                            torn.append(got)
+                            return
+
+                threads = [threading.Thread(target=client,
+                                            name=f"stress-client-{i}")
+                           for i in range(6)]
+                for t in threads:
+                    t.start()
+                for _ in range(8):
+                    server.load_checkpoint(path_b)
+                    server.load_checkpoint(path_a)
+                stop.set()
+                for t in threads:
+                    t.join(timeout=30.0)
+                    assert not t.is_alive()
+        assert not torn, "a response matched neither checkpoint generation"
+        assert not session.findings, session.format_text()
+        # The perturbation actually exercised the instrumented locks.
+        assert session.report()["acquisitions"] > 0
+
+
+class TestBatcherCloseStressed:
+    def test_submit_racing_close_under_perturbed_schedule(self, tiny_data):
+        # The shutdown-audit contract under stress: with sleeps injected
+        # before every lock acquisition the submit/close race window is
+        # wide open, and still every accepted future must resolve and
+        # every rejected submit must raise cleanly.
+        test = tiny_data.test
+
+        def forward(batch):
+            return np.zeros((len(batch), 1))
+
+        for seed in (11, 22):
+            with sanitizer.enabled(stress=True, seed=seed,
+                                   max_sleep_ms=0.5) as session:
+                batcher = MicroBatcher(forward, max_batch=4, max_wait_ms=0.2)
+                barrier = threading.Barrier(4)
+                futures, errors = [], []
+                futures_lock = threading.Lock()
+
+                def submitter():
+                    barrier.wait(timeout=10.0)
+                    for _ in range(8):
+                        try:
+                            f = batcher.submit(test.slice(0, 1))
+                        except RuntimeError as exc:
+                            errors.append(exc)
+                        else:
+                            with futures_lock:
+                                futures.append(f)
+
+                def closer():
+                    barrier.wait(timeout=10.0)
+                    batcher.close()
+
+                threads = [threading.Thread(target=submitter,
+                                            name=f"submit-{i}")
+                           for i in range(3)]
+                threads.append(threading.Thread(target=closer, name="close"))
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=30.0)
+                    assert not t.is_alive()
+                batcher.close()
+                for f in futures:
+                    exc = f.exception(timeout=10.0)
+                    assert exc is None or isinstance(exc, RuntimeError)
+                assert all("closed" in str(e) for e in errors)
+            assert not session.findings, session.format_text()
+
+
+class TestPoolCloseStressed:
+    def test_close_during_predict_fails_cleanly(self, tiny_data):
+        # Concurrent predicts racing close() must either complete or
+        # raise the pool's own RuntimeError — never a pipe/OS error from
+        # half-closed connections, which is what the unlocked seed
+        # teardown could produce.
+        test = tiny_data.test
+        model = TinyForecaster(tiny_data, seed=0)
+        with sanitizer.enabled(stress=True, seed=7,
+                               max_sleep_ms=0.5) as session:
+            pool = ReplicaPool(model, test, replicas=2, max_batch=8).start()
+            barrier = threading.Barrier(4)
+            outcomes = []
+            outcomes_lock = threading.Lock()
+
+            def client():
+                barrier.wait(timeout=10.0)
+                for _ in range(6):
+                    try:
+                        rows, _ = pool.predict(test.slice(0, 4))
+                    except RuntimeError as exc:
+                        with outcomes_lock:
+                            outcomes.append(("closed", str(exc)))
+                    else:
+                        with outcomes_lock:
+                            outcomes.append(("ok", rows))
+
+            def closer():
+                barrier.wait(timeout=10.0)
+                pool.close()
+
+            threads = [threading.Thread(target=client, name=f"client-{i}")
+                       for i in range(3)]
+            threads.append(threading.Thread(target=closer, name="closer"))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+                assert not t.is_alive()
+            pool.close()
+        with no_grad():
+            expected = np.asarray(
+                TinyForecaster(tiny_data, seed=0).predict(test.slice(0, 4)))
+        for kind, payload in outcomes:
+            if kind == "ok":
+                assert np.allclose(payload, expected, atol=1e-9)
+            else:
+                assert "not running" in payload
+        assert not session.findings, session.format_text()

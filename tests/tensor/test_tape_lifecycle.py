@@ -185,3 +185,54 @@ class TestOpProfiler:
         assert prof.stats == {}
         assert prof.tape_bytes == 0
         assert prof.peak_tape_bytes == 0
+
+
+class TestGradModeIsThreadLocal:
+    """``no_grad`` on one thread must not switch off another's tape.
+
+    Seeded bug: the grad-enabled flag was a process-global, so a
+    serving thread evaluating inside ``no_grad()`` raced a concurrent
+    training step — the step's forward recorded no tape and
+    ``backward()`` blew up with "does not require grad".  Found by the
+    sanitizer-stressed drift-retrain test; the flag is now per-thread.
+    """
+
+    def test_no_grad_on_another_thread_leaves_tape_recording_on(self):
+        import threading
+
+        from repro.tensor import is_grad_enabled, no_grad
+
+        inside = threading.Event()
+        release = threading.Event()
+
+        def eval_thread():
+            with no_grad():
+                inside.set()
+                release.wait(timeout=10.0)
+
+        worker = threading.Thread(target=eval_thread, daemon=True)
+        worker.start()
+        assert inside.wait(timeout=10.0)
+        try:
+            # The eval thread is parked *inside* no_grad right now;
+            # with a process-global flag this forward records nothing
+            # and backward() raises.
+            assert is_grad_enabled()
+            loss, _, leaves = build_graph()
+            loss.backward()
+            assert all(leaf.grad is not None for leaf in leaves)
+        finally:
+            release.set()
+            worker.join(timeout=10.0)
+        assert not worker.is_alive()
+
+    def test_no_grad_still_restores_state_on_its_own_thread(self):
+        from repro.tensor import is_grad_enabled, no_grad
+
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
