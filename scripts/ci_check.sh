@@ -64,10 +64,51 @@ python benchmarks/bench_parallel_scaling.py --mode smoke \
 
 echo "== serve-latency bench (smoke) =="
 # Always gates serving correctness (served rows == offline
-# predict_scaled at 1e-6/1e-12, under a batching-hostile request mix);
-# the p99 latency gate self-disables on single-CPU hosts and records
-# the reason in the snapshot instead.
+# predict_scaled at 1e-6/1e-12, under a batching-hostile request mix),
+# single-flight dedup (32 concurrent same-tick clients -> exactly one
+# model forward, all responses bit-identical to the uncached offline
+# forward at atol 0), and socket parity (wire-served rows == in-process
+# rows at atol 0); the p99 latency and cache-speedup (>= 3x uncached
+# qps at concurrency 32) gates self-disable on single-CPU hosts and
+# record the reason in the snapshot instead.
 python benchmarks/bench_serve_latency.py --mode smoke --out BENCH_serve.json
+
+echo "== socket serving round trip =="
+# End-to-end through the real CLI: bind the asyncio front-end on an
+# ephemeral port, discover it via --address-file, query over the wire,
+# ask for a clean drain, and require exit code 0 from the server.
+SERVE_DIR="$(mktemp -d)"
+python -m repro serve MUSE-Net --listen 127.0.0.1:0 \
+    --address-file "$SERVE_DIR/address" --max-wait-ms 0.5 \
+    > "$SERVE_DIR/server.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 240); do
+    [ -s "$SERVE_DIR/address" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SERVE_DIR/server.log"; exit 1; }
+    sleep 0.5
+done
+[ -s "$SERVE_DIR/address" ] || { echo "server never bound"; cat "$SERVE_DIR/server.log"; exit 1; }
+python - "$SERVE_DIR/address" <<'PYEOF'
+import sys
+from repro.serve import ForecastClient
+
+address = open(sys.argv[1], encoding="utf-8").read().strip()
+with ForecastClient(address, wait_ready_s=10.0) as client:
+    assert client.ping("ci")["pong"] == "ci"
+    rows = client.query(0)
+    assert rows.shape[0] == 1 and rows.ndim == 4, rows.shape
+    prediction, index, generation = client.forecast()
+    values, cell_index, _ = client.forecast(cells=[(0, 0)])
+    assert cell_index == index
+    assert (values[0] == prediction[:, 0, 0]).all()
+    snap = client.stats()
+    assert snap["result_cache"]["misses"] >= 1
+    client.shutdown()
+print("socket round trip OK")
+PYEOF
+wait "$SERVE_PID" || { echo "server exited non-zero"; cat "$SERVE_DIR/server.log"; exit 1; }
+grep -q "drained cleanly" "$SERVE_DIR/server.log"
+rm -rf "$SERVE_DIR"
 
 echo "== streaming suite =="
 # Disruption-tolerant runtime: ingest ordering/quarantine/gaps, drift

@@ -204,6 +204,48 @@ def _cmd_evaluate(args):
     return 0
 
 
+def _serve_listen(args, server, data, test):
+    """Socket-serving session: listen until a shutdown frame or ctrl-C.
+
+    Warms the streaming window from the flow history preceding the test
+    split (so ``forecast``/``push`` ops work immediately), binds the
+    asyncio front-end, optionally writes the resolved address (ephemeral
+    ports!) to ``--address-file``, and blocks until a client sends the
+    ``shutdown`` op — then drains connections and exits 0.  Ctrl-C
+    drains the same way and exits 130 (the interrupt contract).
+    """
+    from repro.serve import SocketFrontend
+    from repro.serve import wire
+
+    warm_to = int(test.indices[0])
+    for frame in data.dataset.flows[:warm_to]:
+        server.push_tick(frame)
+    frontend = SocketFrontend(server, wire.parse_address(args.listen),
+                              queries=test,
+                              max_connections=args.max_connections)
+    frontend.start()
+    try:
+        spec = wire.format_address(frontend.address)
+        if args.address_file:
+            # Write-then-rename: a polling client must never read a
+            # half-written address.
+            tmp = args.address_file + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(spec + "\n")
+            os.replace(tmp, args.address_file)
+        print(f"serving {args.method} on {spec} "
+              f"({len(test)} replay samples; send a shutdown frame or "
+              "ctrl-C to stop)", flush=True)
+        frontend.wait_for_shutdown()
+    except KeyboardInterrupt:
+        print("interrupted — draining connections", file=sys.stderr)
+        return 130
+    finally:
+        frontend.close()
+    print("shutdown requested — drained cleanly", flush=True)
+    return 0
+
+
 def _cmd_serve(args):
     """Run a serving session: replay test traffic, report latency stats."""
     import json
@@ -238,9 +280,13 @@ def _cmd_serve(args):
                                max_wait_ms=args.max_wait_ms,
                                replicas=args.replicas,
                                blas_threads=args.blas_threads,
-                               compile=getattr(args, "compile", False))
+                               compile=getattr(args, "compile", False),
+                               min_replicas=getattr(args, "min_replicas", 0),
+                               max_replicas=getattr(args, "max_replicas", 0))
     test = data.test
     server = ForecastServer(model, serve_config, scaler=data.scaler,
+                            periodicity=data.periodicity,
+                            frame_shape=test.target.shape[1:],
                             template=test)
     with server:
         if args.checkpoint:
@@ -255,6 +301,9 @@ def _cmd_serve(args):
                 path = found
             generation = server.load_checkpoint(path)
             print(f"installed {path} (generation {generation})")
+
+        if getattr(args, "listen", None):
+            return _serve_listen(args, server, data, test)
 
         # Replay the test split as `--requests` single-sample queries
         # from `--concurrency` concurrent clients.
@@ -574,8 +623,28 @@ def build_parser():
     p.add_argument("--replicas", type=int, default=0,
                    help="forked replica processes over one shared weight "
                         "buffer; 0 = in-process forwards (default)")
+    p.add_argument("--min-replicas", type=int, default=0,
+                   help="autoscaler lower bound; with --max-replicas, "
+                        "the pool grows/shrinks between the bounds from "
+                        "queue telemetry (0 = autoscaling off)")
+    p.add_argument("--max-replicas", type=int, default=0,
+                   help="autoscaler upper bound (requires --replicas >= 1 "
+                        "as the starting size; 0 = autoscaling off)")
     p.add_argument("--blas-threads", type=int, default=1,
                    help="BLAS thread cap inside each replica (default: 1)")
+    p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                   help="serve over a socket instead of replaying: bind "
+                        "the asyncio front-end on HOST:PORT (port 0 = "
+                        "ephemeral) or unix:PATH and run until a client "
+                        "sends the shutdown op")
+    p.add_argument("--address-file", default=None,
+                   help="with --listen, write the resolved address spec "
+                        "to this file once bound (how scripts discover "
+                        "an ephemeral port)")
+    p.add_argument("--max-connections", type=int, default=32,
+                   help="with --listen, concurrent-connection cap; excess "
+                        "connections get an explicit busy reply "
+                        "(default: 32)")
     p.add_argument("--compile", action="store_true",
                    help="graph-compile the in-process forward: record "
                         "predict once per batch size, replay a fused "

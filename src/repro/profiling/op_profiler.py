@@ -102,6 +102,11 @@ class OpProfiler:
         self.serve_batch_s = 0.0
         self.serve_requests = 0
         self.serve_queue_wait_s = 0.0
+        # Result-cache counters (repro.serve.results): streaming
+        # forecasts answered from the generation-keyed cache (hits +
+        # coalesced joiners) vs. forecasts that ran a model forward.
+        self.serve_cache_hits = 0
+        self.serve_cache_misses = 0
         # Forward-allocation accounting: bytes of *fresh* op-output
         # arrays (views excluded) materialised by the eager engine.
         # Compiled replay bypasses ``_from_op`` entirely, so this
@@ -186,6 +191,13 @@ class OpProfiler:
         self.serve_requests += requests
         self.serve_queue_wait_s += queue_wait_s
 
+    def _record_serve_cache(self, hit):
+        """One streaming forecast request hit (or missed) the result cache."""
+        if hit:
+            self.serve_cache_hits += 1
+        else:
+            self.serve_cache_misses += 1
+
     def _record_compile_plan(self, seconds, arena_bytes, reuse_pct):
         """One compiled plan was built in ``seconds`` wall time."""
         self.compile_plans += 1
@@ -242,6 +254,8 @@ class OpProfiler:
         self.serve_batch_s = 0.0
         self.serve_requests = 0
         self.serve_queue_wait_s = 0.0
+        self.serve_cache_hits = 0
+        self.serve_cache_misses = 0
         self.forward_alloc_bytes = 0
         self.compile_plans = 0
         self.compile_plan_s = 0.0
@@ -274,6 +288,8 @@ class OpProfiler:
             "serve_batch_s": self.serve_batch_s,
             "serve_requests": self.serve_requests,
             "serve_queue_wait_s": self.serve_queue_wait_s,
+            "serve_cache_hits": self.serve_cache_hits,
+            "serve_cache_misses": self.serve_cache_misses,
             "forward_alloc_bytes": self.forward_alloc_bytes,
             "compile_plans": self.compile_plans,
             "compile_plan_s": self.compile_plan_s,

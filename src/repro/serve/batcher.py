@@ -88,6 +88,12 @@ class MicroBatcher:
         self._thread.start()
 
     # ------------------------------------------------------------------
+    @property
+    def depth(self):
+        """Requests currently queued (approximate; the autoscaler's
+        instantaneous load signal)."""
+        return self._queue.qsize()
+
     def submit(self, batch: SampleBatch):
         """Enqueue one request; returns a future resolving to its rows."""
         if len(batch) == 0:

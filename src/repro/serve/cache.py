@@ -70,6 +70,20 @@ class WindowCache:
         self.periodicity = periodicity
         self.frame_shape = tuple(int(s) for s in frame_shape)
         self.capacity = int(periodicity.min_index)
+        # Lag offsets are a pure function of the periodicity config, so
+        # build them once here instead of per sample()/imputed_counts()
+        # call; the bit-identity tests against build_samples pin that
+        # this changes nothing numerically.
+        self.period_lags = np.arange(
+            periodicity.len_period, 0, -1) * periodicity.period_lag
+        self.trend_lags = np.arange(
+            periodicity.len_trend, 0, -1) * periodicity.trend_lag
+        #: Optional callback fired after every clock advance
+        #: (:meth:`push` and therefore :meth:`push_gap`) with the new
+        #: frame count.  The server hangs result-cache invalidation
+        #: here: a new tick means a new target index, so memoized
+        #: forecasts for older indices are dead weight.
+        self.on_advance = None
         self._dtype = None if dtype is None else np.dtype(dtype)
         self._ring = None       # (capacity,) + frame_shape
         self._closeness = None  # (L_c,) + frame_shape, rolling
@@ -143,6 +157,8 @@ class WindowCache:
         self._closeness_imputed[:-1] = self._closeness_imputed[1:]
         self._closeness_imputed[-1] = not observed
         self._count += 1
+        if self.on_advance is not None:
+            self.on_advance(self._count)
         return self._count
 
     def push_gap(self):
@@ -186,15 +202,12 @@ class WindowCache:
             raise ValueError(
                 f"window not ready: {self._count} of {self.capacity} "
                 "warm-up ticks observed")
-        p = self.periodicity
-        period_lags = np.arange(p.len_period, 0, -1) * p.period_lag
-        trend_lags = np.arange(p.len_trend, 0, -1) * p.trend_lag
         return {
             "closeness": int(self._closeness_imputed.sum()),
             "period": int(self._imputed_ring[
-                (self._count - period_lags) % self.capacity].sum()),
+                (self._count - self.period_lags) % self.capacity].sum()),
             "trend": int(self._imputed_ring[
-                (self._count - trend_lags) % self.capacity].sum()),
+                (self._count - self.trend_lags) % self.capacity].sum()),
         }
 
     def sample(self):
@@ -211,14 +224,11 @@ class WindowCache:
             raise ValueError(
                 f"window not ready: {self._count} of {self.capacity} "
                 "warm-up ticks observed")
-        p = self.periodicity
         i = self._count
-        period_lags = np.arange(p.len_period, 0, -1) * p.period_lag
-        trend_lags = np.arange(p.len_trend, 0, -1) * p.trend_lag
         return SampleBatch(
             closeness=self._closeness.copy()[None],
-            period=self._gather(period_lags)[None],
-            trend=self._gather(trend_lags)[None],
+            period=self._gather(self.period_lags)[None],
+            trend=self._gather(self.trend_lags)[None],
             target=np.zeros((1,) + self.frame_shape, dtype=self._dtype),
             indices=np.array([i]),
         )

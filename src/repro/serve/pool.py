@@ -44,6 +44,59 @@ __all__ = ["ReplicaPool"]
 _BATCH_FIELDS = ("closeness", "period", "trend", "target", "indices")
 
 
+def _handshake(proc, conn, timeout):
+    """Wait for a newly forked replica's ``ready`` reply.
+
+    Module-level on purpose: the scale-up path runs it *outside* the
+    dispatch lock (forking and handshaking must not stall serving), so
+    it must not touch pool state at all.
+    """
+    from time import perf_counter
+    deadline = perf_counter() + timeout
+    while not conn.poll(0.2):
+        if not proc.is_alive():
+            raise ParallelWorkerError(
+                f"replica {proc.name} died (exit code {proc.exitcode}) "
+                "during startup")
+        if perf_counter() > deadline:
+            raise ParallelWorkerError(
+                f"replica {proc.name} did not initialise within "
+                f"{timeout:.0f}s")
+    try:
+        return conn.recv()
+    except EOFError as exc:
+        raise ParallelWorkerError(
+            f"replica {proc.name} closed its pipe during startup") from exc
+
+
+def _stop_replicas(procs, conns):
+    """Stop a set of replica processes and close their pipes.
+
+    Cooperative stop first, escalating to terminate/kill for hung
+    children; used by both full teardown and scale-down, so a shrunk
+    pool can never leak an orphan process.
+    """
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+    for proc in procs:
+        proc.join(timeout=5.0)
+    for proc in procs:
+        if proc.is_alive():  # pragma: no cover - hung replica
+            proc.terminate()
+            proc.join(timeout=1.0)
+        if proc.is_alive():  # pragma: no cover - unkillable
+            proc.kill()
+            proc.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
 class ReplicaPool:
     """Fork-based inference pool over one shared parameter block.
 
@@ -136,27 +189,48 @@ class ReplicaPool:
         self._io_block = SharedArrayBlock(io_spec)
         self.shared_bytes = self._param_block.nbytes + self._io_block.nbytes
 
-        ctx = multiprocessing.get_context("fork")
         try:
-            for rank in range(self.replicas):
+            procs, conns, modes = self._fork_replicas(range(self.replicas))
+            self._procs.extend(procs)
+            self._conns.extend(conns)
+            self.blas_modes.extend(modes)
+        except BaseException:
+            self.close()
+            raise
+        return self
+
+    def _fork_replicas(self, ranks):
+        """Fork + handshake replicas for ``ranks``; no pool locks held.
+
+        Returns ``(procs, conns, blas_modes)`` fully initialised — every
+        child has sent ``ready`` — or tears the partial set down and
+        re-raises.  The new children are *not* registered with the pool;
+        the caller does that (under the dispatch lock for scale-up).
+        """
+        ctx = multiprocessing.get_context("fork")
+        procs, conns = [], []
+        try:
+            for rank in ranks:
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
                 proc = ctx.Process(
                     target=self._replica_loop, args=(rank, child_conn),
                     name=f"repro-serve-{rank}", daemon=True)
                 proc.start()
                 child_conn.close()
-                self._procs.append(proc)
-                self._conns.append(parent_conn)
-            for rank, conn in enumerate(self._conns):
-                reply = self._recv(rank, conn, timeout=30.0)
+                procs.append(proc)
+                conns.append(parent_conn)
+            modes = []
+            for proc, conn in zip(procs, conns):
+                reply = _handshake(proc, conn, timeout=30.0)
                 if reply[0] != "ready":
                     raise ParallelWorkerError(
-                        f"replica {rank} failed to initialise: {reply!r}")
-                self.blas_modes.append(reply[2])
+                        f"replica {proc.name} failed to initialise: "
+                        f"{reply!r}")
+                modes.append(reply[2])
         except BaseException:
-            self.close()
+            _stop_replicas(procs, conns)
             raise
-        return self
+        return procs, conns, modes
 
     def __enter__(self):
         return self.start()
@@ -179,25 +253,7 @@ class ReplicaPool:
             if self._closed:
                 return
             self._closed = True
-            for conn in self._conns:
-                try:
-                    conn.send(("stop",))
-                except (BrokenPipeError, OSError):
-                    pass
-            for proc in self._procs:
-                proc.join(timeout=5.0)
-            for proc in self._procs:
-                if proc.is_alive():  # pragma: no cover - hung replica
-                    proc.terminate()
-                    proc.join(timeout=1.0)
-                if proc.is_alive():  # pragma: no cover - unkillable
-                    proc.kill()
-                    proc.join(timeout=1.0)
-            for conn in self._conns:
-                try:
-                    conn.close()
-                except OSError:  # pragma: no cover
-                    pass
+            _stop_replicas(self._procs, self._conns)
             self._conns = []
             self._procs = []
             if self._param_block is not None:
@@ -288,6 +344,74 @@ class ReplicaPool:
             self.model.load_state_dict(state_dict)
             self._param_block["generation"][0] += 1
             return int(self._param_block["generation"][0])
+
+    # ------------------------------------------------------------------
+    # Elastic scaling
+    # ------------------------------------------------------------------
+    @property
+    def size(self):
+        """Live replica count (scaling changes it; :attr:`replicas` tracks)."""
+        with self._lock:
+            return len(self._procs)
+
+    def scale_to(self, replicas):
+        """Grow or shrink the pool to ``replicas`` live processes.
+
+        Scaling never tears parameter state: new replicas fork from the
+        parent and alias the *same* shared parameter block (MAP_SHARED
+        survives fork), so they serve the current generation from their
+        first request — no weight copy, no broadcast, no generation
+        skew.  Shrinking stops the highest ranks under the dispatch
+        lock, so an in-flight ``predict`` either completes on the old
+        shard layout or starts on the new one, never half of each.
+
+        Growth forks and handshakes the new children *outside* the
+        dispatch lock — serving continues on the old replicas while the
+        new ones come up — and registers them under the lock once they
+        are ready.  Not safe to call concurrently with itself (the
+        autoscaler is a single thread); safe against concurrent
+        ``predict``/``install``/``close``.
+
+        Returns the new live replica count.
+        """
+        replicas = int(replicas)
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1; got {replicas}")
+        with self._lock:
+            if self._closed or not self._started:
+                raise RuntimeError("pool is not running")
+            current = len(self._procs)
+            if replicas == current:
+                return current
+            if replicas < current:
+                removed_procs = self._procs[replicas:]
+                removed_conns = self._conns[replicas:]
+                del self._procs[replicas:]
+                del self._conns[replicas:]
+                del self.blas_modes[replicas:]
+                self.replicas = replicas
+                # Same discipline as close(): replicas never take this
+                # lock, so stopping them while holding it cannot
+                # deadlock, and no dispatch can race the teardown.
+                _stop_replicas(removed_procs, removed_conns)
+                return replicas
+        # Scale-up: fork with no pool lock held (fork-safety — a child
+        # must never inherit a held lock) and while serving continues.
+        procs, conns, modes = self._fork_replicas(
+            range(current, replicas))
+        with self._lock:
+            if not self._closed and self._started \
+                    and len(self._procs) == current:
+                self._procs.extend(procs)
+                self._conns.extend(conns)
+                self.blas_modes.extend(modes)
+                self.replicas = len(self._procs)
+                return self.replicas
+        # Lost the race with close() (or a concurrent scale, which the
+        # contract forbids): the spawned children must not outlive the
+        # decision, so stop them before reporting failure.
+        _stop_replicas(procs, conns)
+        raise RuntimeError("pool closed while scaling up")
 
     def _recv(self, rank, conn, timeout=None):
         from time import perf_counter

@@ -13,6 +13,13 @@ and embedding applications use.  It composes the serving subsystem:
   rolling closeness/period/trend windows of a live flow stream
   (``periodicity`` given), so ``push_tick`` + ``forecast_next`` serve
   next-interval forecasts without re-slicing history;
+- optionally a :class:`~repro.serve.results.ForecastCache` memoizing
+  completed streaming forecasts per ``(target index, generation)`` with
+  single-flight dedup (``result_cache >= 1``), invalidated on every
+  clock advance and on hot swap;
+- optionally an :class:`~repro.serve.autoscale.AutoScaler` resizing the
+  replica pool between ``[min_replicas, max_replicas]`` from
+  queue-depth/queue-wait telemetry (``max_replicas >= 1``);
 - :class:`~repro.serve.stats.LatencyStats` and the active
   :class:`~repro.profiling.OpProfiler`'s serve counters for
   p50/p99/throughput instrumentation.
@@ -41,6 +48,7 @@ from repro.inspect import sanitizer
 from repro.profiling import get_active_profiler
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import WindowCache
+from repro.serve.results import ForecastCache
 from repro.serve.stats import LatencyStats
 from repro.tensor import no_grad
 from repro.training.checkpoint import read_weights
@@ -62,6 +70,17 @@ class ServeConfig:
     # (replicas = 0); validated bitwise against eager per plan, with
     # automatic per-size eager fallback.  See docs/performance.md.
     compile: bool = False
+    # Generation-aware forecast result cache (repro.serve.results):
+    # completed streaming forecasts memoized per (target index,
+    # parameter generation) with single-flight dedup.  0 disables.
+    result_cache: int = 8
+    # Load-adaptive replica autoscaling (repro.serve.autoscale): with
+    # max_replicas >= 1 the server runs an AutoScaler growing/shrinking
+    # the pool between [min_replicas, max_replicas] from queue-depth
+    # and queue-wait telemetry.  Requires a replica pool (replicas >= 1
+    # is the starting size).  0/0 disables.
+    min_replicas: int = 0
+    max_replicas: int = 0
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -78,6 +97,24 @@ class ServeConfig:
             raise ValueError(
                 "compile=True requires replicas=0: compiled forwards "
                 "replay in-process against pinned model parameters")
+        if self.result_cache < 0:
+            raise ValueError(
+                f"result_cache must be >= 0; got {self.result_cache}")
+        if (self.min_replicas > 0) != (self.max_replicas > 0):
+            raise ValueError(
+                "autoscaling needs both min_replicas and max_replicas "
+                f"(got min={self.min_replicas}, max={self.max_replicas})")
+        if self.max_replicas > 0:
+            if self.replicas < 1:
+                raise ValueError(
+                    "autoscaling needs a replica pool: set replicas >= 1 "
+                    "as the starting size")
+            if not (self.min_replicas <= self.replicas
+                    <= self.max_replicas):
+                raise ValueError(
+                    f"need min_replicas <= replicas <= max_replicas; got "
+                    f"{self.min_replicas} <= {self.replicas} <= "
+                    f"{self.max_replicas}")
 
 
 class ForecastServer:
@@ -136,12 +173,20 @@ class ForecastServer:
         self._batcher = None
         self._started = False
         self._closed = False
+        self.autoscaler = None
+        #: Generation-aware forecast result cache (None when disabled).
+        self.results = ForecastCache(self.config.result_cache) \
+            if self.config.result_cache >= 1 else None
         self.cache = None
         if periodicity is not None:
             if frame_shape is None:
                 raise ValueError("periodicity requires frame_shape")
             self.cache = WindowCache(periodicity, frame_shape,
                                      dtype=self._dtype)
+            # Every clock advance (tick or gap) obsoletes memoized
+            # forecasts for older target indices.
+            if self.results is not None:
+                self.cache.on_advance = self._on_window_advance
         if self.config.replicas >= 1 and template is None:
             raise ValueError(
                 "replicas >= 1 requires a template SampleBatch to size "
@@ -167,6 +212,12 @@ class ForecastServer:
         self._batcher = MicroBatcher(
             self._forward, max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms, on_batch=self._on_batch)
+        if self.config.max_replicas > 0:
+            from repro.serve.autoscale import AutoScaleConfig, AutoScaler
+
+            self.autoscaler = AutoScaler(self, AutoScaleConfig(
+                min_replicas=self.config.min_replicas,
+                max_replicas=self.config.max_replicas)).start()
         self.stats.reset_clock()
         return self
 
@@ -182,6 +233,9 @@ class ForecastServer:
         if self._closed:
             return
         self._closed = True
+        # Autoscaler first: no scale decision may race pool teardown.
+        if self.autoscaler is not None:
+            self.autoscaler.close()
         if self._batcher is not None:
             self._batcher.close()
         if self._pool is not None:
@@ -243,6 +297,17 @@ class ForecastServer:
         self._ticks_seen += 1
         return self.cache.push(frame)
 
+    def push_gap(self):
+        """Record one unobserved interval (the streaming gap contract)."""
+        if self.cache is None:
+            raise ValueError("streaming needs periodicity + frame_shape")
+        self._ticks_seen += 1
+        return self.cache.push_gap()
+
+    def _on_window_advance(self, count):
+        """WindowCache callback: a clock advance obsoletes cached results."""
+        self.results.invalidate("tick")
+
     def note_tick(self):
         """Advance the staleness clock without touching the cache.
 
@@ -258,12 +323,80 @@ class ForecastServer:
         """Forecast the next unobserved interval from the cached windows.
 
         Returns ``(prediction, index)`` — the scaled ``(2, H, W)``
-        forecast and the target interval index it is for.
+        forecast and the target interval index it is for.  The array is
+        a private writable copy; for the zero-copy shared path use
+        :meth:`forecast_tick`.
+        """
+        prediction, index, _generation = self.forecast_tick()
+        return prediction.copy(), index
+
+    def forecast_tick(self):
+        """Next-interval forecast through the forecast result cache.
+
+        Returns ``(prediction, index, generation)``.  With the result
+        cache enabled, concurrent requests for the same ``(index,
+        generation)`` cost exactly **one** model forward: the first
+        requester owns the forward, everyone else joins its future, and
+        later requests hit the memo — all receiving the *same*
+        read-only array (bit-identical by construction).  The memo is
+        dropped on every clock advance (``push_tick``/``push_gap``) and
+        on checkpoint hot swap, so a stale generation is never served.
+
+        The returned array is shared and read-only; copy before
+        mutating.
         """
         if self.cache is None:
             raise ValueError("streaming needs periodicity + frame_shape")
-        sample = self.cache.sample()
-        return self.forecast(sample)[0], int(sample.indices[0])
+        if self.results is None:
+            sample = self.cache.sample()
+            return (self.forecast(sample)[0], int(sample.indices[0]),
+                    self.generation)
+        # Read the generation BEFORE the forward: the key must name the
+        # weights the caller observed when asking.  If a hot swap lands
+        # between this read and the forward, the computed value is a
+        # pure new-generation forecast — fine to deliver (the swap
+        # contract: a racing request matches one of the two pure
+        # generations) but wrong to memoize under the old key, so the
+        # owner rechecks the generation before storing.
+        generation = self.generation
+        index = self.cache.next_index
+        key = (index, generation)
+        kind, token = self.results.lookup(key)
+        profiler = get_active_profiler()
+        if profiler is not None:
+            profiler._record_serve_cache(hit=kind != "owner")
+        if kind == "hit":
+            return token, index, generation
+        if kind == "join":
+            return token.result(), index, generation
+        try:
+            sample = self.cache.sample()
+            if int(sample.indices[0]) != index:
+                # The clock advanced between the lookup and the window
+                # snapshot; the sampled windows target a newer index, so
+                # this key can no longer be computed.  Fail the joiners
+                # (they raced a push; their tick is gone) rather than
+                # publish a mismatched artifact.
+                raise RuntimeError(
+                    f"stream advanced past tick {index} mid-request")
+            prediction = self.forecast(sample)[0]
+        except BaseException as exc:
+            self.results.fail(key, exc)
+            raise
+        store = self.generation == generation
+        value = self.results.complete(key, prediction, store=store)
+        return value, index, generation
+
+    def forecast_cell(self, row, col):
+        """Next-interval in/outflow forecast for one grid cell.
+
+        Returns ``(values, index, generation)`` with ``values`` the
+        ``(2,)`` scaled in/outflow pair, sliced from the *shared*
+        cached full-grid forecast — N cells at one tick cost one model
+        forward, not N.
+        """
+        prediction, index, generation = self.forecast_tick()
+        return prediction[:, int(row), int(col)].copy(), index, generation
 
     # ------------------------------------------------------------------
     # Checkpoint hot swap
@@ -294,7 +427,42 @@ class ForecastServer:
                 self._generation += 1
                 generation = self._generation
         self._generation_tick = self._ticks_seen
+        if self.results is not None:
+            # The generation bump already made the old keys unreachable;
+            # dropping them reclaims the memory now and guarantees no
+            # stale-generation artifact survives the swap.
+            self.results.invalidate("swap")
         return generation
+
+    # ------------------------------------------------------------------
+    # Load telemetry + elastic scaling (repro.serve.autoscale)
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self):
+        """Requests currently waiting in the micro-batcher (approximate)."""
+        return self._batcher.depth if self._batcher is not None else 0
+
+    def recent_queue_wait_ms(self):
+        """Mean queue wait over the trailing request window, in ms."""
+        return self.stats.recent_queue_wait_ms()
+
+    @property
+    def replica_count(self):
+        """Live replica processes (0 for in-process forwards)."""
+        return self._pool.size if self._pool is not None else 0
+
+    def scale_replicas(self, replicas):
+        """Resize the replica pool; returns the new live count.
+
+        Scaling reuses the pool's shared-parameter machinery — new
+        replicas alias the existing generation-counted weight buffer —
+        so a scale event can never tear parameter state.
+        """
+        if self._pool is None:
+            raise RuntimeError(
+                "scaling requires a replica pool (start with replicas "
+                ">= 1)")
+        return self._pool.scale_to(replicas)
 
     # ------------------------------------------------------------------
     # Staleness / degraded mode (repro.stream)
@@ -337,6 +505,11 @@ class ForecastServer:
         if self._pool is not None:
             snap["shared_mib"] = round(self._pool.shared_bytes / 2**20, 3)
             snap["blas_modes"] = list(self._pool.blas_modes)
+            snap["live_replicas"] = self.replica_count
         if self._compiler is not None:
             snap["compile"] = self._compiler.report()
+        if self.results is not None:
+            snap["result_cache"] = self.results.snapshot()
+        if self.autoscaler is not None:
+            snap["autoscaler"] = self.autoscaler.snapshot()
         return snap

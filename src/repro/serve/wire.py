@@ -1,0 +1,198 @@
+"""Length-prefixed JSON framing for the socket serving protocol.
+
+One frame = a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  The format is deliberately boring: it survives
+any transport that preserves byte order (TCP, Unix sockets, pipes),
+needs no external dependency, and is trivially implementable from any
+language.  Both the blocking side (:func:`send_frame` /
+:func:`recv_frame` over ``socket`` objects) and the asyncio side
+(:func:`read_frame_async` over a ``StreamReader``) live here so the
+front-end, the :class:`~repro.serve.frontend.ForecastClient`, and the
+:class:`~repro.stream.ticks.SocketTickSource` share one definition.
+
+Float fidelity: arrays are shipped as nested JSON lists.  Python's
+``repr``-based float serialisation round-trips IEEE-754 doubles
+exactly, and every float32 is exactly representable as a double, so an
+array encoded with :func:`array_payload` and decoded with
+:func:`payload_array` is **bit-identical** to the original — the
+property the benchmark's socket arm gates (socket-served rows equal
+in-process rows with zero tolerance).
+
+A frame larger than ``max_frame_bytes`` raises :class:`FrameError`
+*before* any allocation: a corrupt or hostile length prefix must not
+let a client allocate gigabytes server-side.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import numpy as np
+
+__all__ = [
+    "FrameError", "MAX_FRAME_BYTES", "encode_frame", "send_frame",
+    "recv_frame", "read_frame_async", "array_payload", "payload_array",
+    "connect", "format_address", "parse_address",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: Default per-frame size cap (64 MiB covers a full-grid forecast at
+#: any realistic geometry with a wide margin).
+MAX_FRAME_BYTES = 64 * 2**20
+
+
+class FrameError(RuntimeError):
+    """A malformed, truncated, or oversized wire frame."""
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def encode_frame(payload, max_frame_bytes=MAX_FRAME_BYTES):
+    """Serialise one JSON payload to ``header + body`` bytes."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_frame_bytes:
+        raise FrameError(
+            f"frame of {len(body)} bytes exceeds the {max_frame_bytes}-byte "
+            "cap")
+    return _HEADER.pack(len(body)) + body
+
+
+def array_payload(array):
+    """JSON-able description of an ndarray (shape + dtype + values)."""
+    array = np.asarray(array)
+    return {
+        "shape": list(array.shape),
+        "dtype": str(array.dtype),
+        "data": array.tolist(),
+    }
+
+
+def payload_array(payload):
+    """Rebuild the ndarray described by :func:`array_payload`."""
+    try:
+        array = np.asarray(payload["data"], dtype=np.dtype(payload["dtype"]))
+        return array.reshape([int(s) for s in payload["shape"]])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FrameError(f"malformed array payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Blocking socket I/O
+# ----------------------------------------------------------------------
+def send_frame(sock, payload, max_frame_bytes=MAX_FRAME_BYTES):
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(payload, max_frame_bytes=max_frame_bytes))
+
+
+def _recv_exactly(sock, n):
+    """Read exactly ``n`` bytes; returns None on clean EOF at byte 0."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if got == 0:
+                return None
+            raise FrameError(
+                f"connection closed mid-frame ({got} of {n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock, max_frame_bytes=MAX_FRAME_BYTES):
+    """Read one frame from a blocking socket; None on clean EOF."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise FrameError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{max_frame_bytes}-byte cap")
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise FrameError("connection closed between header and body")
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame body: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Asyncio I/O
+# ----------------------------------------------------------------------
+async def read_frame_async(reader, max_frame_bytes=MAX_FRAME_BYTES):
+    """Read one frame from an asyncio StreamReader; None on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise FrameError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{max_frame_bytes}-byte cap")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed between header and body") from exc
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame body: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Addresses
+# ----------------------------------------------------------------------
+def parse_address(spec):
+    """Parse ``HOST:PORT`` or ``unix:PATH`` into an address value.
+
+    Returns ``(host, port)`` for TCP or the path string for a Unix
+    socket (the form every helper here and the front-end accept).
+    """
+    if isinstance(spec, (tuple, list)):
+        host, port = spec
+        return str(host), int(port)
+    spec = str(spec)
+    if spec.startswith("unix:"):
+        path = spec[len("unix:"):]
+        if not path:
+            raise ValueError("unix: address needs a socket path")
+        return path
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"listen address must be HOST:PORT or unix:PATH; got {spec!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"invalid port in listen address {spec!r}")
+
+
+def format_address(address):
+    """Render an address value back to its ``HOST:PORT``/``unix:`` spec."""
+    if isinstance(address, str):
+        return f"unix:{address}"
+    host, port = address
+    return f"{host}:{port}"
+
+
+def connect(address, timeout=10.0):
+    """Open a blocking socket to a TCP tuple or Unix-socket path."""
+    if isinstance(address, str):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(address)
+        return sock
+    host, port = address
+    return socket.create_connection((host, int(port)), timeout=timeout)

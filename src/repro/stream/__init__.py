@@ -25,13 +25,14 @@ from repro.stream.degrade import StreamingHistoricalAverage, StreamingPersistenc
 from repro.stream.drift import DriftSentinel
 from repro.stream.ingest import StreamIngestor
 from repro.stream.runtime import StreamConfig, StreamRuntime
-from repro.stream.ticks import QuarantineRecord, Tick
+from repro.stream.ticks import QuarantineRecord, SocketTickSource, Tick
 
 __all__ = [
     "AdaptationConfig",
     "AdaptationError",
     "DriftSentinel",
     "QuarantineRecord",
+    "SocketTickSource",
     "StreamConfig",
     "StreamIngestor",
     "StreamRuntime",

@@ -1,12 +1,24 @@
-"""Tick records: the unit of streaming ingestion."""
+"""Tick records: the unit of streaming ingestion.
+
+Besides the in-process :class:`Tick` record, this module provides the
+network form of a tick: :func:`tick_payload` / :func:`tick_from_payload`
+map ticks onto the length-prefixed JSON wire protocol of
+:mod:`repro.serve.wire`, and :class:`SocketTickSource` turns a socket
+connection carrying such frames into the iterator of ticks the
+:class:`~repro.stream.ingest.StreamIngestor` consumes — so a live feed
+process on another host can drive the streaming runtime with the same
+framing the serving front-end speaks.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter, sleep
 
 import numpy as np
 
-__all__ = ["Tick", "QuarantineRecord"]
+__all__ = ["Tick", "QuarantineRecord", "SocketTickSource",
+           "tick_payload", "tick_from_payload", "send_tick"]
 
 
 @dataclass
@@ -44,3 +56,115 @@ class QuarantineRecord:
         """Plain-dict view (JSON-serialisable telemetry)."""
         return {"index": self.index, "reason": self.reason,
                 "detail": self.detail}
+
+
+# ----------------------------------------------------------------------
+# Wire form
+# ----------------------------------------------------------------------
+def tick_payload(tick: Tick):
+    """JSON-able wire form of one tick (bit-exact frame transport)."""
+    from repro.serve import wire
+
+    return {
+        "index": int(tick.index),
+        "frame": wire.array_payload(tick.frame),
+        "meta": dict(tick.meta),
+    }
+
+
+def tick_from_payload(payload) -> Tick:
+    """Rebuild a :class:`Tick` from its :func:`tick_payload` form."""
+    from repro.serve import wire
+
+    if not isinstance(payload, dict) or "frame" not in payload:
+        raise wire.FrameError(
+            "tick frame must be a JSON object with an index and a frame")
+    return Tick(index=int(payload.get("index", -1)),
+                frame=wire.payload_array(payload["frame"]),
+                meta=dict(payload.get("meta", {})))
+
+
+def send_tick(sock, tick: Tick, max_frame_bytes=None):
+    """Write one tick frame to a blocking socket (the producer side)."""
+    from repro.serve import wire
+
+    wire.send_frame(sock, tick_payload(tick),
+                    max_frame_bytes=max_frame_bytes
+                    if max_frame_bytes is not None else wire.MAX_FRAME_BYTES)
+
+
+class SocketTickSource:
+    """Iterator of :class:`Tick` records arriving over a socket.
+
+    Connects to a producer speaking the :mod:`repro.serve.wire` framing
+    (one :func:`tick_payload` object per frame) and yields ticks until
+    the producer closes the connection cleanly — at which point
+    iteration ends, exactly like an exhausted in-memory tick list.  A
+    truncated or malformed frame raises
+    :class:`~repro.serve.wire.FrameError` instead of silently ending
+    the stream: a dead feed and a finished feed must be
+    distinguishable.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)``, ``HOST:PORT``, or ``unix:PATH``.
+    timeout:
+        Per-recv socket timeout in seconds — bounds how long ingestion
+        blocks on a stalled feed.
+    wait_ready_s:
+        Retry the initial connection for up to this long, covering a
+        consumer that starts before its producer binds.
+    """
+
+    def __init__(self, address, timeout=30.0, max_frame_bytes=None,
+                 wait_ready_s=0.0):
+        from repro.serve import wire
+
+        self._wire = wire
+        self.address = wire.parse_address(address)
+        self.max_frame_bytes = (int(max_frame_bytes)
+                                if max_frame_bytes is not None
+                                else wire.MAX_FRAME_BYTES)
+        deadline = perf_counter() + float(wait_ready_s)
+        while True:
+            try:
+                self._sock = wire.connect(self.address, timeout=timeout)
+                break
+            except OSError:
+                if perf_counter() >= deadline:
+                    raise
+                sleep(0.05)
+        self._closed = False
+        #: Ticks yielded so far (telemetry).
+        self.received = 0
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> Tick:
+        if self._closed:
+            raise StopIteration
+        payload = self._wire.recv_frame(
+            self._sock, max_frame_bytes=self.max_frame_bytes)
+        if payload is None:
+            self.close()
+            raise StopIteration
+        tick = tick_from_payload(payload)
+        self.received += 1
+        return tick
+
+    def close(self):
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

@@ -17,6 +17,7 @@ import threading
 import numpy as np
 import pytest
 
+from repro.data import build_samples
 from repro.inspect import sanitizer
 from repro.optim import Adam
 from repro.serve import ForecastServer, ReplicaPool, ServeConfig
@@ -140,6 +141,119 @@ class TestBatcherCloseStressed:
                     assert exc is None or isinstance(exc, RuntimeError)
                 assert all("closed" in str(e) for e in errors)
             assert not session.findings, session.format_text()
+
+
+class TestSingleFlightStressed:
+    def test_single_flight_under_perturbed_schedule(self, tiny_data):
+        # The result cache's exactly-one-forward contract with stress
+        # sleeps in front of every lock acquisition: the owner/join
+        # decision is atomic under the cache lock, so even a maximally
+        # perturbed schedule must produce ONE model forward and hand
+        # every concurrent caller the same frozen artifact.
+        flows = tiny_data.scaler.transform(tiny_data.dataset.flows)
+        model = TinyForecaster(tiny_data)
+        forwards = []
+        real_predict = model.predict
+        model.predict = lambda batch: (forwards.append(1),
+                                       real_predict(batch))[1]
+
+        with sanitizer.enabled(stress=True, seed=77,
+                               max_sleep_ms=0.5) as session:
+            config = ServeConfig(max_wait_ms=0.5)
+            server = ForecastServer(
+                model, config, periodicity=tiny_data.periodicity,
+                frame_shape=flows.shape[1:])
+            server.start()
+            try:
+                for frame in flows[:tiny_data.periodicity.min_index]:
+                    server.cache.push(frame)
+                clients = 8
+                barrier = threading.Barrier(clients)
+                results = []
+                results_lock = threading.Lock()
+
+                def client():
+                    barrier.wait(timeout=10.0)
+                    got = server.forecast_tick()
+                    with results_lock:
+                        results.append(got)
+
+                forwards.clear()
+                threads = [threading.Thread(target=client,
+                                            name=f"flight-{i}")
+                           for i in range(clients)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=30.0)
+                    assert not t.is_alive()
+            finally:
+                server.close()
+        assert len(forwards) == 1, "single-flight dedup failed under stress"
+        first = results[0][0]
+        assert all(r[0] is first for r in results)
+        assert all(r[1:] == results[0][1:] for r in results)
+        assert not session.findings, session.format_text()
+        assert session.report()["acquisitions"] > 0
+
+    def test_forecast_racing_ticks_never_serves_a_torn_artifact(
+            self, tiny_data):
+        # Pushes invalidate the cache while clients forecast: every
+        # response must be the correct forecast FOR ITS OWN index (the
+        # key-immutability protocol), or the explicit mid-request
+        # advance error — never a stale index's rows under a new key.
+        p = tiny_data.periodicity
+        flows = tiny_data.scaler.transform(tiny_data.dataset.flows)
+        model = TinyForecaster(tiny_data)
+
+        with sanitizer.enabled(stress=True, seed=4242,
+                               max_sleep_ms=0.5) as session:
+            server = ForecastServer(
+                model, ServeConfig(max_wait_ms=0.5), periodicity=p,
+                frame_shape=flows.shape[1:])
+            server.start()
+            try:
+                for frame in flows[:p.min_index]:
+                    server.cache.push(frame)
+                stop = threading.Event()
+                outcomes = []
+                outcomes_lock = threading.Lock()
+
+                def client():
+                    while not stop.is_set():
+                        try:
+                            pred, index, _gen = server.forecast_tick()
+                        except RuntimeError as exc:
+                            with outcomes_lock:
+                                outcomes.append(("advanced", str(exc)))
+                        else:
+                            with outcomes_lock:
+                                outcomes.append(("ok", (pred, index)))
+
+                threads = [threading.Thread(target=client,
+                                            name=f"racer-{i}")
+                           for i in range(4)]
+                for t in threads:
+                    t.start()
+                last = min(p.min_index + 6, len(flows))
+                for frame in flows[p.min_index:last]:
+                    server.push_tick(frame)
+                stop.set()
+                for t in threads:
+                    t.join(timeout=30.0)
+                    assert not t.is_alive()
+            finally:
+                server.close()
+        assert any(kind == "ok" for kind, _ in outcomes)
+        for kind, payload in outcomes:
+            if kind == "ok":
+                pred, index = payload
+                reference = model.predict(build_samples(flows, p, [index]))
+                assert np.allclose(pred, reference[0], atol=1e-12), \
+                    f"tick {index} served rows from another tick"
+            else:
+                assert "advanced past tick" in payload
+        assert not session.findings, session.format_text()
 
 
 class TestPoolCloseStressed:

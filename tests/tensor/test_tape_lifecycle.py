@@ -162,7 +162,9 @@ class TestOpProfiler:
                                  "parallel_steps", "parallel_reduce_s",
                                  "prefetch_stall_s", "serve_batches",
                                  "serve_batch_s", "serve_requests",
-                                 "serve_queue_wait_s", "forward_alloc_bytes",
+                                 "serve_queue_wait_s", "serve_cache_hits",
+                                 "serve_cache_misses",
+                                 "forward_alloc_bytes",
                                  "compile_plans", "compile_plan_s",
                                  "arena_bytes", "arena_reuse_pct",
                                  "compiled_steps", "stream_ticks",
